@@ -1,0 +1,65 @@
+// Figure 11 (a-f): elapsed time E and latency L by varying the batch size
+// from 1 to 1000, for IncDG / IncDW / IncFD on Grab1-4.
+//
+// Expected shape: E decreases monotonically with batch size (stale
+// reorderings get coalesced); L increases with batch size and is dominated
+// by queueing time; the smaller Grab1 stream queues longer than Grab4 at
+// the same batch size (fewer edges per second at equal pacing), matching
+// the paper's observation that L(Grab1) > L(Grab4).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace spade;
+using namespace spade::bench;
+
+int main() {
+  const std::vector<std::string> names = {"Grab1", "Grab2", "Grab3", "Grab4"};
+  const std::vector<std::size_t> batch_sizes = {1,   10,  50,  100,
+                                                200, 500, 1000};
+  FraudMix mix;
+  mix.instances_per_pattern = 1;
+  mix.transactions_per_instance = 200;
+
+  std::vector<Workload> workloads;
+  for (const std::string& name : names) {
+    workloads.push_back(BuildWorkload(name, ScaleFor(name), /*seed=*/31, &mix));
+  }
+  PrintDatasetHeader(workloads);
+
+  for (const Algo& a : Algos()) {
+    std::printf("# Figure 11 series: %s — E (us/edge) by batch size\n",
+                a.inc_name);
+    std::printf("%-8s", "batch");
+    for (const Workload& w : workloads) {
+      std::printf(" %12s", w.profile.name.c_str());
+    }
+    std::printf("   |");
+    for (const Workload& w : workloads) {
+      std::printf(" %12s", (w.profile.name + ".L").c_str());
+    }
+    std::printf("\n");
+
+    for (std::size_t b : batch_sizes) {
+      std::printf("%-8zu", b);
+      std::vector<double> latencies;
+      for (const Workload& w : workloads) {
+        Spade spade = MakeSpadeFor(w, a.name);
+        ReplayOptions options;
+        options.batch_size = b;
+        const ReplayReport r = Replay(&spade, w.stream, options);
+        std::printf(" %12.3f", r.MeanMicrosPerEdge());
+        latencies.push_back(r.fraud_latency_micros.mean());
+      }
+      std::printf("   |");
+      for (double l : latencies) std::printf(" %12.0f", l);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

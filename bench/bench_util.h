@@ -1,0 +1,114 @@
+// Shared infrastructure for the table/figure reproduction harnesses.
+//
+// Every harness prints the dataset statistics header (Table 3 at the active
+// scale) and then the rows/series of its table or figure. Absolute numbers
+// depend on the host; the shapes (who wins, by what factor, where the
+// crossovers fall) are what EXPERIMENTS.md compares against the paper.
+//
+// Scale control: SPADE_BENCH_SCALE multiplies each profile's default bench
+// scale (1.0 keeps the defaults; the paper's full sizes need
+// SPADE_BENCH_SCALE far above what a CI box should attempt).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/spade.h"
+#include "datagen/workload.h"
+#include "metrics/semantics.h"
+#include "peel/static_peeler.h"
+#include "stream/replayer.h"
+
+namespace spade::bench {
+
+/// Multiplier from the environment (default 1.0).
+inline double EnvScale() {
+  const char* s = std::getenv("SPADE_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+/// Default per-profile scale keeping a full harness under a few minutes on
+/// a laptop while preserving each dataset's relative size ordering.
+inline double DefaultScale(const std::string& profile_name) {
+  if (profile_name == "Amazon") return 0.30;
+  if (profile_name == "Wiki-Vote") return 0.30;
+  if (profile_name == "Epinion") return 0.05;
+  return 0.004;  // Grab1-4
+}
+
+inline double ScaleFor(const std::string& profile_name) {
+  double s = DefaultScale(profile_name) * EnvScale();
+  return s > 1.0 ? 1.0 : s;
+}
+
+/// The three built-in peeling algorithms of the evaluation.
+struct Algo {
+  const char* name;        // "DG" / "DW" / "FD"
+  const char* inc_name;    // "IncDG" / ...
+  const char* group_name;  // "IncDGG" / ...
+};
+inline const std::vector<Algo>& Algos() {
+  static const std::vector<Algo> algos = {
+      {"DG", "IncDG", "IncDGG"},
+      {"DW", "IncDW", "IncDWG"},
+      {"FD", "IncFD", "IncFDG"},
+  };
+  return algos;
+}
+
+/// One full static peel (the baseline's per-detection cost), seconds.
+inline double MeasureStaticSeconds(const DynamicGraph& g) {
+  Timer timer;
+  PeelState state = PeelStatic(g);
+  // Consume the result so the optimizer cannot drop the peel.
+  volatile double guard = state.BestDensity();
+  (void)guard;
+  return timer.ElapsedSeconds();
+}
+
+/// Builds a Spade over the workload's initial graph under `algo` semantics.
+inline Spade MakeSpadeFor(const Workload& w, const std::string& algo) {
+  Spade spade;
+  spade.SetSemantics(MakeSemanticsByName(algo));
+  const Status s = spade.BuildGraph(w.num_vertices, w.initial);
+  if (!s.ok()) {
+    std::fprintf(stderr, "BuildGraph failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return spade;
+}
+
+/// Prints the Table 3 header for the profiles a harness uses.
+inline void PrintDatasetHeader(const std::vector<Workload>& workloads) {
+  std::printf("# datasets (Table 3 at bench scale)\n");
+  std::printf("# %-10s %10s %10s %8s %12s %s\n", "name", "|V|", "|E|",
+              "avg.deg", "increments", "type");
+  for (const Workload& w : workloads) {
+    const std::size_t edges = w.initial.size() + w.stream.size();
+    std::printf("# %-10s %10zu %10zu %8.2f %12zu %s\n",
+                w.profile.name.c_str(), w.num_vertices, edges,
+                w.num_vertices ? 2.0 * static_cast<double>(edges) /
+                                     static_cast<double>(w.num_vertices)
+                               : 0.0,
+                w.stream.size(), w.profile.type.c_str());
+  }
+  std::printf("\n");
+}
+
+/// Human formatting for microsecond means: "-" below one microsecond, like
+/// the paper's Table 4.
+inline std::string FormatMicros(double us) {
+  if (us <= 0) return "-";
+  if (us < 1.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", us);
+  return buf;
+}
+
+}  // namespace spade::bench

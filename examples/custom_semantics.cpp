@@ -1,0 +1,59 @@
+// Custom semantics: shows Spade's programmability goal — a developer
+// defines a brand-new peeling algorithm ("amount-per-transaction anomaly")
+// with ~15 lines of suspiciousness functions, and the framework
+// incrementalizes it with no further work (the paper's ~20-vs-100 lines of
+// code claim).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/spade.h"
+#include "datagen/workload.h"
+#include "metrics/semantics.h"
+
+int main() {
+  // Semantics: an edge is suspicious when its amount is far above what the
+  // destination merchant usually sees (amount / sqrt(current degree)), and
+  // recently created accounts (high ids in this synthetic world) carry a
+  // small prior.
+  spade::FraudSemantics anomaly;
+  anomaly.name = "AmountAnomaly";
+  anomaly.vsusp = [](spade::VertexId v, const spade::DynamicGraph& g) {
+    return v + 1 >= g.NumVertices() * 9 / 10 ? 0.5 : 0.0;
+  };
+  anomaly.esusp = [](const spade::Edge& e, const spade::DynamicGraph& g) {
+    const double deg = static_cast<double>(g.Degree(e.dst)) + 1.0;
+    return e.weight / std::sqrt(deg);
+  };
+
+  spade::FraudMix mix;
+  mix.transactions_per_instance = 250;
+  const spade::Workload w =
+      spade::BuildWorkload("Grab1", /*scale=*/0.001, /*seed=*/99, &mix);
+
+  // Run the same workload under DG, DW, FD and the custom semantics.
+  const spade::FraudSemantics all[] = {spade::MakeDG(), spade::MakeDW(),
+                                       spade::MakeFD(), anomaly};
+  for (const auto& semantics : all) {
+    spade::Spade spade;
+    spade.SetSemantics(semantics);
+    if (!spade.BuildGraph(w.num_vertices, w.initial).ok()) {
+      std::fprintf(stderr, "build failed\n");
+      return 1;
+    }
+    for (const spade::Edge& e : w.stream.edges) {
+      if (!spade.InsertEdge(e).ok()) {
+        std::fprintf(stderr, "insert failed\n");
+        return 1;
+      }
+    }
+    const spade::Community c = spade.Detect();
+    std::printf("%-14s community: %4zu vertices, density %10.4f, "
+                "affected vertices so far: %zu\n",
+                semantics.name.c_str(), c.members.size(), c.density,
+                spade.cumulative_stats().affected_vertices);
+  }
+  std::printf("\nAll four semantics were incrementalized by the same "
+              "engine; only VSusp/ESusp changed.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Streaming detection: compares the three deployment modes the paper
+// evaluates — per-edge incremental, batch-1K, and edge grouping — on one
+// labeled stream, reporting elapsed time E, latency L and prevention R.
+
+#include <cstdio>
+
+#include "core/spade.h"
+#include "datagen/workload.h"
+#include "stream/replayer.h"
+
+namespace {
+
+void RunMode(const spade::Workload& w, const char* label,
+             const spade::ReplayOptions& options) {
+  spade::Spade spade;
+  spade.SetSemantics(spade::MakeDW());
+  if (!spade.BuildGraph(w.num_vertices, w.initial).ok()) {
+    std::fprintf(stderr, "build failed\n");
+    std::exit(1);
+  }
+  const spade::ReplayReport report = spade::Replay(&spade, w.stream, options);
+  std::printf("%-14s E=%9.3f us/edge  flushes=%6zu  "
+              "fraud latency p50=%10.0f us  R=%6.2f%%\n",
+              label, report.MeanMicrosPerEdge(), report.flushes,
+              report.fraud_latency_micros.Percentile(50),
+              100.0 * report.prevention_ratio);
+}
+
+}  // namespace
+
+int main() {
+  spade::FraudMix mix;
+  mix.instances_per_pattern = 2;
+  mix.transactions_per_instance = 250;
+  const spade::Workload w =
+      spade::BuildWorkload("Grab3", /*scale=*/0.002, /*seed=*/3, &mix);
+  std::printf("stream of %zu edges over %zu vertices "
+              "(%zu fraud instances)\n\n",
+              w.stream.size(), w.num_vertices, w.stream.group_vertices.size());
+
+  spade::ReplayOptions per_edge;
+  per_edge.batch_size = 1;
+  RunMode(w, "per-edge", per_edge);
+
+  spade::ReplayOptions batch100;
+  batch100.batch_size = 100;
+  RunMode(w, "batch-100", batch100);
+
+  spade::ReplayOptions batch1k;
+  batch1k.batch_size = 1000;
+  RunMode(w, "batch-1K", batch1k);
+
+  spade::ReplayOptions grouping;
+  grouping.use_edge_grouping = true;
+  RunMode(w, "edge-grouping", grouping);
+
+  std::printf("\nEdge grouping keeps per-edge cost near batch mode while "
+              "flushing urgent (fraud-like) edges immediately, which is why "
+              "its prevention ratio tracks the per-edge mode.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Time-window detection (Appendix C.3): maintain the fraudulent community
+// of the last N time units of a transaction stream with insert + expire
+// reordering, and enumerate multiple concurrent fraud instances
+// (Appendix C.2) inside the window.
+
+#include <cstdio>
+
+#include "core/enumeration.h"
+#include "core/time_window.h"
+#include "datagen/workload.h"
+
+int main() {
+  spade::FraudMix mix;
+  mix.instances_per_pattern = 1;
+  mix.transactions_per_instance = 200;
+  const spade::Workload w =
+      spade::BuildWorkload("Grab1", /*scale=*/0.0008, /*seed=*/21, &mix);
+
+  // Window spans ~5% of the stream's time range.
+  const spade::Timestamp t0 = w.stream.edges.front().ts;
+  const spade::Timestamp t1 = w.stream.edges.back().ts;
+  const spade::Timestamp span = (t1 - t0) / 20;
+
+  spade::TimeWindowDetector detector(w.num_vertices, span, spade::MakeDW());
+  std::printf("sliding window of %lld us over %zu streamed edges\n\n",
+              static_cast<long long>(span), w.stream.size());
+
+  std::size_t step = 0;
+  const std::size_t report_every = w.stream.size() / 8 + 1;
+  for (const spade::Edge& e : w.stream.edges) {
+    const spade::Status s = detector.Offer(e);
+    if (!s.ok()) {
+      std::fprintf(stderr, "offer failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (++step % report_every == 0) {
+      const spade::Community c = detector.Detect();
+      std::printf("t=%10lld  window=%6zu edges  community: %4zu vertices, "
+                  "density %8.2f\n",
+                  static_cast<long long>(e.ts), detector.WindowEdgeCount(),
+                  c.members.size(), c.density);
+    }
+  }
+
+  // Enumerate distinct dense instances inside the final window.
+  spade::EnumerateOptions options;
+  options.max_communities = 5;
+  options.min_density = 1.0;
+  const auto instances =
+      spade::EnumerateDenseSubgraphs(detector.graph(), options);
+  std::printf("\n%zu dense instances in the final window:\n",
+              instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    std::printf("  #%zu: %zu vertices, density %.2f\n", i + 1,
+                instances[i].members.size(), instances[i].density);
+  }
+  return 0;
+}

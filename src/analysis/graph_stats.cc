@@ -1,0 +1,53 @@
+#include "analysis/graph_stats.h"
+
+#include <unordered_set>
+
+namespace spade {
+
+CountHistogram DegreeDistribution(const DynamicGraph& g) {
+  CountHistogram hist;
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    hist.Add(g.Degree(static_cast<VertexId>(v)));
+  }
+  return hist;
+}
+
+CommunityStats AnalyzeCommunity(const DynamicGraph& g, const Community& c) {
+  CommunityStats stats;
+  stats.size = c.members.size();
+  stats.density = c.density;
+  std::unordered_set<VertexId> members(c.members.begin(), c.members.end());
+  for (VertexId u : c.members) {
+    for (const auto& e : g.OutNeighbors(u)) {
+      if (members.count(e.vertex) != 0) {
+        ++stats.internal_edges;
+        stats.internal_weight += e.weight;
+      }
+    }
+  }
+  return stats;
+}
+
+LabelMetrics EvaluateAgainstLabels(const Community& community,
+                                   const LabeledStream& stream) {
+  std::unordered_set<VertexId> fraud_vertices;
+  for (const auto& group : stream.group_vertices) {
+    fraud_vertices.insert(group.begin(), group.end());
+  }
+  std::unordered_set<VertexId> detected(community.members.begin(),
+                                        community.members.end());
+  LabelMetrics metrics;
+  for (VertexId v : detected) {
+    if (fraud_vertices.count(v) != 0) {
+      ++metrics.true_positives;
+    } else {
+      ++metrics.false_positives;
+    }
+  }
+  for (VertexId v : fraud_vertices) {
+    if (detected.count(v) == 0) ++metrics.false_negatives;
+  }
+  return metrics;
+}
+
+}  // namespace spade

@@ -1,0 +1,56 @@
+// Graph and detection analysis: degree distributions (Figure 9b),
+// community statistics, and precision/recall of detected communities
+// against injected ground-truth labels.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/histogram.h"
+#include "graph/dynamic_graph.h"
+#include "peel/peel_state.h"
+#include "stream/labeled_stream.h"
+
+namespace spade {
+
+/// Degree -> frequency histogram over all vertices (Figure 9b).
+CountHistogram DegreeDistribution(const DynamicGraph& g);
+
+/// Summary statistics of a detected community.
+struct CommunityStats {
+  std::size_t size = 0;
+  double density = 0.0;
+  std::size_t internal_edges = 0;
+  double internal_weight = 0.0;
+};
+CommunityStats AnalyzeCommunity(const DynamicGraph& g, const Community& c);
+
+/// Precision/recall of a detected community against the union of fraud
+/// group members in `stream`.
+struct LabelMetrics {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  double Precision() const {
+    const std::size_t denom = true_positives + false_positives;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double Recall() const {
+    const std::size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+LabelMetrics EvaluateAgainstLabels(const Community& community,
+                                   const LabeledStream& stream);
+
+}  // namespace spade

@@ -1,0 +1,77 @@
+#include "analysis/pattern_classifier.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace spade {
+
+std::string CommunityPatternName(CommunityPattern pattern) {
+  switch (pattern) {
+    case CommunityPattern::kCustomerMerchantCollusion:
+      return "customer-merchant collusion";
+    case CommunityPattern::kDealHunter:
+      return "deal-hunter";
+    case CommunityPattern::kClickFarming:
+      return "click-farming";
+    case CommunityPattern::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+CommunityShape ComputeShape(const DynamicGraph& g, const Community& c,
+                            VertexId merchant_base) {
+  CommunityShape shape;
+  std::set<VertexId> members(c.members.begin(), c.members.end());
+  std::map<std::pair<VertexId, VertexId>, std::size_t> pair_counts;
+  for (VertexId v : c.members) {
+    if (v < merchant_base) {
+      ++shape.customers;
+    } else {
+      ++shape.merchants;
+    }
+    for (const auto& e : g.OutNeighbors(v)) {
+      if (members.count(e.vertex) != 0) {
+        ++shape.transactions;
+        ++pair_counts[{v, e.vertex}];
+      }
+    }
+  }
+  if (!pair_counts.empty()) {
+    shape.multiplicity = static_cast<double>(shape.transactions) /
+                         static_cast<double>(pair_counts.size());
+  }
+  if (shape.customers > 0 && shape.merchants > 0) {
+    shape.side_ratio = static_cast<double>(shape.customers) /
+                       static_cast<double>(shape.merchants);
+  }
+  return shape;
+}
+
+CommunityPattern ClassifyCommunity(const DynamicGraph& g, const Community& c,
+                                   VertexId merchant_base) {
+  const CommunityShape shape = ComputeShape(g, c, merchant_base);
+  if (shape.customers == 0 || shape.merchants == 0 ||
+      shape.transactions < 8) {
+    return CommunityPattern::kUnknown;
+  }
+  // Click-farming: one (or nearly one) merchant absorbing heavy repeat
+  // traffic from a handful of recruits.
+  if (shape.merchants <= 2 && shape.customers <= 12 &&
+      shape.multiplicity >= 3.0) {
+    return CommunityPattern::kClickFarming;
+  }
+  // Deal-hunter: a crowd on one side, a couple of promos on the other.
+  if (shape.side_ratio >= 4.0 && shape.merchants <= 4) {
+    return CommunityPattern::kDealHunter;
+  }
+  // Collusion: balanced small ring with repeated fictitious trades.
+  if (shape.side_ratio >= 0.25 && shape.side_ratio <= 4.0 &&
+      shape.customers + shape.merchants <= 32) {
+    return CommunityPattern::kCustomerMerchantCollusion;
+  }
+  return CommunityPattern::kUnknown;
+}
+
+}  // namespace spade

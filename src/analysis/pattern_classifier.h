@@ -1,0 +1,55 @@
+// Fraud-pattern classification of detected communities.
+//
+// The paper's Figure 15 reports enumerated fraud instances *by type*
+// (customer-merchant collusion, deal-hunter, click-farming). On a
+// customer->merchant transaction graph the three patterns differ by shape:
+//
+//   * collusion     — small balanced bipartite ring (few customers, few
+//                     merchants, comparable counts),
+//   * deal-hunter   — many customers hammering very few merchants,
+//   * click-farming — few recruited customers inflating a single merchant
+//                     with many repeated transactions.
+//
+// The classifier reads those shape signals (side sizes, transaction
+// multiplicity) off the induced subgraph.
+
+#pragma once
+
+#include <string>
+
+#include "graph/dynamic_graph.h"
+#include "peel/peel_state.h"
+
+namespace spade {
+
+enum class CommunityPattern {
+  kCustomerMerchantCollusion,
+  kDealHunter,
+  kClickFarming,
+  kUnknown,
+};
+
+std::string CommunityPatternName(CommunityPattern pattern);
+
+/// Shape features of a community on a bipartite transaction graph.
+struct CommunityShape {
+  std::size_t customers = 0;     // members below merchant_base
+  std::size_t merchants = 0;     // members at/above merchant_base
+  std::size_t transactions = 0;  // internal edges (parallel counted)
+  /// Mean parallel transactions per distinct customer-merchant pair.
+  double multiplicity = 0.0;
+  /// Customers-to-merchants ratio (0 when either side is empty).
+  double side_ratio = 0.0;
+};
+
+/// Computes shape features; `merchant_base` is the first merchant id
+/// (datagen workloads expose it).
+CommunityShape ComputeShape(const DynamicGraph& g, const Community& c,
+                            VertexId merchant_base);
+
+/// Classifies by shape. Communities without both sides populated, or with
+/// too few transactions to matter, come back kUnknown.
+CommunityPattern ClassifyCommunity(const DynamicGraph& g, const Community& c,
+                                   VertexId merchant_base);
+
+}  // namespace spade

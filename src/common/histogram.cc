@@ -1,0 +1,63 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace spade {
+
+void Summary::Add(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_ = false;
+}
+
+double Summary::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Percentile(double pct) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = pct / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << mean() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << max();
+  return os.str();
+}
+
+void CountHistogram::Add(std::uint64_t key, std::uint64_t count) {
+  buckets_[key] += count;
+  total_ += count;
+}
+
+std::string CountHistogram::ToRows() const {
+  std::ostringstream os;
+  for (const auto& [key, freq] : buckets_) {
+    os << key << " " << freq << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spade

@@ -1,0 +1,57 @@
+// Simple fixed-bucket and log-scale histograms for latency and degree
+// distribution reporting.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spade {
+
+/// Collects scalar samples and reports count/mean/percentiles.
+///
+/// Samples are retained exactly (the library's workloads are bounded), so
+/// percentiles are exact rather than approximated.
+class Summary {
+ public:
+  void Add(double value);
+
+  std::uint64_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Exact percentile in [0, 100]; sorts lazily on first query.
+  double Percentile(double pct) const;
+
+  /// One-line "count=.. mean=.. p50=.. p99=.. max=.." rendering.
+  std::string ToString() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0;
+};
+
+/// Histogram over integer keys (e.g. vertex degree -> frequency).
+class CountHistogram {
+ public:
+  void Add(std::uint64_t key, std::uint64_t count = 1);
+
+  const std::map<std::uint64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  std::uint64_t total() const { return total_; }
+
+  /// Renders "key frequency" rows, one per line (gnuplot-friendly).
+  std::string ToRows() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace spade

@@ -1,0 +1,99 @@
+// Minimal leveled logger with compile-out-able debug level and fatal checks.
+// Mirrors the style of Arrow's util/logging.h at a much smaller scale.
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace spade {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it (used for disabled log levels).
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace spade
+
+#define SPADE_LOG_INTERNAL(level) \
+  ::spade::internal::LogMessage(level, __FILE__, __LINE__)
+
+#define SPADE_LOG_DEBUG() SPADE_LOG_INTERNAL(::spade::LogLevel::kDebug)
+#define SPADE_LOG_INFO() SPADE_LOG_INTERNAL(::spade::LogLevel::kInfo)
+#define SPADE_LOG_WARNING() SPADE_LOG_INTERNAL(::spade::LogLevel::kWarning)
+#define SPADE_LOG_ERROR() SPADE_LOG_INTERNAL(::spade::LogLevel::kError)
+#define SPADE_LOG_FATAL() SPADE_LOG_INTERNAL(::spade::LogLevel::kFatal)
+
+/// Invariant check that is active in all build types; aborts on failure.
+#define SPADE_CHECK(condition)                                      \
+  do {                                                              \
+    if (!(condition))                                               \
+      SPADE_LOG_FATAL() << "Check failed: " #condition " ";        \
+  } while (false)
+
+#define SPADE_CHECK_OP(left, op, right)                                      \
+  do {                                                                       \
+    if (!((left)op(right)))                                                  \
+      SPADE_LOG_FATAL() << "Check failed: " #left " " #op " " #right " ("   \
+                        << (left) << " vs " << (right) << ") ";             \
+  } while (false)
+
+#define SPADE_CHECK_EQ(l, r) SPADE_CHECK_OP(l, ==, r)
+#define SPADE_CHECK_NE(l, r) SPADE_CHECK_OP(l, !=, r)
+#define SPADE_CHECK_LT(l, r) SPADE_CHECK_OP(l, <, r)
+#define SPADE_CHECK_LE(l, r) SPADE_CHECK_OP(l, <=, r)
+#define SPADE_CHECK_GT(l, r) SPADE_CHECK_OP(l, >, r)
+#define SPADE_CHECK_GE(l, r) SPADE_CHECK_OP(l, >=, r)
+
+#ifndef NDEBUG
+#define SPADE_DCHECK(condition) SPADE_CHECK(condition)
+#define SPADE_DCHECK_EQ(l, r) SPADE_CHECK_EQ(l, r)
+#define SPADE_DCHECK_LE(l, r) SPADE_CHECK_LE(l, r)
+#else
+#define SPADE_DCHECK(condition) \
+  do {                          \
+  } while (false)
+#define SPADE_DCHECK_EQ(l, r) \
+  do {                        \
+  } while (false)
+#define SPADE_DCHECK_LE(l, r) \
+  do {                        \
+  } while (false)
+#endif

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation for dataset synthesis and
+// property tests. A small, fast xoshiro256** implementation is used so
+// results are reproducible across standard libraries (std::mt19937
+// distributions are not bit-stable across implementations).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace spade {
+
+/// xoshiro256** generator with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedu) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Power-law (Zipf-like) index in [0, n): P(i) proportional to
+  /// (i+1)^-alpha, sampled by inverse-transform on the continuous Pareto
+  /// approximation; cheap and adequate for topology synthesis.
+  std::uint64_t NextZipf(std::uint64_t n, double alpha) {
+    if (n <= 1) return 0;
+    // Inverse CDF of a bounded Pareto on [1, n+1).
+    const double u = NextDouble();
+    double value;
+    if (alpha == 1.0) {
+      value = std::numeric_limits<double>::min();
+      // x = exp(u * ln(n+1))
+      double ln_n1 = 0.0;
+      {
+        double v = static_cast<double>(n + 1);
+        // Inline natural log via library call; kept simple.
+        ln_n1 = __builtin_log(v);
+      }
+      value = __builtin_exp(u * ln_n1);
+    } else {
+      const double one_minus_a = 1.0 - alpha;
+      const double n1 = static_cast<double>(n + 1);
+      const double hi = __builtin_pow(n1, one_minus_a);
+      value = __builtin_pow(1.0 + u * (hi - 1.0), 1.0 / one_minus_a);
+    }
+    auto idx = static_cast<std::uint64_t>(value) - 1;
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace spade

@@ -1,0 +1,64 @@
+// Wall-clock timing utilities used by benchmarks and latency accounting.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace spade {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to "now".
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across many timed sections.
+class AccumulatingTimer {
+ public:
+  /// Starts a timed section.
+  void Start() { timer_.Restart(); running_ = true; }
+
+  /// Ends the current section and folds its duration into the total.
+  void Stop() {
+    if (running_) {
+      total_micros_ += timer_.ElapsedMicros();
+      ++laps_;
+      running_ = false;
+    }
+  }
+
+  double TotalMicros() const { return total_micros_; }
+  std::uint64_t laps() const { return laps_; }
+  double MeanMicros() const {
+    return laps_ == 0 ? 0.0 : total_micros_ / static_cast<double>(laps_);
+  }
+  void Reset() {
+    total_micros_ = 0;
+    laps_ = 0;
+    running_ = false;
+  }
+
+ private:
+  Timer timer_;
+  double total_micros_ = 0;
+  std::uint64_t laps_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace spade

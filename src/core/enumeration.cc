@@ -1,0 +1,81 @@
+#include "core/enumeration.h"
+
+#include <vector>
+
+#include "peel/static_peeler.h"
+
+namespace spade {
+
+std::vector<Community> EnumerateDenseSubgraphs(
+    const DynamicGraph& g, const EnumerateOptions& options) {
+  std::vector<Community> result;
+  const std::size_t n = g.NumVertices();
+
+  // Survivor mapping: compact ids of the residual graph -> original ids.
+  std::vector<VertexId> to_original(n);
+  std::vector<VertexId> to_compact(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    to_original[v] = static_cast<VertexId>(v);
+    to_compact[v] = static_cast<VertexId>(v);
+  }
+  std::vector<char> removed(n, 0);
+
+  DynamicGraph residual;
+  const DynamicGraph* current = &g;
+
+  while (result.size() < options.max_communities) {
+    if (current->NumVertices() == 0) break;
+    const PeelState state = PeelStatic(*current);
+    Community community = state.DetectCommunity();
+    if (community.density < options.min_density) break;
+
+    // Translate back to original ids.
+    Community reported;
+    reported.density = community.density;
+    reported.members.reserve(community.members.size());
+    for (VertexId v : community.members) {
+      reported.members.push_back(to_original[v]);
+    }
+    if (reported.members.size() >= options.min_size) {
+      result.push_back(reported);
+    }
+
+    // Remove the community and rebuild the compacted residual graph.
+    for (VertexId v : reported.members) removed[v] = 1;
+    std::vector<VertexId> survivors;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!removed[v]) survivors.push_back(static_cast<VertexId>(v));
+    }
+    if (survivors.empty()) break;
+
+    DynamicGraph next(survivors.size());
+    std::vector<VertexId> next_to_original(survivors.size());
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      next_to_original[i] = survivors[i];
+      to_compact[survivors[i]] = static_cast<VertexId>(i);
+      next.SetVertexWeight(static_cast<VertexId>(i),
+                           g.VertexWeight(survivors[i]));
+    }
+    for (VertexId original : survivors) {
+      for (const auto& e : g.OutNeighbors(original)) {
+        if (!removed[e.vertex]) {
+          const Status s = next.AddEdge(to_compact[original],
+                                        to_compact[e.vertex], e.weight);
+          SPADE_CHECK(s.ok());
+        }
+      }
+    }
+    residual = std::move(next);
+    to_original = std::move(next_to_original);
+    current = &residual;
+
+    if (reported.members.size() < options.min_size) {
+      // The community was too small to report and removing it made no
+      // progress guarantees; stop to avoid spinning on singletons.
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace spade

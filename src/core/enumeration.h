@@ -1,0 +1,32 @@
+// Dense-subgraph enumeration (paper Appendix C.2): repeatedly peel, report
+// the densest community, remove it from the graph, and continue — surfacing
+// the multiple fraud instances that a single dense subgraph can bundle
+// (paper Figure 14).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "peel/peel_state.h"
+
+namespace spade {
+
+/// Options bounding the enumeration.
+struct EnumerateOptions {
+  /// Stop after reporting this many communities.
+  std::size_t max_communities = 16;
+  /// Stop once the next community's density falls below this floor.
+  double min_density = 1e-9;
+  /// Communities smaller than this are not reported (singletons are rarely
+  /// meaningful fraud instances).
+  std::size_t min_size = 2;
+};
+
+/// Enumerates disjoint dense communities in descending density order.
+/// Does not modify `g`; cost is O(rounds * |E| log |V|).
+std::vector<Community> EnumerateDenseSubgraphs(const DynamicGraph& g,
+                                               const EnumerateOptions& options);
+
+}  // namespace spade

@@ -1,0 +1,325 @@
+#include "core/incremental_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spade {
+
+Status IncrementalEngine::InsertEdge(DynamicGraph* g, PeelState* state,
+                                     const Edge& edge,
+                                     const VertexSuspFn& vsusp,
+                                     ReorderStats* stats) {
+  return InsertBatch(g, state, std::span<const Edge>(&edge, 1), vsusp, stats);
+}
+
+Status IncrementalEngine::InsertBatch(DynamicGraph* g, PeelState* state,
+                                      std::span<const Edge> edges,
+                                      const VertexSuspFn& vsusp,
+                                      ReorderStats* stats) {
+  if (edges.empty()) return Status::OK();
+  for (const Edge& e : edges) {
+    if (!(e.weight > 0.0)) {
+      return Status::InvalidArgument("InsertBatch: edge weight must be > 0");
+    }
+    if (e.src == e.dst) {
+      return Status::InvalidArgument("InsertBatch: self-loops not supported");
+    }
+  }
+
+  // Vertex insertion (§4.1): unseen endpoints join the head of the peeling
+  // sequence carrying their prior suspiciousness as the initial peeling
+  // weight (Δ0 = 0 when the semantics assigns no prior). Gap ids implied by
+  // a sparse id space are registered as isolated prior-0 vertices so the
+  // state always covers the graph. All created vertices are marked black
+  // below: the merge then places them canonically relative to existing
+  // equal-weight vertices.
+  new_vertices_.clear();
+  for (const Edge& e : edges) {
+    for (VertexId v : {e.src, e.dst}) {
+      if (v >= g->NumVertices() || !state->ContainsVertex(v)) {
+        const std::size_t old_n = g->NumVertices();
+        g->EnsureVertices(v + 1);
+        for (std::size_t nv = old_n; nv + 1 < g->NumVertices(); ++nv) {
+          if (!state->ContainsVertex(static_cast<VertexId>(nv))) {
+            state->InsertVertexAtHead(static_cast<VertexId>(nv), 0.0);
+            new_vertices_.push_back(static_cast<VertexId>(nv));
+          }
+        }
+        const double prior = vsusp ? vsusp(v, *g) : 0.0;
+        g->SetVertexWeight(v, prior);
+        state->InsertVertexAtHead(v, prior);
+        new_vertices_.push_back(v);
+      }
+    }
+  }
+
+  // Apply the edges, then mark every created vertex and every endpoint
+  // black: their stored peeling weights understate the new edges (or their
+  // head placement is order-unverified), so they must be re-examined when
+  // the merge scan reaches them. Stored deltas are never modified here —
+  // understated values keep every pruning comparison conservative
+  // (DESIGN.md §2.4).
+  BumpEpoch();
+  black_positions_.clear();
+  for (VertexId v : new_vertices_) {
+    if (ColorOf(v) != Color::kBlack) {
+      SetColor(v, Color::kBlack);
+      black_positions_.push_back(state->PositionOf(v));
+    }
+  }
+  for (const Edge& e : edges) {
+    SPADE_RETURN_NOT_OK(g->AddEdge(e.src, e.dst, e.weight));
+    for (VertexId v : {e.src, e.dst}) {
+      if (ColorOf(v) != Color::kBlack) {
+        SetColor(v, Color::kBlack);
+        black_positions_.push_back(state->PositionOf(v));
+      }
+    }
+  }
+  std::sort(black_positions_.begin(), black_positions_.end());
+
+  pending_.EnsureCapacity(g->NumVertices());
+  ReorderStats local;
+  MergeLoop(*g, state, black_positions_,
+            black_positions_.empty() ? 0 : black_positions_.front(), &local);
+  state->InvalidateBest();
+  if (stats != nullptr) stats->Accumulate(local);
+  return Status::OK();
+}
+
+Status IncrementalEngine::DeleteEdge(DynamicGraph* g, PeelState* state,
+                                     VertexId src, VertexId dst,
+                                     ReorderStats* stats,
+                                     const double* weight_filter) {
+  if (src >= g->NumVertices() || dst >= g->NumVertices()) {
+    return Status::InvalidArgument("DeleteEdge: endpoint out of range");
+  }
+  auto removed = g->RemoveEdge(src, dst, weight_filter);
+  if (!removed.ok()) return removed.status();
+
+  // Both endpoints lose weight at some steps of the sequence: the earlier-
+  // peeled endpoint x counted the edge in its stored delta; the later one y
+  // did not, but its weight at every step *before* x's position shrank, so
+  // either endpoint may deserve an earlier slot (DESIGN.md §2.6).
+  const std::size_t ps = state->PositionOf(src);
+  const std::size_t pd = state->PositionOf(dst);
+  const VertexId x = ps <= pd ? src : dst;
+  const VertexId y = ps <= pd ? dst : src;
+  const std::size_t px = std::min(ps, pd);
+  const std::size_t py = std::max(ps, pd);
+
+  BumpEpoch();
+  ReorderStats local;
+
+  // Backward walk (Appendix C.1): the earliest step where the endpoint's
+  // current peeling weight undercuts the incumbent. w_u(S_k) starts at the
+  // post-deletion whole-graph weight and loses each incident edge whose
+  // other end peels before step k. Returns the endpoint's old position when
+  // it keeps its slot.
+  const auto walk_splice = [&](VertexId u, std::size_t pu,
+                               double* weight_at_splice) {
+    double cur = g->WeightedDegree(u);
+    local.touched_edges += g->Degree(u);
+    neighbor_weight_by_pos_.clear();
+    g->ForEachIncident(u, [&](VertexId v, double w) {
+      if (v != u) {
+        neighbor_weight_by_pos_.emplace_back(state->PositionOf(v), w);
+      }
+    });
+    std::sort(neighbor_weight_by_pos_.begin(), neighbor_weight_by_pos_.end());
+    std::size_t ni = 0;
+    for (std::size_t k = 0; k < pu; ++k) {
+      if (HeapKeyLess(cur, u, state->DeltaAt(k), state->VertexAt(k))) {
+        *weight_at_splice = cur;
+        return k;
+      }
+      while (ni < neighbor_weight_by_pos_.size() &&
+             neighbor_weight_by_pos_[ni].first == k) {
+        cur -= neighbor_weight_by_pos_[ni].second;
+        ++ni;
+      }
+    }
+    *weight_at_splice = cur;
+    return pu;
+  };
+
+  double wx = 0.0, wy = 0.0;
+  const std::size_t splice_x = walk_splice(x, px, &wx);
+  const std::size_t splice_y = walk_splice(y, py, &wy);
+
+  // x's stored delta counted the deleted edge, so it shrinks by the edge
+  // weight even when x keeps its slot; wx at k == px is exactly that value.
+  if (splice_x == px && splice_y == py) {
+    state->Assign(px, x, wx);
+    state->InvalidateBest();
+    if (stats != nullptr) stats->Accumulate(local);
+    return Status::OK();
+  }
+
+  // Either endpoint moves: seed the queue with both at their exact weights
+  // from the merged splice point. Their dips can cascade through neighbors;
+  // the merge's early-pop sweep handles that transitively.
+  const std::size_t splice = std::min(splice_x, splice_y);
+  pending_.EnsureCapacity(g->NumVertices());
+  for (VertexId u : {x, y}) {
+    PushPending(*g, u, ExactPendingWeight(*g, u, splice, *state, &local),
+                &local);
+  }
+
+  black_positions_.clear();
+  MergeLoop(*g, state, black_positions_, splice, &local);
+  state->InvalidateBest();
+  if (stats != nullptr) stats->Accumulate(local);
+  return Status::OK();
+}
+
+double IncrementalEngine::ExactPendingWeight(const DynamicGraph& g,
+                                             VertexId u, std::size_t k,
+                                             const PeelState& state,
+                                             ReorderStats* stats) const {
+  // w_u over the true pending set: the queue T plus every unscanned vertex.
+  // Unscanned vertices still carry their pre-merge position (>= k); vertices
+  // emitted by this merge are stamped; everything else (stable prefix,
+  // skipped gaps) lies before k.
+  double w = g.VertexWeight(u);
+  g.ForEachIncident(u, [&](VertexId v, double c) {
+    if (pending_.Contains(v) ||
+        (!IsEmitted(v) && state.PositionOf(v) >= k && v != u)) {
+      w += c;
+    }
+  });
+  stats->touched_edges += g.Degree(u);
+  return w;
+}
+
+void IncrementalEngine::PushPending(const DynamicGraph& g, VertexId u,
+                                    double weight, ReorderStats* stats) {
+  pending_.Push(u, weight);
+  ++stats->affected_vertices;
+  g.ForEachIncident(u, [&](VertexId v, double) {
+    if (ColorOf(v) == Color::kWhite) SetColor(v, Color::kGray);
+  });
+  stats->touched_edges += g.Degree(u);
+}
+
+void IncrementalEngine::EmitFromQueue(const DynamicGraph& g, PeelState* state,
+                                      std::size_t w, std::size_t k,
+                                      ReorderStats* stats) {
+  const double dmin = pending_.TopWeight();
+  const VertexId umin = pending_.Pop();
+  const std::size_t old_pos = state->PositionOf(umin);
+  WriteEntry(state, w, umin, dmin);
+  MarkEmitted(umin);
+
+  // Phase 1: peeling umin releases its edges from every neighbor that was
+  // already in the queue.
+  g.ForEachIncident(umin, [&](VertexId v, double c) {
+    if (pending_.Contains(v)) pending_.Adjust(v, -c);
+  });
+  // Phase 2: if umin peels ahead of its old schedule (old position not yet
+  // reached by the scan), its unscanned neighbors' dips accelerate — their
+  // stored weights stop being trustworthy ordering bounds, so they are
+  // swept into the queue at their exact current weights (DESIGN.md §2.6).
+  // The Contains() guard keeps phase 1's relaxations and parallel edges
+  // from double-counting: an exact weight already reflects umin's removal.
+  if (old_pos > k) {
+    g.ForEachIncident(umin, [&](VertexId v, double c) {
+      (void)c;
+      if (!pending_.Contains(v) && !IsEmitted(v) &&
+          state->PositionOf(v) >= k) {
+        PushPending(g, v, ExactPendingWeight(g, v, k, *state, stats), stats);
+      }
+    });
+  }
+  stats->touched_edges += g.Degree(umin);
+}
+
+void IncrementalEngine::MergeLoop(const DynamicGraph& g, PeelState* state,
+                                  const std::vector<std::size_t>& blacks,
+                                  std::size_t start, ReorderStats* stats) {
+  if (blacks.empty() && pending_.empty()) return;
+  const std::size_t n = state->size();
+  RebaseScratch(start);
+
+  std::size_t k = start;  // scan cursor over old entries
+  std::size_t w = start;  // write cursor over the rewritten sequence
+  std::size_t bi = 0;     // next unconsumed black position
+
+  while (true) {
+    if (pending_.empty() && w == k) {
+      while (bi < blacks.size() && blacks[bi] < k) ++bi;
+      if (bi == blacks.size()) break;
+      // Positions in [k, blacks[bi]) are untouched: jump over the gap and
+      // restart the preservation window there.
+      k = w = blacks[bi];
+      RebaseScratch(k);
+    }
+    if (k >= n) {
+      // No more old entries: drain the pending queue.
+      while (!pending_.empty()) {
+        EmitFromQueue(g, state, w++, k, stats);
+        ++stats->rewritten_span;
+      }
+      break;
+    }
+
+    VertexId u_k;
+    double d_k;
+    ReadEntry(*state, k, &u_k, &d_k);
+
+    if (pending_.Contains(u_k) || IsEmitted(u_k)) {
+      // The old slot of a vertex pulled into the queue out of schedule.
+      ++k;
+      continue;
+    }
+
+    if (!pending_.empty() &&
+        HeapKeyLess(pending_.TopWeight(), pending_.TopVertex(), d_k, u_k)) {
+      // Case 1: the queue head peels before the incumbent. The stored d_k
+      // never overstates u_k's true weight, so this is conservative.
+      EmitFromQueue(g, state, w++, k, stats);
+      ++stats->rewritten_span;
+    } else if (ColorOf(u_k) != Color::kWhite) {
+      // Case 2(a): affected vertex — its stored weight may miss new edges
+      // or edges into the queue; recover the exact value and let the queue
+      // order it.
+      PushPending(g, u_k, ExactPendingWeight(g, u_k, k, *state, stats),
+                  stats);
+      ++k;
+    } else {
+      // Case 2(b): untouched vertex with the smallest weight — copy through.
+      WriteEntry(state, w, u_k, d_k);
+      MarkEmitted(u_k);
+      ++w;
+      ++k;
+      ++stats->rewritten_span;
+    }
+  }
+}
+
+void IncrementalEngine::ReadEntry(const PeelState& state, std::size_t k,
+                                  VertexId* v, double* delta) const {
+  if (k >= scratch_base_ && k - scratch_base_ < scratch_seq_.size()) {
+    *v = scratch_seq_[k - scratch_base_];
+    *delta = scratch_delta_[k - scratch_base_];
+  } else {
+    *v = state.VertexAt(k);
+    *delta = state.DeltaAt(k);
+  }
+}
+
+void IncrementalEngine::WriteEntry(PeelState* state, std::size_t w, VertexId v,
+                                   double delta) {
+  // Preserve the old entry before overwriting it, so later reads of
+  // positions the write cursor has passed still see the pre-update values.
+  const std::size_t end = scratch_base_ + scratch_seq_.size();
+  if (w >= end && w < state->size()) {
+    SPADE_DCHECK_EQ(w, end);
+    scratch_seq_.push_back(state->VertexAt(w));
+    scratch_delta_.push_back(state->DeltaAt(w));
+  }
+  state->Assign(w, v, delta);
+}
+
+}  // namespace spade

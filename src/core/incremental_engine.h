@@ -1,0 +1,168 @@
+// IncrementalEngine: peeling-sequence reordering under graph updates.
+//
+// Implements the paper's three incremental techniques:
+//   * single edge insertion (§4.1) — a batch of size one,
+//   * peeling sequence reordering in batch (Algorithm 2, §4.2) with the
+//     black/gray/white affected-vertex coloring,
+//   * edge deletion (Appendix C.1) via backward splice + forward merge.
+//
+// The engine rewrites the affected slice of the PeelState in place; the
+// unaffected prefix (Lemma 4.1) and the suffix beyond the affected area are
+// never touched. All scratch structures are engine members so steady-state
+// updates allocate nothing.
+//
+// Correctness invariant of the merge loop (DESIGN.md §2.4): every vertex in
+// the pending queue T and every vertex already emitted has an original
+// position before the scan cursor, so the stored peeling weight of any
+// unscanned vertex counts exactly its edges into the unscanned region; gray
+// recovery adds back the edges into T.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "metrics/semantics.h"
+#include "peel/indexed_heap.h"
+#include "peel/peel_state.h"
+
+namespace spade {
+
+/// Cost accounting for one reorder invocation — the paper's affected area
+/// G_T = (V_T, E_T).
+struct ReorderStats {
+  /// Vertices that entered the pending queue T (|V_T|).
+  std::size_t affected_vertices = 0;
+  /// Incident-edge entries scanned while recovering/updating weights (|E_T|).
+  std::size_t touched_edges = 0;
+  /// Width of the rewritten window of the peeling sequence.
+  std::size_t rewritten_span = 0;
+
+  void Reset() { *this = ReorderStats(); }
+  void Accumulate(const ReorderStats& other) {
+    affected_vertices += other.affected_vertices;
+    touched_edges += other.touched_edges;
+    rewritten_span += other.rewritten_span;
+  }
+};
+
+/// Stateful incremental reorderer bound to one (graph, peel state) pair.
+class IncrementalEngine {
+ public:
+  IncrementalEngine() = default;
+
+  /// Inserts a batch of weighted edges (weight = final suspiciousness c_ij)
+  /// into `g` and reorders `state` so it equals a from-scratch peel of the
+  /// updated graph. Unknown endpoints are created as new vertices whose
+  /// prior comes from `vsusp` (may be null => prior 0).
+  ///
+  /// Preconditions: `state` is a valid peeling of `g`; every edge weight is
+  /// positive.
+  Status InsertBatch(DynamicGraph* g, PeelState* state,
+                     std::span<const Edge> edges, const VertexSuspFn& vsusp,
+                     ReorderStats* stats);
+
+  /// Single-edge convenience wrapper (|ΔE| = 1).
+  Status InsertEdge(DynamicGraph* g, PeelState* state, const Edge& edge,
+                    const VertexSuspFn& vsusp, ReorderStats* stats);
+
+  /// Removes one (src, dst) edge from `g` and restores `state` to a valid
+  /// canonical peeling of the shrunken graph (Appendix C.1 extension).
+  /// `weight_filter`, when non-null, selects which parallel copy to remove.
+  Status DeleteEdge(DynamicGraph* g, PeelState* state, VertexId src,
+                    VertexId dst, ReorderStats* stats,
+                    const double* weight_filter = nullptr);
+
+ private:
+  enum class Color : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
+
+  /// Epoch-stamped color lookup (O(1) reset between updates).
+  Color ColorOf(VertexId v) const {
+    return (v < color_stamp_.size() && color_stamp_[v] == epoch_)
+               ? static_cast<Color>(color_value_[v])
+               : Color::kWhite;
+  }
+  void SetColor(VertexId v, Color c) {
+    if (v >= color_stamp_.size()) {
+      color_stamp_.resize(v + 1, 0);
+      color_value_.resize(v + 1, 0);
+    }
+    color_stamp_[v] = epoch_;
+    color_value_[v] = static_cast<std::uint8_t>(c);
+  }
+
+  /// Starts a fresh update: invalidates all colors and emitted stamps.
+  void BumpEpoch() { epoch_ = epoch_ + 1 == 0 ? 1 : epoch_ + 1; }
+
+  /// Emitted-this-merge stamp (distinguishes peeled vertices from unscanned
+  /// ones whose rewritten position may exceed the scan cursor).
+  bool IsEmitted(VertexId v) const {
+    return v < emitted_stamp_.size() && emitted_stamp_[v] == epoch_;
+  }
+  void MarkEmitted(VertexId v) {
+    if (v >= emitted_stamp_.size()) emitted_stamp_.resize(v + 1, 0);
+    emitted_stamp_[v] = epoch_;
+  }
+
+  /// Runs the three-case merge loop from `start`. `black_positions` must be
+  /// sorted ascending; the queue may be pre-seeded (deletion path).
+  void MergeLoop(const DynamicGraph& g, PeelState* state,
+                 const std::vector<std::size_t>& black_positions,
+                 std::size_t start, ReorderStats* stats);
+
+  /// Pops the head of T into position `w` and relaxes its T-neighbors.
+  /// Vertices peeling ahead of their old schedule sweep their unscanned
+  /// neighbors into the queue.
+  void EmitFromQueue(const DynamicGraph& g, PeelState* state, std::size_t w,
+                     std::size_t k, ReorderStats* stats);
+
+  /// Pushes u into the pending queue and grays its neighbors.
+  void PushPending(const DynamicGraph& g, VertexId u, double weight,
+                   ReorderStats* stats);
+
+  /// Exact current peeling weight of u over the true pending set
+  /// (queue members plus unscanned vertices); replaces the paper's stored-
+  /// delta "recovery" with a from-graph computation of the same quantity.
+  double ExactPendingWeight(const DynamicGraph& g, VertexId u, std::size_t k,
+                            const PeelState& state,
+                            ReorderStats* stats) const;
+
+  /// Reads the pre-update entry at position k (scratch if already
+  /// overwritten, live state otherwise).
+  void ReadEntry(const PeelState& state, std::size_t k, VertexId* v,
+                 double* delta) const;
+
+  /// Writes the new entry at position w, preserving the old entry in the
+  /// scratch window first.
+  void WriteEntry(PeelState* state, std::size_t w, VertexId v, double delta);
+
+  /// Drops the scratch window and restarts it at `base` (used when the merge
+  /// jumps over an untouched gap between black vertices).
+  void RebaseScratch(std::size_t base) {
+    scratch_base_ = base;
+    scratch_seq_.clear();
+    scratch_delta_.clear();
+  }
+
+  IndexedMinHeap pending_;  // the paper's T
+  std::vector<std::uint32_t> color_stamp_;
+  std::vector<std::uint8_t> color_value_;
+  std::vector<std::uint32_t> emitted_stamp_;
+  std::uint32_t epoch_ = 0;
+
+  std::vector<std::size_t> black_positions_;
+  std::vector<VertexId> new_vertices_;
+  std::vector<std::pair<std::size_t, double>> neighbor_weight_by_pos_;
+
+  // Sliding preservation window: old entries of positions the write cursor
+  // has already overwritten, so reads at the scan cursor stay pre-update.
+  std::size_t scratch_base_ = 0;
+  std::vector<VertexId> scratch_seq_;
+  std::vector<double> scratch_delta_;
+};
+
+}  // namespace spade

@@ -1,0 +1,85 @@
+#include "core/period_detector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "peel/static_peeler.h"
+
+namespace spade {
+
+PeriodDetector::PeriodDetector(std::size_t num_vertices, std::vector<Edge> log,
+                               FraudSemantics semantics)
+    : log_(std::move(log)),
+      semantics_(std::move(semantics)),
+      graph_(num_vertices),
+      applied_weight_(log_.size(), 0.0) {
+  SPADE_CHECK(std::is_sorted(
+      log_.begin(), log_.end(),
+      [](const Edge& a, const Edge& b) { return a.ts < b.ts; }));
+  if (semantics_.vsusp) {
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+      graph_.SetVertexWeight(
+          static_cast<VertexId>(v),
+          semantics_.vsusp(static_cast<VertexId>(v), graph_));
+    }
+  }
+  state_ = PeelStatic(graph_);
+}
+
+std::size_t PeriodDetector::LowerBound(Timestamp t) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(log_.begin(), log_.end(), t,
+                       [](const Edge& e, Timestamp ts) { return e.ts < ts; }) -
+      log_.begin());
+}
+
+Status PeriodDetector::ApplyInsert(std::size_t i) {
+  Edge weighted = log_[i];
+  if (weighted.src >= graph_.NumVertices() ||
+      weighted.dst >= graph_.NumVertices()) {
+    return Status::InvalidArgument("PeriodDetector: endpoint out of range");
+  }
+  if (semantics_.esusp) {
+    weighted.weight = semantics_.esusp(log_[i], graph_);
+  }
+  applied_weight_[i] = weighted.weight;
+  return engine_.InsertEdge(&graph_, &state_, weighted, semantics_.vsusp,
+                            nullptr);
+}
+
+Status PeriodDetector::ApplyDelete(std::size_t i) {
+  return engine_.DeleteEdge(&graph_, &state_, log_[i].src, log_[i].dst,
+                            nullptr, &applied_weight_[i]);
+}
+
+Status PeriodDetector::SetPeriod(Timestamp begin, Timestamp end) {
+  if (begin > end) {
+    return Status::InvalidArgument("SetPeriod: begin > end");
+  }
+  // New materialized range [new_lo, new_hi): log entries with
+  // begin <= ts <= end.
+  const std::size_t new_lo = LowerBound(begin);
+  const std::size_t new_hi = LowerBound(end + 1);
+
+  // Figure 17's five cases reduce to two interval differences:
+  // delete [lo_, hi_) \ [new_lo, new_hi), insert [new_lo, new_hi) \ [lo_, hi_).
+  // Deletions run first so degree-dependent semantics weigh entering edges
+  // against the closest approximation of the target period's graph.
+  for (std::size_t i = lo_; i < hi_; ++i) {
+    if (i < new_lo || i >= new_hi) {
+      SPADE_RETURN_NOT_OK(ApplyDelete(i));
+    }
+  }
+  for (std::size_t i = new_lo; i < new_hi; ++i) {
+    if (i < lo_ || i >= hi_) {
+      SPADE_RETURN_NOT_OK(ApplyInsert(i));
+    }
+  }
+  lo_ = new_lo;
+  hi_ = new_hi;
+  begin_ = begin;
+  end_ = end;
+  return Status::OK();
+}
+
+}  // namespace spade

@@ -1,0 +1,172 @@
+#include "core/spade.h"
+
+#include <algorithm>
+
+#include "graph/graph_io.h"
+#include "peel/static_peeler.h"
+#include "storage/snapshot.h"
+
+namespace spade {
+
+Spade::Spade(SpadeOptions options) : options_(options) {
+  const FraudSemantics dg = MakeDG();
+  vsusp_ = dg.vsusp;
+  esusp_ = dg.esusp;
+}
+
+Edge Spade::Weight(const Edge& raw) const {
+  Edge weighted = raw;
+  weighted.weight = esusp_ ? esusp_(raw, graph_) : raw.weight;
+  return weighted;
+}
+
+void Spade::EnsureEndpoints(const Edge& raw) {
+  for (VertexId v : {raw.src, raw.dst}) {
+    if (v >= graph_.NumVertices()) {
+      graph_.EnsureVertices(v + 1);
+    }
+  }
+}
+
+Status Spade::LoadGraph(const std::string& path) {
+  auto edges = LoadEdgeList(path);
+  if (!edges.ok()) return edges.status();
+  std::size_t max_vertex = 0;
+  for (const Edge& e : edges.value()) {
+    max_vertex = std::max<std::size_t>(max_vertex, std::max(e.src, e.dst));
+  }
+  return BuildGraph(edges.value().empty() ? 0 : max_vertex + 1,
+                    edges.value());
+}
+
+Status Spade::BuildGraph(std::size_t num_vertices,
+                         std::span<const Edge> raw_edges) {
+  graph_ = DynamicGraph(num_vertices);
+  benign_buffer_.clear();
+  pending_wdeg_.clear();
+  stats_.Reset();
+
+  // Vertex priors first (FD reads them back through VSusp side info), then
+  // edges in stream order so degree-dependent ESusp instances see the graph
+  // grow exactly as the replayed history did.
+  if (vsusp_) {
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+      graph_.SetVertexWeight(static_cast<VertexId>(v),
+                             vsusp_(static_cast<VertexId>(v), graph_));
+    }
+  }
+  for (const Edge& raw : raw_edges) {
+    if (raw.src >= num_vertices || raw.dst >= num_vertices) {
+      return Status::InvalidArgument("BuildGraph: endpoint out of range");
+    }
+    SPADE_RETURN_NOT_OK(
+        graph_.AddEdge(raw.src, raw.dst, Weight(raw).weight));
+  }
+  state_ = PeelStatic(graph_);
+  return Status::OK();
+}
+
+Community Spade::Detect() {
+  const Status s = Flush();
+  SPADE_CHECK(s.ok());
+  return state_.DetectCommunity();
+}
+
+bool Spade::IsBenign(const Edge& weighted_edge) const {
+  if (!options_.enable_edge_grouping) return false;
+  if (weighted_edge.src >= graph_.NumVertices() ||
+      weighted_edge.dst >= graph_.NumVertices() ||
+      !state_.ContainsVertex(weighted_edge.src) ||
+      !state_.ContainsVertex(weighted_edge.dst)) {
+    // A brand-new account transacting is treated as urgent.
+    return false;
+  }
+  const double threshold = state_.BestDensity();
+  for (VertexId v : {weighted_edge.src, weighted_edge.dst}) {
+    double w0 = graph_.WeightedDegree(v) + weighted_edge.weight;
+    if (auto it = pending_wdeg_.find(v); it != pending_wdeg_.end()) {
+      w0 += it->second;
+    }
+    if (w0 >= threshold) return false;
+  }
+  return true;
+}
+
+Status Spade::Flush() {
+  if (benign_buffer_.empty()) return Status::OK();
+  std::vector<Edge> batch;
+  batch.swap(benign_buffer_);
+  pending_wdeg_.clear();
+  return InsertWeightedBatch(batch);
+}
+
+Status Spade::InsertWeightedBatch(std::span<const Edge> weighted) {
+  return engine_.InsertBatch(&graph_, &state_, weighted, vsusp_, &stats_);
+}
+
+Status Spade::ApplyEdge(const Edge& raw_edge) {
+  EnsureEndpoints(raw_edge);
+  const Edge weighted = Weight(raw_edge);
+  if (options_.enable_edge_grouping) {
+    if (IsBenign(weighted) &&
+        benign_buffer_.size() < options_.max_benign_buffer) {
+      benign_buffer_.push_back(weighted);
+      pending_wdeg_[weighted.src] += weighted.weight;
+      pending_wdeg_[weighted.dst] += weighted.weight;
+      return Status::OK();
+    }
+    // Urgent edge: reorder the whole buffer together with it (Algorithm 3).
+    benign_buffer_.push_back(weighted);
+    std::vector<Edge> batch;
+    batch.swap(benign_buffer_);
+    pending_wdeg_.clear();
+    return InsertWeightedBatch(batch);
+  }
+  return InsertWeightedBatch(std::span<const Edge>(&weighted, 1));
+}
+
+Status Spade::ApplyBatchEdges(std::span<const Edge> raw_edges) {
+  SPADE_RETURN_NOT_OK(Flush());
+  std::vector<Edge> weighted;
+  weighted.reserve(raw_edges.size());
+  for (const Edge& raw : raw_edges) {
+    EnsureEndpoints(raw);
+    weighted.push_back(Weight(raw));
+  }
+  return InsertWeightedBatch(weighted);
+}
+
+Result<Community> Spade::InsertEdge(const Edge& raw_edge) {
+  SPADE_RETURN_NOT_OK(ApplyEdge(raw_edge));
+  return state_.DetectCommunity();
+}
+
+Result<Community> Spade::InsertBatchEdges(std::span<const Edge> raw_edges) {
+  SPADE_RETURN_NOT_OK(ApplyBatchEdges(raw_edges));
+  return state_.DetectCommunity();
+}
+
+Status Spade::DeleteEdge(VertexId src, VertexId dst) {
+  SPADE_RETURN_NOT_OK(Flush());
+  return engine_.DeleteEdge(&graph_, &state_, src, dst, &stats_);
+}
+
+Status Spade::SaveState(const std::string& path) {
+  SPADE_RETURN_NOT_OK(Flush());
+  return SaveSnapshot(path, graph_, &state_);
+}
+
+Status Spade::RestoreState(const std::string& path) {
+  DynamicGraph graph;
+  PeelState state;
+  bool state_present = false;
+  SPADE_RETURN_NOT_OK(LoadSnapshot(path, &graph, &state, &state_present));
+  graph_ = std::move(graph);
+  state_ = state_present ? std::move(state) : PeelStatic(graph_);
+  benign_buffer_.clear();
+  pending_wdeg_.clear();
+  stats_.Reset();
+  return Status::OK();
+}
+
+}  // namespace spade

@@ -1,0 +1,53 @@
+#include "core/time_window.h"
+
+#include "peel/static_peeler.h"
+
+namespace spade {
+
+TimeWindowDetector::TimeWindowDetector(std::size_t num_vertices,
+                                       Timestamp window_span,
+                                       FraudSemantics semantics)
+    : window_span_(window_span),
+      semantics_(std::move(semantics)),
+      graph_(num_vertices) {
+  if (semantics_.vsusp) {
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+      graph_.SetVertexWeight(static_cast<VertexId>(v),
+                             semantics_.vsusp(static_cast<VertexId>(v), graph_));
+    }
+  }
+  state_ = PeelStatic(graph_);
+}
+
+Status TimeWindowDetector::AdvanceTo(Timestamp now) {
+  const Timestamp horizon = now - window_span_;
+  while (!window_.empty() && window_.front().ts < horizon) {
+    const Edge& old = window_.front();
+    SPADE_RETURN_NOT_OK(engine_.DeleteEdge(&graph_, &state_, old.src, old.dst,
+                                           nullptr, &old.weight));
+    window_.pop_front();
+  }
+  return Status::OK();
+}
+
+Status TimeWindowDetector::Offer(const Edge& raw_edge) {
+  if (!window_.empty() && raw_edge.ts < window_.back().ts) {
+    return Status::InvalidArgument(
+        "TimeWindowDetector: edges must arrive in timestamp order");
+  }
+  SPADE_RETURN_NOT_OK(AdvanceTo(raw_edge.ts));
+  Edge weighted = raw_edge;
+  if (weighted.src >= graph_.NumVertices() ||
+      weighted.dst >= graph_.NumVertices()) {
+    return Status::InvalidArgument("TimeWindowDetector: unknown endpoint");
+  }
+  if (semantics_.esusp) {
+    weighted.weight = semantics_.esusp(raw_edge, graph_);
+  }
+  SPADE_RETURN_NOT_OK(engine_.InsertEdge(&graph_, &state_, weighted,
+                                         semantics_.vsusp, nullptr));
+  window_.push_back(weighted);
+  return Status::OK();
+}
+
+}  // namespace spade

@@ -1,0 +1,55 @@
+// Sliding time-window fraud detection (paper Appendix C.3): maintain the
+// peeling sequence of the graph induced by transactions inside a moving
+// window [now - span, now], combining the batch insertion path (new edges
+// entering the window) with the deletion path (outdated edges leaving it).
+
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/incremental_engine.h"
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+#include "metrics/semantics.h"
+#include "peel/peel_state.h"
+
+namespace spade {
+
+/// Detector over the most recent `window_span` of a timestamped edge stream.
+///
+/// Edges must be offered in nondecreasing timestamp order. Vertices persist
+/// after their edges expire (with their prior weight only), matching the
+/// paper's formulation where V evolves by insertion.
+class TimeWindowDetector {
+ public:
+  /// `window_span` is in the same microsecond unit as Edge::ts.
+  TimeWindowDetector(std::size_t num_vertices, Timestamp window_span,
+                     FraudSemantics semantics);
+
+  /// Feeds one timestamped raw edge; expires everything older than
+  /// ts - window_span, then applies the new edge incrementally.
+  Status Offer(const Edge& raw_edge);
+
+  /// Advances time without inserting (expires old edges only).
+  Status AdvanceTo(Timestamp now);
+
+  /// Community of the current window.
+  Community Detect() const { return state_.DetectCommunity(); }
+
+  std::size_t WindowEdgeCount() const { return window_.size(); }
+  const DynamicGraph& graph() const { return graph_; }
+  const PeelState& peel_state() const { return state_; }
+
+ private:
+  Timestamp window_span_;
+  FraudSemantics semantics_;
+  DynamicGraph graph_;
+  PeelState state_;
+  IncrementalEngine engine_;
+  std::deque<Edge> window_;  // weighted edges currently inside the window
+};
+
+}  // namespace spade

@@ -1,0 +1,124 @@
+#include "datagen/fraud_injector.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace spade {
+
+std::string FraudPatternName(FraudPattern pattern) {
+  switch (pattern) {
+    case FraudPattern::kCustomerMerchantCollusion:
+      return "customer-merchant collusion";
+    case FraudPattern::kDealHunter:
+      return "deal-hunter";
+    case FraudPattern::kClickFarming:
+      return "click-farming";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Draws `count` distinct ids from the top (freshest) `window` ids of
+/// [begin, end).
+std::vector<VertexId> DrawFresh(VertexId begin, VertexId end,
+                                std::size_t count, Rng* rng) {
+  SPADE_CHECK_LT(begin, end);
+  const std::size_t range = end - begin;
+  const std::size_t window = std::min<std::size_t>(range, count * 8 + 16);
+  const VertexId window_begin = static_cast<VertexId>(end - window);
+  std::unordered_set<VertexId> chosen;
+  while (chosen.size() < std::min(count, window)) {
+    chosen.insert(static_cast<VertexId>(window_begin +
+                                        rng->NextBounded(window)));
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+}  // namespace
+
+std::vector<Edge> SynthesizeFraudInstance(const FraudInstanceConfig& config,
+                                          VertexId customer_begin,
+                                          VertexId customer_end,
+                                          VertexId merchant_begin,
+                                          VertexId merchant_end, Rng* rng,
+                                          std::vector<VertexId>* vertices) {
+  std::size_t num_customers = 0;
+  std::size_t num_merchants = 0;
+  switch (config.pattern) {
+    case FraudPattern::kCustomerMerchantCollusion:
+      // Small ring: a handful of fake accounts on both sides.
+      num_customers = 5;
+      num_merchants = 5;
+      break;
+    case FraudPattern::kDealHunter:
+      // Many opportunistic users, few promotional merchants.
+      num_customers = 24;
+      num_merchants = 2;
+      break;
+    case FraudPattern::kClickFarming:
+      // Few recruited fraudsters, one inflated merchant.
+      num_customers = 8;
+      num_merchants = 1;
+      break;
+  }
+
+  const auto customers =
+      DrawFresh(customer_begin, customer_end, num_customers, rng);
+  const auto merchants =
+      DrawFresh(merchant_begin, merchant_end, num_merchants, rng);
+
+  vertices->clear();
+  vertices->insert(vertices->end(), customers.begin(), customers.end());
+  vertices->insert(vertices->end(), merchants.begin(), merchants.end());
+
+  std::vector<Edge> edges;
+  edges.reserve(config.num_transactions);
+  Timestamp ts = config.start_ts;
+  for (std::size_t i = 0; i < config.num_transactions; ++i) {
+    const VertexId c =
+        customers[rng->NextBounded(customers.size())];
+    const VertexId m =
+        merchants[rng->NextBounded(merchants.size())];
+    const double amount =
+        rng->NextDouble(config.min_amount, config.max_amount);
+    edges.push_back({c, m, amount, ts});
+    ts += config.micros_per_edge;
+  }
+  return edges;
+}
+
+void InjectInstances(LabeledStream* stream,
+                     const std::vector<std::vector<Edge>>& instances,
+                     const std::vector<std::vector<VertexId>>& vertices) {
+  SPADE_CHECK_EQ(instances.size(), vertices.size());
+  const auto base_group = static_cast<std::int32_t>(
+      stream->group_vertices.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto gid = base_group + static_cast<std::int32_t>(i);
+    for (const Edge& e : instances[i]) {
+      stream->edges.push_back(e);
+      stream->group.push_back(gid);
+    }
+    stream->group_vertices.push_back(vertices[i]);
+  }
+  // Restore global timestamp order while keeping labels aligned.
+  std::vector<std::size_t> order(stream->edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return stream->edges[a].ts < stream->edges[b].ts;
+                   });
+  std::vector<Edge> sorted_edges(order.size());
+  std::vector<std::int32_t> sorted_group(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted_edges[i] = stream->edges[order[i]];
+    sorted_group[i] = stream->group[order[i]];
+  }
+  stream->edges = std::move(sorted_edges);
+  stream->group = std::move(sorted_group);
+}
+
+}  // namespace spade

@@ -1,0 +1,69 @@
+// Fraud-pattern injection: synthesizes the three Grab fraud patterns from
+// the paper's case studies (Figure 12/13) as labeled bursts inside an
+// otherwise normal update stream.
+//
+//   * customer-merchant collusion — a small ring of customers and merchants
+//     trading fictitiously with each other (dense bipartite block),
+//   * deal-hunter — a crowd of users hammering a handful of promotional
+//     merchants,
+//   * click-farming — recruited fraudsters inflating one merchant with very
+//     many repeated transactions.
+//
+// All three materialize as a dense subgraph formed in a short period of
+// time, which is what the peeling semantics detect.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/types.h"
+#include "stream/labeled_stream.h"
+
+namespace spade {
+
+enum class FraudPattern {
+  kCustomerMerchantCollusion,
+  kDealHunter,
+  kClickFarming,
+};
+
+std::string FraudPatternName(FraudPattern pattern);
+
+/// Shape parameters of one injected fraud instance.
+struct FraudInstanceConfig {
+  FraudPattern pattern = FraudPattern::kCustomerMerchantCollusion;
+  /// Number of fraudulent transactions the instance emits.
+  std::size_t num_transactions = 720;
+  /// Instance start time and inter-transaction spacing.
+  Timestamp start_ts = 0;
+  Timestamp micros_per_edge = 1000;
+  /// Transaction amount range for the fictitious trades.
+  double min_amount = 5.0;
+  double max_amount = 50.0;
+};
+
+/// Emits the labeled edges of one fraud instance over the given participant
+/// pools. Participants are drawn from the pools' *tails* (fresh accounts,
+/// ids near the top of each range) so they do not collide with organically
+/// popular vertices.
+///
+/// Returns the edges (ts-ordered) and fills `vertices` with the instance's
+/// participant set.
+std::vector<Edge> SynthesizeFraudInstance(const FraudInstanceConfig& config,
+                                          VertexId customer_begin,
+                                          VertexId customer_end,
+                                          VertexId merchant_begin,
+                                          VertexId merchant_end, Rng* rng,
+                                          std::vector<VertexId>* vertices);
+
+/// Splices fraud instances into a normal stream: the result is timestamp
+/// sorted, with group ids assigned in `instances` order starting at the
+/// current group count of `stream`.
+void InjectInstances(LabeledStream* stream,
+                     const std::vector<std::vector<Edge>>& instances,
+                     const std::vector<std::vector<VertexId>>& vertices);
+
+}  // namespace spade

@@ -1,0 +1,51 @@
+// Synthetic graph/stream generators. Two topology families cover the
+// paper's datasets: a bipartite-leaning customer->merchant transaction
+// generator (Grab1-4) and a general directed power-law generator
+// (Amazon / Wiki-Vote / Epinion stand-ins). Both emit edges in increasing
+// timestamp order so the replay protocol ("replay the edges in increasing
+// order of their timestamp") applies directly.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/profiles.h"
+#include "graph/types.h"
+
+namespace spade {
+
+/// A generated dataset: a dense vertex universe plus a timestamped edge log.
+struct GeneratedGraph {
+  std::size_t num_vertices = 0;
+  std::vector<Edge> edges;  // sorted by ts
+  /// First vertex id of the merchant partition (transaction graphs only;
+  /// == num_vertices for social graphs).
+  VertexId merchant_base = 0;
+};
+
+/// Generates a dataset matching `profile` (vertex/edge counts, degree
+/// skew, topology family). Timestamps advance `micros_per_edge` apart.
+///
+/// Transaction graphs: ~70% of vertices are customers, 30% merchants;
+/// both endpoints are drawn Zipf(alpha), biasing edges toward popular
+/// accounts exactly like preferential attachment does (Figure 9b's power
+/// law). Raw edge weight is a transaction amount in [1, 500).
+///
+/// Social graphs: both endpoints Zipf over the full vertex set; weight 1.
+GeneratedGraph GenerateDataset(const DatasetProfile& profile,
+                               std::uint64_t seed,
+                               Timestamp micros_per_edge = 1000);
+
+/// Splits a generated edge log into the initial graph (first `fraction`,
+/// default the paper's 90%) and the replayed increment stream (the rest).
+struct SplitDataset {
+  std::size_t num_vertices = 0;
+  VertexId merchant_base = 0;
+  std::vector<Edge> initial;
+  std::vector<Edge> increments;
+};
+SplitDataset SplitForReplay(GeneratedGraph graph, double fraction = 0.9);
+
+}  // namespace spade

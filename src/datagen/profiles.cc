@@ -1,0 +1,47 @@
+#include "datagen/profiles.h"
+
+#include <algorithm>
+
+namespace spade {
+
+std::vector<DatasetProfile> AllProfiles() {
+  // |V|, |E|, avg degree and increment counts from Table 3.
+  return {
+      {"Grab1", 3991000, 10000000, 5.011, 1000000, "Transaction",
+       GraphKind::kTransaction, 0.9},
+      {"Grab2", 4805000, 15000000, 6.243, 1500000, "Transaction",
+       GraphKind::kTransaction, 0.9},
+      {"Grab3", 5433000, 20000000, 7.366, 2000000, "Transaction",
+       GraphKind::kTransaction, 0.9},
+      {"Grab4", 6023000, 25000000, 8.302, 2500000, "Transaction",
+       GraphKind::kTransaction, 0.9},
+      {"Amazon", 28000, 28000, 2.0, 2800, "Review", GraphKind::kSocial, 0.8},
+      {"Wiki-Vote", 16000, 103000, 12.88, 10300, "Vote", GraphKind::kSocial,
+       0.9},
+      {"Epinion", 264000, 841000, 6.37, 84100, "Who-trust-whom",
+       GraphKind::kSocial, 0.9},
+  };
+}
+
+DatasetProfile GetProfile(const std::string& name, double scale) {
+  const auto all = AllProfiles();
+  DatasetProfile profile = all.front();
+  for (const auto& p : all) {
+    if (p.name == name) {
+      profile = p;
+      break;
+    }
+  }
+  if (scale < 1.0) {
+    const auto scaled = [scale](std::size_t x) {
+      return std::max<std::size_t>(
+          16, static_cast<std::size_t>(static_cast<double>(x) * scale));
+    };
+    profile.num_vertices = scaled(profile.num_vertices);
+    profile.num_edges = scaled(profile.num_edges);
+    profile.increments = scaled(profile.increments);
+  }
+  return profile;
+}
+
+}  // namespace spade

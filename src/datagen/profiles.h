@@ -1,0 +1,44 @@
+// Dataset profiles mirroring the paper's Table 3. The proprietary Grab
+// datasets and the public SNAP datasets are unavailable offline, so each
+// profile drives a synthetic generator that matches the reported vertex and
+// edge counts (scaled by a configurable factor), the edge semantics and the
+// power-law shape the paper documents (Figure 9b).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spade {
+
+/// Topology family of a profile.
+enum class GraphKind {
+  /// Customer -> merchant transaction graph (bipartite-leaning, Grab1-4).
+  kTransaction,
+  /// General directed social-style graph (Amazon/Wiki-Vote/Epinion stand-ins).
+  kSocial,
+};
+
+/// One row of Table 3.
+struct DatasetProfile {
+  std::string name;
+  std::size_t num_vertices;
+  std::size_t num_edges;
+  double avg_degree;
+  std::size_t increments;  // |ΔE| replayed (10% of |E|)
+  std::string type;        // "Transaction", "Review", ...
+  GraphKind kind;
+  /// Zipf exponent for endpoint popularity.
+  double zipf_alpha = 1.05;
+};
+
+/// All seven Table 3 profiles at full paper scale.
+std::vector<DatasetProfile> AllProfiles();
+
+/// Looks up a profile by name ("Grab1".."Grab4", "Amazon", "Wiki-Vote",
+/// "Epinion") and scales its vertex/edge/increment counts by `scale`
+/// (0 < scale <= 1). Unknown names return the scaled Grab1 profile.
+DatasetProfile GetProfile(const std::string& name, double scale = 1.0);
+
+}  // namespace spade

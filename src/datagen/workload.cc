@@ -1,0 +1,70 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spade {
+
+Workload BuildWorkload(const std::string& profile_name, double scale,
+                       std::uint64_t seed, const FraudMix* fraud) {
+  Workload w;
+  w.profile = GetProfile(profile_name, scale);
+  GeneratedGraph generated = GenerateDataset(w.profile, seed);
+  SplitDataset split = SplitForReplay(std::move(generated));
+  w.num_vertices = split.num_vertices;
+  w.merchant_base = split.merchant_base;
+  w.initial = std::move(split.initial);
+  for (const Edge& e : split.increments) {
+    w.stream.Append(e);
+  }
+
+  if (fraud != nullptr && !w.stream.edges.empty()) {
+    Rng rng(seed ^ 0xf4a0dull);
+    const Timestamp t_begin = w.stream.edges.front().ts;
+    const Timestamp t_end = w.stream.edges.back().ts;
+    const std::size_t total_instances = 3 * fraud->instances_per_pattern;
+    const Timestamp stride =
+        total_instances == 0
+            ? 0
+            : (t_end - t_begin) / static_cast<Timestamp>(total_instances + 1);
+
+    // Social profiles have no merchant partition; fraud rings then draw both
+    // sides from the full vertex range.
+    const VertexId customer_begin = 0;
+    const VertexId customer_end =
+        w.merchant_base < w.num_vertices
+            ? w.merchant_base
+            : static_cast<VertexId>(w.num_vertices);
+    const VertexId merchant_begin =
+        w.merchant_base < w.num_vertices ? w.merchant_base : 0;
+    const auto merchant_end = static_cast<VertexId>(w.num_vertices);
+
+    std::vector<std::vector<Edge>> instances;
+    std::vector<std::vector<VertexId>> members;
+    const FraudPattern patterns[] = {
+        FraudPattern::kCustomerMerchantCollusion,
+        FraudPattern::kDealHunter,
+        FraudPattern::kClickFarming,
+    };
+    std::size_t slot = 1;
+    for (FraudPattern pattern : patterns) {
+      for (std::size_t i = 0; i < fraud->instances_per_pattern; ++i, ++slot) {
+        FraudInstanceConfig config;
+        config.pattern = pattern;
+        config.num_transactions = fraud->transactions_per_instance;
+        config.start_ts = t_begin + stride * static_cast<Timestamp>(slot);
+        config.micros_per_edge = fraud->micros_per_fraud_edge;
+        std::vector<VertexId> vertices;
+        instances.push_back(SynthesizeFraudInstance(
+            config, customer_begin, customer_end, merchant_begin,
+            merchant_end, &rng, &vertices));
+        members.push_back(std::move(vertices));
+      }
+    }
+    InjectInstances(&w.stream, instances, members);
+  }
+  return w;
+}
+
+}  // namespace spade

@@ -1,0 +1,71 @@
+// CsrGraph: an immutable compressed-sparse-row snapshot of a DynamicGraph.
+//
+// The static peeling baselines (DG/DW/FD run from scratch) iterate every
+// incident edge of every vertex once; a CSR layout makes that scan cache
+// friendly and is how the paper's 12-28 s static numbers on 25 M edges are
+// achievable at all. The snapshot merges out- and in-adjacency into a single
+// "incident" list per vertex because peeling weights (Eq. 2) sum both
+// directions.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace spade {
+
+/// Immutable union-adjacency CSR view of a graph at a point in time.
+class CsrGraph {
+ public:
+  /// Builds the snapshot in O(|V| + |E|).
+  explicit CsrGraph(const DynamicGraph& g) {
+    const std::size_t n = g.NumVertices();
+    offsets_.assign(n + 1, 0);
+    vertex_weight_.resize(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      offsets_[u + 1] = offsets_[u] + g.Degree(static_cast<VertexId>(u));
+      vertex_weight_[u] = g.VertexWeight(static_cast<VertexId>(u));
+    }
+    entries_.resize(offsets_[n]);
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto uid = static_cast<VertexId>(u);
+      g.ForEachIncident(uid, [&](VertexId v, double w) {
+        entries_[cursor[u]++] = {v, w};
+      });
+    }
+    total_weight_ = g.TotalWeight();
+  }
+
+  std::size_t NumVertices() const { return vertex_weight_.size(); }
+  std::size_t NumIncidentEntries() const { return entries_.size(); }
+
+  double VertexWeight(VertexId u) const { return vertex_weight_[u]; }
+
+  /// f(S_0) of the snapshot.
+  double TotalWeight() const { return total_weight_; }
+
+  /// All incident edges of u (both directions, parallel edges repeated).
+  std::span<const NeighborEntry> Incident(VertexId u) const {
+    return {entries_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// w_u(S_0) under this snapshot.
+  double WeightedDegree(VertexId u) const {
+    double w = vertex_weight_[u];
+    for (const auto& e : Incident(u)) w += e.weight;
+    return w;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<NeighborEntry> entries_;
+  std::vector<double> vertex_weight_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace spade

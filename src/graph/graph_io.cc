@@ -1,0 +1,75 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace spade {
+
+bool ParseEdgeLine(const std::string& line, std::size_t line_index,
+                   Edge* edge, std::string* error) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] == '#' || line[i] == '%') return false;
+
+  std::istringstream is(line);
+  unsigned long long src = 0, dst = 0;
+  if (!(is >> src >> dst)) {
+    *error = "malformed edge line " + std::to_string(line_index + 1);
+    return false;
+  }
+  double weight = 1.0;
+  long long ts = static_cast<long long>(line_index);
+  if (is >> weight) {
+    if (!(weight > 0.0)) {
+      *error = "non-positive weight on line " + std::to_string(line_index + 1);
+      return false;
+    }
+    long long parsed_ts;
+    if (is >> parsed_ts) ts = parsed_ts;
+  }
+  edge->src = static_cast<VertexId>(src);
+  edge->dst = static_cast<VertexId>(dst);
+  edge->weight = weight;
+  edge->ts = ts;
+  return true;
+}
+
+Result<std::vector<Edge>> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::vector<Edge> edges;
+  std::string line;
+  std::size_t line_index = 0;
+  while (std::getline(in, line)) {
+    Edge edge;
+    std::string error;
+    if (ParseEdgeLine(line, line_index, &edge, &error)) {
+      edges.push_back(edge);
+    } else if (!error.empty()) {
+      return Status::IOError(path + ": " + error);
+    }
+    ++line_index;
+  }
+  return edges;
+}
+
+Status SaveEdgeList(const std::string& path, const std::vector<Edge>& edges) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << "# src dst weight ts\n";
+  for (const auto& e : edges) {
+    out << e.src << " " << e.dst << " " << e.weight << " " << e.ts << "\n";
+  }
+  if (!out) {
+    return Status::IOError("write failure on " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace spade

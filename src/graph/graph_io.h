@@ -1,0 +1,29 @@
+// Edge-list serialization: whitespace-separated text files of the form
+//   src dst [weight] [timestamp]
+// with '#'-prefixed comment lines, matching the SNAP dataset convention the
+// paper's public datasets (Wiki-Vote, Epinion) ship in.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace spade {
+
+/// Parses an edge-list file into a vector of edges. Missing weight columns
+/// default to 1.0; missing timestamps default to the line index so replay
+/// order matches file order.
+Result<std::vector<Edge>> LoadEdgeList(const std::string& path);
+
+/// Writes edges as "src dst weight ts" rows.
+Status SaveEdgeList(const std::string& path, const std::vector<Edge>& edges);
+
+/// Parses a single edge-list line; returns false for comments/blank lines.
+/// Exposed for testing.
+bool ParseEdgeLine(const std::string& line, std::size_t line_index,
+                   Edge* edge, std::string* error);
+
+}  // namespace spade

@@ -1,0 +1,42 @@
+// Fundamental graph value types shared across the library.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace spade {
+
+/// Dense vertex identifier; vertices are numbered [0, NumVertices).
+using VertexId = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Event time in microseconds since an arbitrary epoch.
+using Timestamp = std::int64_t;
+
+/// A directed weighted edge, optionally timestamped.
+///
+/// `weight` is the edge suspiciousness c_ij (> 0 for all supported metrics);
+/// `ts` orders the edge within an update stream (0 when untimed).
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  double weight = 1.0;
+  Timestamp ts = 0;
+
+  bool operator==(const Edge& other) const {
+    return src == other.src && dst == other.dst && weight == other.weight &&
+           ts == other.ts;
+  }
+};
+
+/// One entry of an adjacency list.
+struct NeighborEntry {
+  VertexId vertex;
+  double weight;
+};
+
+}  // namespace spade

@@ -1,0 +1,77 @@
+#include "metrics/density.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace spade {
+
+namespace {
+
+std::vector<char> Membership(const DynamicGraph& g,
+                             const std::vector<VertexId>& s) {
+  std::vector<char> in_set(g.NumVertices(), 0);
+  for (VertexId v : s) {
+    SPADE_DCHECK(v < g.NumVertices());
+    in_set[v] = 1;
+  }
+  return in_set;
+}
+
+}  // namespace
+
+double SubgraphWeight(const DynamicGraph& g, const std::vector<VertexId>& s) {
+  const auto in_set = Membership(g, s);
+  double total = 0.0;
+  for (VertexId u : s) {
+    total += g.VertexWeight(u);
+    for (const auto& e : g.OutNeighbors(u)) {
+      if (in_set[e.vertex]) total += e.weight;
+    }
+  }
+  return total;
+}
+
+double SubgraphDensity(const DynamicGraph& g, const std::vector<VertexId>& s) {
+  if (s.empty()) return 0.0;
+  return SubgraphWeight(g, s) / static_cast<double>(s.size());
+}
+
+double PeelingWeight(const DynamicGraph& g, const std::vector<VertexId>& s,
+                     VertexId u) {
+  const auto in_set = Membership(g, s);
+  double w = g.VertexWeight(u);
+  for (const auto& e : g.OutNeighbors(u)) {
+    if (in_set[e.vertex]) w += e.weight;
+  }
+  for (const auto& e : g.InNeighbors(u)) {
+    if (in_set[e.vertex]) w += e.weight;
+  }
+  return w;
+}
+
+std::vector<VertexId> BruteForceDensest(const DynamicGraph& g) {
+  const std::size_t n = g.NumVertices();
+  SPADE_CHECK_LE(n, 24u);
+  double best_density = -1.0;
+  std::uint32_t best_mask = 0;
+  std::vector<VertexId> members;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    members.clear();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) members.push_back(static_cast<VertexId>(v));
+    }
+    const double density = SubgraphDensity(g, members);
+    if (density > best_density) {
+      best_density = density;
+      best_mask = mask;
+    }
+  }
+  members.clear();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (best_mask & (1u << v)) members.push_back(static_cast<VertexId>(v));
+  }
+  return members;
+}
+
+}  // namespace spade

@@ -1,0 +1,32 @@
+// Density-metric evaluation on explicit vertex sets. These routines are the
+// reference ("from definition") implementations used by tests and the
+// brute-force optimum finder; the peeling engines never call them on hot
+// paths.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace spade {
+
+/// f(S): total suspiciousness of the induced subgraph G[S]
+/// (Eq. 1: sum of vertex weights of S plus edge weights of E[S]).
+double SubgraphWeight(const DynamicGraph& g, const std::vector<VertexId>& s);
+
+/// g(S) = f(S)/|S|; 0 for the empty set.
+double SubgraphDensity(const DynamicGraph& g, const std::vector<VertexId>& s);
+
+/// w_u(S): the peeling weight of u within S (Eq. 2) — a_u plus the weights
+/// of edges between u and other members of S, both directions.
+double PeelingWeight(const DynamicGraph& g, const std::vector<VertexId>& s,
+                     VertexId u);
+
+/// Exhaustively finds the densest vertex subset S* (g maximized). Exponential
+/// in |V|; intended for graphs with at most ~20 vertices in tests verifying
+/// Lemma 2.1's 1/2-approximation guarantee.
+std::vector<VertexId> BruteForceDensest(const DynamicGraph& g);
+
+}  // namespace spade

@@ -1,0 +1,172 @@
+// IndexedMinHeap: a binary min-heap over vertices keyed by
+// (peeling weight, vertex id) with O(log n) push/pop/update and O(1)
+// membership queries.
+//
+// The secondary vertex-id key pins one canonical greedy peeling order, which
+// is what lets Spade's incremental engines reproduce the static engine's
+// sequence *exactly* (see DESIGN.md §2.2). Both the static peeler and the
+// pending queue T of the incremental algorithms use this structure.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/types.h"
+
+namespace spade {
+
+/// Canonical heap key ordering: weight first, vertex id as tie-break.
+inline bool HeapKeyLess(double wa, VertexId va, double wb, VertexId vb) {
+  if (wa != wb) return wa < wb;
+  return va < vb;
+}
+
+/// Min-heap over a dense vertex-id universe [0, capacity).
+class IndexedMinHeap {
+ public:
+  IndexedMinHeap() = default;
+
+  /// Creates a heap able to hold vertices with ids in [0, capacity).
+  explicit IndexedMinHeap(std::size_t capacity) { Reset(capacity); }
+
+  /// Clears the heap and resizes the id universe.
+  void Reset(std::size_t capacity) {
+    heap_.clear();
+    slot_.assign(capacity, kNoSlot);
+  }
+
+  /// Grows the id universe, preserving contents.
+  void EnsureCapacity(std::size_t capacity) {
+    if (capacity > slot_.size()) slot_.resize(capacity, kNoSlot);
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  bool Contains(VertexId v) const {
+    return v < slot_.size() && slot_[v] != kNoSlot;
+  }
+
+  /// Current key of a contained vertex.
+  double WeightOf(VertexId v) const {
+    SPADE_DCHECK(Contains(v));
+    return heap_[slot_[v]].weight;
+  }
+
+  /// Inserts vertex v with the given weight; v must not be contained.
+  void Push(VertexId v, double weight) {
+    SPADE_DCHECK(v < slot_.size());
+    SPADE_DCHECK(!Contains(v));
+    heap_.push_back({weight, v});
+    slot_[v] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Changes the weight of a contained vertex (either direction).
+  void Update(VertexId v, double weight) {
+    SPADE_DCHECK(Contains(v));
+    const std::size_t i = slot_[v];
+    const double old = heap_[i].weight;
+    heap_[i].weight = weight;
+    if (HeapKeyLess(weight, v, old, v)) {
+      SiftUp(i);
+    } else {
+      SiftDown(i);
+    }
+  }
+
+  /// Adds `delta` to the weight of a contained vertex.
+  void Adjust(VertexId v, double delta) {
+    Update(v, heap_[slot_[v]].weight + delta);
+  }
+
+  VertexId TopVertex() const {
+    SPADE_DCHECK(!empty());
+    return heap_[0].vertex;
+  }
+  double TopWeight() const {
+    SPADE_DCHECK(!empty());
+    return heap_[0].weight;
+  }
+
+  /// Removes and returns the minimum-key vertex.
+  VertexId Pop() {
+    SPADE_DCHECK(!empty());
+    const VertexId top = heap_[0].vertex;
+    slot_[top] = kNoSlot;
+    if (heap_.size() > 1) {
+      heap_[0] = heap_.back();
+      slot_[heap_[0].vertex] = 0;
+      heap_.pop_back();
+      SiftDown(0);
+    } else {
+      heap_.pop_back();
+    }
+    return top;
+  }
+
+  /// Removes an arbitrary contained vertex.
+  void Erase(VertexId v) {
+    SPADE_DCHECK(Contains(v));
+    const std::size_t i = slot_[v];
+    slot_[v] = kNoSlot;
+    if (i + 1 != heap_.size()) {
+      const VertexId moved = heap_.back().vertex;
+      heap_[i] = heap_.back();
+      slot_[moved] = i;
+      heap_.pop_back();
+      SiftDown(i);
+      SiftUp(slot_[moved]);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+ private:
+  struct Entry {
+    double weight;
+    VertexId vertex;
+  };
+
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  bool Less(const Entry& a, const Entry& b) const {
+    return HeapKeyLess(a.weight, a.vertex, b.weight, b.vertex);
+  }
+
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!Less(heap_[i], heap_[parent])) break;
+      Swap(i, parent);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < n && Less(heap_[left], heap_[smallest])) smallest = left;
+      if (right < n && Less(heap_[right], heap_[smallest])) smallest = right;
+      if (smallest == i) break;
+      Swap(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void Swap(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    slot_[heap_[a].vertex] = a;
+    slot_[heap_[b].vertex] = b;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> slot_;
+};
+
+}  // namespace spade

@@ -1,0 +1,168 @@
+// PeelState: the persistent artifact of a peeling run — the paper's peeling
+// sequence O (`seq`), the peeling weights Δ (`delta`), and the inverse
+// position index. The incremental engines rewrite slices of this state
+// in-place instead of recomputing it.
+//
+// Key identity (DESIGN.md §2.1): f(S_k) telescopes to the suffix sum of
+// `delta`, so the detected community S_P is the suffix of `seq` whose mean
+// `delta` is maximal.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/types.h"
+
+namespace spade {
+
+/// Result of detecting the fraudulent community on the current state.
+struct Community {
+  std::vector<VertexId> members;
+  double density = 0.0;
+};
+
+/// The maintained peeling sequence and derived community cache.
+class PeelState {
+ public:
+  PeelState() = default;
+
+  /// Initializes empty state over `n` vertices.
+  explicit PeelState(std::size_t n) {
+    seq_.reserve(n);
+    delta_.reserve(n);
+    pos_.assign(n, kNoPos);
+  }
+
+  std::size_t size() const { return seq_.size(); }
+
+  const std::vector<VertexId>& seq() const { return seq_; }
+  const std::vector<double>& delta() const { return delta_; }
+
+  VertexId VertexAt(std::size_t i) const { return seq_[i]; }
+  double DeltaAt(std::size_t i) const { return delta_[i]; }
+
+  /// Position of vertex v in the peeling sequence.
+  std::size_t PositionOf(VertexId v) const {
+    SPADE_DCHECK(v < pos_.size());
+    return pos_[v];
+  }
+
+  bool ContainsVertex(VertexId v) const {
+    return v < pos_.size() && pos_[v] != kNoPos;
+  }
+
+  /// Appends a peeled vertex with its peeling weight (build path).
+  void Append(VertexId v, double delta) {
+    if (v >= pos_.size()) pos_.resize(v + 1, kNoPos);
+    pos_[v] = seq_.size();
+    seq_.push_back(v);
+    delta_.push_back(delta);
+    InvalidateBest();
+  }
+
+  /// Overwrites position i (incremental rewrite path).
+  void Assign(std::size_t i, VertexId v, double delta) {
+    SPADE_DCHECK(i < seq_.size());
+    seq_[i] = v;
+    delta_[i] = delta;
+    pos_[v] = i;
+    InvalidateBest();
+  }
+
+  /// Adds to the stored peeling weight at position i without reordering.
+  void BumpDelta(std::size_t i, double amount) {
+    SPADE_DCHECK(i < delta_.size());
+    delta_[i] += amount;
+    InvalidateBest();
+  }
+
+  /// Registers a brand-new vertex at the head of the sequence with peeling
+  /// weight `delta0` (paper §4.1 "Vertex insertion": Δ_0 = 0 normally, but a
+  /// pre-weighted vertex carries its prior). All positions shift by one.
+  void InsertVertexAtHead(VertexId v, double delta0) {
+    if (v >= pos_.size()) pos_.resize(v + 1, kNoPos);
+    SPADE_DCHECK(pos_[v] == kNoPos);
+    seq_.insert(seq_.begin(), v);
+    delta_.insert(delta_.begin(), delta0);
+    for (std::size_t i = 0; i < seq_.size(); ++i) pos_[seq_[i]] = i;
+    InvalidateBest();
+  }
+
+  /// Marks the cached community stale; Detect() recomputes on demand.
+  void InvalidateBest() { best_valid_ = false; }
+
+  /// Index k such that the detected community is seq[k..n). Ties on density
+  /// resolve to the smallest k (largest community), matching Algorithm 1's
+  /// "arg max over S_i" with first-max scan order.
+  std::size_t BestStart() const {
+    EnsureBest();
+    return best_start_;
+  }
+
+  /// g(S_P): density of the detected community.
+  double BestDensity() const {
+    EnsureBest();
+    return best_density_;
+  }
+
+  /// Materializes the detected community S_P.
+  Community DetectCommunity() const {
+    EnsureBest();
+    Community c;
+    c.density = best_density_;
+    c.members.assign(seq_.begin() + static_cast<std::ptrdiff_t>(best_start_),
+                     seq_.end());
+    return c;
+  }
+
+  /// f(S_k): suffix sum of delta from position k (0 => whole graph weight).
+  double SuffixWeight(std::size_t k) const {
+    double sum = 0.0;
+    for (std::size_t i = k; i < delta_.size(); ++i) sum += delta_[i];
+    return sum;
+  }
+
+  /// Clears all state.
+  void Clear() {
+    seq_.clear();
+    delta_.clear();
+    pos_.assign(pos_.size(), kNoPos);
+    InvalidateBest();
+  }
+
+  static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+ private:
+  void EnsureBest() const {
+    if (best_valid_) return;
+    const std::size_t n = seq_.size();
+    double suffix = 0.0;
+    double best = 0.0;
+    std::size_t best_start = n;
+    // Scan suffixes from shortest to longest; ">=" prefers the longer
+    // suffix (smaller start) on density ties.
+    for (std::size_t i = n; i-- > 0;) {
+      suffix += delta_[i];
+      const double density = suffix / static_cast<double>(n - i);
+      if (density >= best) {
+        best = density;
+        best_start = i;
+      }
+    }
+    best_density_ = best;
+    best_start_ = best_start;
+    best_valid_ = true;
+  }
+
+  std::vector<VertexId> seq_;
+  std::vector<double> delta_;
+  std::vector<std::size_t> pos_;
+
+  mutable bool best_valid_ = false;
+  mutable std::size_t best_start_ = 0;
+  mutable double best_density_ = 0.0;
+};
+
+}  // namespace spade

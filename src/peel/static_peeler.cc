@@ -1,0 +1,34 @@
+#include "peel/static_peeler.h"
+
+#include <vector>
+
+namespace spade {
+
+PeelState PeelStatic(const CsrGraph& g) {
+  const std::size_t n = g.NumVertices();
+  PeelState state(n);
+
+  IndexedMinHeap heap(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto uid = static_cast<VertexId>(u);
+    heap.Push(uid, g.WeightedDegree(uid));
+  }
+
+  while (!heap.empty()) {
+    const double delta = heap.TopWeight();
+    const VertexId u = heap.Pop();
+    state.Append(u, delta);
+    // Removing u lowers the peeling weight of every still-pending neighbor
+    // by the connecting edge weight (both directions are in Incident()).
+    for (const auto& e : g.Incident(u)) {
+      if (heap.Contains(e.vertex)) {
+        heap.Adjust(e.vertex, -e.weight);
+      }
+    }
+  }
+  return state;
+}
+
+PeelState PeelStatic(const DynamicGraph& g) { return PeelStatic(CsrGraph(g)); }
+
+}  // namespace spade

@@ -1,0 +1,24 @@
+// StaticPeeler: Algorithm 1 of the paper — the from-scratch greedy peeling
+// baseline shared by DG, DW and FD (they differ only in how the weighted
+// graph was constructed; see metrics/semantics.h).
+//
+// Complexity O(|E| log |V|) via the indexed min-heap. The peeling order is
+// canonical: ties on peeling weight resolve to the smaller vertex id, so the
+// output is a pure function of the weighted graph (DESIGN.md §2.2).
+
+#pragma once
+
+#include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
+#include "peel/indexed_heap.h"
+#include "peel/peel_state.h"
+
+namespace spade {
+
+/// Runs the full peeling paradigm over a CSR snapshot.
+PeelState PeelStatic(const CsrGraph& g);
+
+/// Convenience overload: snapshots the dynamic graph, then peels.
+PeelState PeelStatic(const DynamicGraph& g);
+
+}  // namespace spade

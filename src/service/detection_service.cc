@@ -1,0 +1,117 @@
+#include "service/detection_service.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spade {
+
+DetectionService::DetectionService(Spade spade, FraudAlertFn on_alert,
+                                   DetectionServiceOptions options)
+    : options_(options),
+      on_alert_(std::move(on_alert)),
+      spade_(std::move(spade)) {
+  spade_.TurnOnEdgeGrouping();
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+DetectionService::~DetectionService() { Stop(); }
+
+Status DetectionService::Submit(const Edge& raw_edge) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return Status::FailedPrecondition("DetectionService is stopped");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      return Status::OutOfRange("DetectionService queue full");
+    }
+    queue_.push_back(raw_edge);
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void DetectionService::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return queue_.empty(); });
+}
+
+void DetectionService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !worker_.joinable()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+Community DetectionService::CurrentCommunity() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spade_.Detect();
+}
+
+std::uint64_t DetectionService::EdgesProcessed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return processed_;
+}
+
+std::uint64_t DetectionService::AlertsDelivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alerts_;
+}
+
+void DetectionService::MaybeAlert() {
+  // Caller holds mutex_.
+  const Community community = spade_.Detect();
+  since_detect_ = 0;
+  std::vector<VertexId> sorted = community.members;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted == last_reported_ && community.density == last_density_) {
+    return;
+  }
+  last_reported_ = std::move(sorted);
+  last_density_ = community.density;
+  ++alerts_;
+  if (on_alert_) {
+    // Deliver outside the lock so slow moderators don't stall producers.
+    auto callback = on_alert_;
+    mutex_.unlock();
+    callback(community);
+    mutex_.lock();
+  }
+}
+
+void DetectionService::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty() && stopping_) break;
+
+    while (!queue_.empty()) {
+      const Edge edge = queue_.front();
+      queue_.pop_front();
+      const Status s = spade_.ApplyEdge(edge);
+      if (!s.ok()) {
+        SPADE_LOG_WARNING() << "DetectionService dropped edge: "
+                            << s.ToString();
+        continue;
+      }
+      ++processed_;
+      ++since_detect_;
+      // An urgent edge flushed the benign buffer inside ApplyEdge; detect
+      // right away so moderators hear about new fraudsters immediately.
+      if (spade_.PendingBenignEdges() == 0 ||
+          since_detect_ >= options_.detect_every) {
+        MaybeAlert();
+      }
+    }
+    drain_cv_.notify_all();
+  }
+  // Final flush on shutdown.
+  MaybeAlert();
+  drain_cv_.notify_all();
+}
+
+}  // namespace spade

@@ -1,0 +1,100 @@
+// DetectionService: the deployment loop of the paper's Figure 1 as a
+// thread-safe component — transaction producers submit edges from any
+// thread; a background worker drains them through Spade (edge grouping on)
+// and notifies moderators whenever the detected community changes.
+//
+// The service owns the Spade instance. Producers never block on
+// reordering; submissions queue under a small mutex and the worker applies
+// them in arrival order, so all single-threaded correctness guarantees of
+// the engine carry over unchanged.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/spade.h"
+#include "graph/types.h"
+
+namespace spade {
+
+/// Invoked from the worker thread after a flush whose community differs
+/// from the previously reported one.
+using FraudAlertFn = std::function<void(const Community&)>;
+
+/// Service configuration.
+struct DetectionServiceOptions {
+  /// Detect (and possibly alert) after at most this many applied edges even
+  /// if no urgent edge forced a flush.
+  std::size_t detect_every = 256;
+  /// Bound on the submission queue; Submit fails fast beyond it.
+  std::size_t max_queue = 1 << 20;
+};
+
+/// Thread-safe streaming front-end over one Spade detector.
+class DetectionService {
+ public:
+  /// Takes ownership of a fully built detector (graph loaded, semantics
+  /// installed). The worker starts immediately.
+  DetectionService(Spade spade, FraudAlertFn on_alert,
+                   DetectionServiceOptions options = {});
+
+  /// Stops the worker, draining queued edges first.
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Enqueues one transaction; callable from any thread. Fails with
+  /// kFailedPrecondition after Stop() and kOutOfRange when the queue is
+  /// full (backpressure).
+  Status Submit(const Edge& raw_edge);
+
+  /// Blocks until every edge submitted before this call has been applied.
+  void Drain();
+
+  /// Drains, stops the worker and joins it. Idempotent.
+  void Stop();
+
+  /// Snapshot of the current community (blocks briefly on the worker lock).
+  Community CurrentCommunity();
+
+  /// Edges applied by the worker so far.
+  std::uint64_t EdgesProcessed() const;
+
+  /// Alerts delivered so far.
+  std::uint64_t AlertsDelivered() const;
+
+ private:
+  void WorkerLoop();
+  /// Detects and fires the alert callback when the community changed.
+  void MaybeAlert();
+
+  DetectionServiceOptions options_;
+  FraudAlertFn on_alert_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals the worker
+  std::condition_variable drain_cv_;  // signals Drain() waiters
+  std::deque<Edge> queue_;
+  bool stopping_ = false;
+
+  // Worker-owned state (guarded by mutex_ only around detector access from
+  // CurrentCommunity; the worker itself holds the lock while applying).
+  Spade spade_;
+  std::vector<VertexId> last_reported_;
+  double last_density_ = -1.0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t alerts_ = 0;
+  std::size_t since_detect_ = 0;
+
+  std::thread worker_;
+};
+
+}  // namespace spade

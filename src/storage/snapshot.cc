@@ -1,0 +1,205 @@
+#include "storage/snapshot.h"
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace spade {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53504144455F5631ULL;  // "SPADE_V1"
+constexpr std::uint32_t kVersion = 1;
+
+/// CRC-64/XZ table, generated once.
+const std::array<std::uint64_t, 256>& CrcTable() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Streaming writer that accumulates the CRC as it goes.
+class ChecksummedWriter {
+ public:
+  explicit ChecksummedWriter(std::ofstream* out) : out_(out) {}
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&value, sizeof(value));
+  }
+
+  void WriteBytes(const void* data, std::size_t size) {
+    out_->write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+    crc_ = Crc64(data, size, crc_);
+  }
+
+  std::uint64_t crc() const { return crc_; }
+
+ private:
+  std::ofstream* out_;
+  std::uint64_t crc_ = 0;
+};
+
+/// Streaming reader mirroring ChecksummedWriter.
+class ChecksummedReader {
+ public:
+  explicit ChecksummedReader(std::ifstream* in) : in_(in) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(*value));
+  }
+
+  bool ReadBytes(void* data, std::size_t size) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!*in_) return false;
+    crc_ = Crc64(data, size, crc_);
+    return true;
+  }
+
+  std::uint64_t crc() const { return crc_; }
+
+ private:
+  std::ifstream* in_;
+  std::uint64_t crc_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t Crc64(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = CrcTable()[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
+                    const PeelState* state) {
+  if (state != nullptr && state->size() != g.NumVertices()) {
+    return Status::InvalidArgument(
+        "SaveSnapshot: peel state does not cover the graph");
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    ChecksummedWriter writer(&out);
+
+    writer.Write(kMagic);
+    writer.Write(kVersion);
+    writer.Write(static_cast<std::uint64_t>(g.NumVertices()));
+    writer.Write(static_cast<std::uint64_t>(g.NumEdges()));
+    for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+      writer.Write(g.VertexWeight(static_cast<VertexId>(v)));
+    }
+    for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+      for (const auto& e : g.OutNeighbors(static_cast<VertexId>(v))) {
+        writer.Write(static_cast<std::uint32_t>(v));
+        writer.Write(static_cast<std::uint32_t>(e.vertex));
+        writer.Write(e.weight);
+      }
+    }
+    const std::uint8_t has_state = state != nullptr ? 1 : 0;
+    writer.Write(has_state);
+    if (state != nullptr) {
+      for (std::size_t i = 0; i < state->size(); ++i) {
+        writer.Write(static_cast<std::uint32_t>(state->VertexAt(i)));
+        writer.Write(state->DeltaAt(i));
+      }
+    }
+    const std::uint64_t crc = writer.crc();
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    if (!out) return Status::IOError("write failure on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(const std::string& path, DynamicGraph* g,
+                    PeelState* state, bool* state_present) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  ChecksummedReader reader(&in);
+
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  if (!reader.Read(&magic) || magic != kMagic) {
+    return Status::IOError(path + ": not a Spade snapshot");
+  }
+  if (!reader.Read(&version) || version != kVersion) {
+    return Status::IOError(path + ": unsupported snapshot version");
+  }
+  std::uint64_t num_vertices = 0, num_edges = 0;
+  if (!reader.Read(&num_vertices) || !reader.Read(&num_edges)) {
+    return Status::IOError(path + ": truncated header");
+  }
+
+  DynamicGraph graph(num_vertices);
+  for (std::uint64_t v = 0; v < num_vertices; ++v) {
+    double w = 0;
+    if (!reader.Read(&w)) return Status::IOError(path + ": truncated weights");
+    graph.SetVertexWeight(static_cast<VertexId>(v), w);
+  }
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    std::uint32_t src = 0, dst = 0;
+    double w = 0;
+    if (!reader.Read(&src) || !reader.Read(&dst) || !reader.Read(&w)) {
+      return Status::IOError(path + ": truncated edges");
+    }
+    SPADE_RETURN_NOT_OK(graph.AddEdge(src, dst, w));
+  }
+
+  std::uint8_t has_state = 0;
+  if (!reader.Read(&has_state)) {
+    return Status::IOError(path + ": truncated state flag");
+  }
+  PeelState loaded_state(num_vertices);
+  if (has_state != 0) {
+    for (std::uint64_t i = 0; i < num_vertices; ++i) {
+      std::uint32_t v = 0;
+      double delta = 0;
+      if (!reader.Read(&v) || !reader.Read(&delta)) {
+        return Status::IOError(path + ": truncated peel state");
+      }
+      if (v >= num_vertices) {
+        return Status::IOError(path + ": peel state vertex out of range");
+      }
+      loaded_state.Append(static_cast<VertexId>(v), delta);
+    }
+  }
+
+  const std::uint64_t computed = reader.crc();
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in || stored != computed) {
+    return Status::IOError(path + ": checksum mismatch (corrupt snapshot)");
+  }
+
+  *g = std::move(graph);
+  if (state_present != nullptr) *state_present = has_state != 0;
+  if (state != nullptr && has_state != 0) *state = std::move(loaded_state);
+  return Status::OK();
+}
+
+}  // namespace spade

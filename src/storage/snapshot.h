@@ -1,0 +1,43 @@
+// Binary snapshot persistence for the detector state.
+//
+// A from-scratch peel of a million-scale graph takes tens of seconds
+// (Table 4's static column) — exactly what Spade exists to avoid — so a
+// restarted detector must not pay it either. A snapshot captures the
+// weighted graph plus the peeling sequence/weights; restoring yields a
+// detector that resumes incremental updates immediately.
+//
+// Format (little-endian, versioned, CRC-protected):
+//   [magic u64][version u32]
+//   [num_vertices u64][num_edges u64]
+//   vertex weights: num_vertices x f64
+//   edges: num_edges x { src u32, dst u32, weight f64 }
+//   [has_state u8]
+//   state: num_vertices x { vertex u32, delta f64 }   (peeling order)
+//   [crc64 of everything above]
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/dynamic_graph.h"
+#include "peel/peel_state.h"
+
+namespace spade {
+
+/// Writes graph (+ optional peel state) to `path` atomically (temp file +
+/// rename). When `state` is non-null it must cover exactly the graph's
+/// vertices.
+Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
+                    const PeelState* state);
+
+/// Reads a snapshot back. `state` may be null to restore only the graph;
+/// if the snapshot carries no state, `*state_present` is false and `state`
+/// is left untouched.
+Status LoadSnapshot(const std::string& path, DynamicGraph* g,
+                    PeelState* state, bool* state_present);
+
+/// CRC-64/XZ used by the snapshot trailer; exposed for tests.
+std::uint64_t Crc64(const void* data, std::size_t size, std::uint64_t seed = 0);
+
+}  // namespace spade

@@ -1,0 +1,40 @@
+// LabeledStream: a timestamped edge stream with ground-truth fraud labels.
+//
+// Each edge optionally belongs to a fraud *group* (one injected fraud
+// instance, e.g. one customer-merchant collusion ring). Groups are what the
+// prevention-ratio metric R is computed against: once a group is first
+// recognized at time τ_f, all of its transactions arriving after τ_f are
+// considered prevented (paper §4.3, Figure 8).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace spade {
+
+/// Group id of unlabeled (normal) edges.
+inline constexpr std::int32_t kNormalEdge = -1;
+
+/// A replayable, label-annotated update stream ΔG_τ.
+struct LabeledStream {
+  /// Edges in nondecreasing timestamp order.
+  std::vector<Edge> edges;
+  /// Parallel array: fraud group id per edge, kNormalEdge for normal ones.
+  std::vector<std::int32_t> group;
+  /// Vertex membership of each fraud group (indexed by group id).
+  std::vector<std::vector<VertexId>> group_vertices;
+
+  std::size_t size() const { return edges.size(); }
+
+  bool IsFraud(std::size_t i) const { return group[i] != kNormalEdge; }
+
+  void Append(const Edge& e, std::int32_t group_id = kNormalEdge) {
+    edges.push_back(e);
+    group.push_back(group_id);
+  }
+};
+
+}  // namespace spade

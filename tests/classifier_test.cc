@@ -1,0 +1,110 @@
+// Tests for the fraud-pattern classifier: each injected pattern's community
+// must classify back to its own type.
+
+#include "analysis/pattern_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/fraud_injector.h"
+#include "graph/dynamic_graph.h"
+
+namespace spade {
+namespace {
+
+constexpr VertexId kMerchantBase = 100;
+
+/// Builds the induced graph of one synthesized fraud instance and returns
+/// the instance's member community.
+Community MaterializeInstance(FraudPattern pattern, std::size_t txns,
+                              DynamicGraph* g, std::uint64_t seed) {
+  Rng rng(seed);
+  FraudInstanceConfig config;
+  config.pattern = pattern;
+  config.num_transactions = txns;
+  std::vector<VertexId> members;
+  const auto edges = SynthesizeFraudInstance(config, 0, kMerchantBase,
+                                             kMerchantBase, 200, &rng,
+                                             &members);
+  *g = DynamicGraph(200);
+  for (const Edge& e : edges) {
+    EXPECT_TRUE(g->AddEdge(e.src, e.dst, e.weight).ok());
+  }
+  Community c;
+  c.members = members;
+  return c;
+}
+
+class PatternRoundTripTest : public ::testing::TestWithParam<FraudPattern> {};
+
+TEST_P(PatternRoundTripTest, InjectedPatternClassifiesBack) {
+  const FraudPattern pattern = GetParam();
+  const CommunityPattern want =
+      pattern == FraudPattern::kCustomerMerchantCollusion
+          ? CommunityPattern::kCustomerMerchantCollusion
+          : pattern == FraudPattern::kDealHunter
+                ? CommunityPattern::kDealHunter
+                : CommunityPattern::kClickFarming;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    DynamicGraph g;
+    const Community c = MaterializeInstance(pattern, 200, &g, seed);
+    EXPECT_EQ(ClassifyCommunity(g, c, kMerchantBase), want)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, PatternRoundTripTest,
+    ::testing::Values(FraudPattern::kCustomerMerchantCollusion,
+                      FraudPattern::kDealHunter,
+                      FraudPattern::kClickFarming));
+
+TEST(ShapeTest, CountsSidesAndMultiplicity) {
+  DynamicGraph g(200);
+  // 2 customers x 1 merchant, 6 transactions => multiplicity 3.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(g.AddEdge(1, 150, 5.0).ok());
+    ASSERT_TRUE(g.AddEdge(2, 150, 5.0).ok());
+  }
+  Community c;
+  c.members = {1, 2, 150};
+  const CommunityShape shape = ComputeShape(g, c, kMerchantBase);
+  EXPECT_EQ(shape.customers, 2u);
+  EXPECT_EQ(shape.merchants, 1u);
+  EXPECT_EQ(shape.transactions, 6u);
+  EXPECT_DOUBLE_EQ(shape.multiplicity, 3.0);
+  EXPECT_DOUBLE_EQ(shape.side_ratio, 2.0);
+}
+
+TEST(ShapeTest, ExternalEdgesExcluded) {
+  DynamicGraph g(200);
+  ASSERT_TRUE(g.AddEdge(1, 150, 5.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 160, 5.0).ok());  // 160 outside the community
+  Community c;
+  c.members = {1, 150};
+  const CommunityShape shape = ComputeShape(g, c, kMerchantBase);
+  EXPECT_EQ(shape.transactions, 1u);
+}
+
+TEST(ClassifierTest, TinyOrOneSidedIsUnknown) {
+  DynamicGraph g(200);
+  ASSERT_TRUE(g.AddEdge(1, 150, 5.0).ok());
+  Community sparse;
+  sparse.members = {1, 150};
+  EXPECT_EQ(ClassifyCommunity(g, sparse, kMerchantBase),
+            CommunityPattern::kUnknown);
+
+  Community customers_only;
+  customers_only.members = {1, 2, 3};
+  EXPECT_EQ(ClassifyCommunity(g, customers_only, kMerchantBase),
+            CommunityPattern::kUnknown);
+}
+
+TEST(ClassifierTest, PatternNamesAreDistinct) {
+  EXPECT_NE(CommunityPatternName(CommunityPattern::kDealHunter),
+            CommunityPatternName(CommunityPattern::kClickFarming));
+  EXPECT_EQ(CommunityPatternName(CommunityPattern::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace spade

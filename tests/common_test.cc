@@ -1,0 +1,212 @@
+// Tests for the common substrate: Status/Result, logging levels, timers,
+// deterministic RNG and histogram/summary statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace spade {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad weight");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad weight");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad weight");
+}
+
+TEST(StatusTest, FactoryCodesAreDistinct) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::IOError("").code(),         Status::FailedPrecondition("").code(),
+      Status::Unimplemented("").code(),   Status::Internal("").code(),
+  };
+  EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  auto good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+
+  auto bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bad.value_or(42), 42);
+  EXPECT_EQ(good.value_or(42), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold logging must not crash and must not abort.
+  SPADE_LOG_INFO() << "suppressed";
+  SPADE_LOG_WARNING() << "suppressed";
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, ChecksPassOnTrueConditions) {
+  SPADE_CHECK(1 + 1 == 2);
+  SPADE_CHECK_EQ(4, 4);
+  SPADE_CHECK_LT(1, 2);
+  SPADE_CHECK_GE(2, 2);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(double(i));
+  EXPECT_GT(sink, 0.0);  // keeps the loop from being optimized away
+  EXPECT_GT(t.ElapsedMicros(), 0.0);
+  EXPECT_NEAR(t.ElapsedMillis() * 1000.0, t.ElapsedMicros(),
+              t.ElapsedMicros());
+}
+
+TEST(TimerTest, AccumulatingTimerCountsLaps) {
+  AccumulatingTimer acc;
+  for (int i = 0; i < 3; ++i) {
+    acc.Start();
+    acc.Stop();
+  }
+  EXPECT_EQ(acc.laps(), 3u);
+  EXPECT_GE(acc.TotalMicros(), 0.0);
+  acc.Reset();
+  EXPECT_EQ(acc.laps(), 0u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedChangesStream) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 45);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardSmallIndices) {
+  Rng rng(11);
+  std::size_t low = 0;
+  const std::size_t n = 1000;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextZipf(n, 1.1) < n / 10) ++low;
+  }
+  // A power law places far more than 10% of the mass in the first decile.
+  EXPECT_GT(low, 5000u);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.NextZipf(50, 1.05), 50u);
+    EXPECT_EQ(rng.NextZipf(1, 1.05), 0u);
+  }
+}
+
+TEST(SummaryTest, BasicStatistics) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(s.Percentile(99), 99.0, 1.1);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 0.0);
+}
+
+TEST(SummaryTest, AddAfterPercentileQuery) {
+  Summary s;
+  s.Add(10);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 10.0);
+  s.Add(20);
+  EXPECT_NEAR(s.Percentile(50), 15.0, 1e-12);
+}
+
+TEST(CountHistogramTest, AccumulatesBuckets) {
+  CountHistogram h;
+  h.Add(3);
+  h.Add(3);
+  h.Add(7, 5);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.buckets().at(3), 2u);
+  EXPECT_EQ(h.buckets().at(7), 5u);
+}
+
+TEST(CountHistogramTest, RowsAreSortedByKey) {
+  CountHistogram h;
+  h.Add(9);
+  h.Add(1);
+  h.Add(5);
+  EXPECT_EQ(h.ToRows(), "1 1\n5 1\n9 1\n");
+}
+
+}  // namespace
+}  // namespace spade

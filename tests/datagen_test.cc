@@ -1,0 +1,216 @@
+// Tests for dataset profiles, the synthetic generators and fraud injection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/fraud_injector.h"
+#include "datagen/generators.h"
+#include "datagen/profiles.h"
+#include "datagen/workload.h"
+
+namespace spade {
+namespace {
+
+TEST(ProfilesTest, AllSevenTable3Rows) {
+  const auto profiles = AllProfiles();
+  ASSERT_EQ(profiles.size(), 7u);
+  EXPECT_EQ(profiles[0].name, "Grab1");
+  EXPECT_EQ(profiles[0].num_edges, 10000000u);
+  EXPECT_EQ(profiles[3].name, "Grab4");
+  EXPECT_EQ(profiles[3].num_vertices, 6023000u);
+  EXPECT_EQ(profiles[4].name, "Amazon");
+  EXPECT_EQ(profiles[6].name, "Epinion");
+  EXPECT_EQ(profiles[6].num_edges, 841000u);
+}
+
+TEST(ProfilesTest, ScalingShrinksCounts) {
+  const DatasetProfile full = GetProfile("Grab1", 1.0);
+  const DatasetProfile small = GetProfile("Grab1", 0.01);
+  EXPECT_EQ(small.num_vertices, full.num_vertices / 100);
+  EXPECT_EQ(small.num_edges, full.num_edges / 100);
+  EXPECT_EQ(small.increments, full.increments / 100);
+  EXPECT_EQ(small.name, "Grab1");
+}
+
+TEST(ProfilesTest, UnknownNameFallsBackToGrab1) {
+  EXPECT_EQ(GetProfile("NoSuchDataset", 0.5).name, "Grab1");
+}
+
+TEST(GeneratorTest, MatchesProfileCounts) {
+  const DatasetProfile p = GetProfile("Grab1", 0.002);
+  const GeneratedGraph g = GenerateDataset(p, 1);
+  EXPECT_EQ(g.num_vertices, p.num_vertices);
+  EXPECT_EQ(g.edges.size(), p.num_edges);
+}
+
+TEST(GeneratorTest, TransactionEdgesAreCustomerToMerchant) {
+  const DatasetProfile p = GetProfile("Grab2", 0.002);
+  const GeneratedGraph g = GenerateDataset(p, 2);
+  EXPECT_GT(g.merchant_base, 0u);
+  EXPECT_LT(g.merchant_base, g.num_vertices);
+  for (const Edge& e : g.edges) {
+    EXPECT_LT(e.src, g.merchant_base);   // customer side
+    EXPECT_GE(e.dst, g.merchant_base);   // merchant side
+    EXPECT_LT(e.dst, g.num_vertices);
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(GeneratorTest, SocialEdgesAvoidSelfLoops) {
+  const DatasetProfile p = GetProfile("Wiki-Vote", 0.05);
+  const GeneratedGraph g = GenerateDataset(p, 3);
+  for (const Edge& e : g.edges) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, g.num_vertices);
+    EXPECT_LT(e.dst, g.num_vertices);
+  }
+}
+
+TEST(GeneratorTest, TimestampsAreStrictlyIncreasing) {
+  const GeneratedGraph g = GenerateDataset(GetProfile("Amazon", 0.2), 4);
+  for (std::size_t i = 1; i < g.edges.size(); ++i) {
+    EXPECT_LT(g.edges[i - 1].ts, g.edges[i].ts);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const DatasetProfile p = GetProfile("Epinion", 0.01);
+  const GeneratedGraph a = GenerateDataset(p, 42);
+  const GeneratedGraph b = GenerateDataset(p, 42);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i], b.edges[i]);
+  }
+}
+
+TEST(GeneratorTest, PowerLawDegreeSkew) {
+  // A few vertices should absorb a large share of edges (Figure 9b shape).
+  const GeneratedGraph g = GenerateDataset(GetProfile("Grab1", 0.005), 5);
+  std::vector<std::size_t> degree(g.num_vertices, 0);
+  for (const Edge& e : g.edges) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  std::sort(degree.rbegin(), degree.rend());
+  std::size_t top = 0, total = 0;
+  const std::size_t top_count = g.num_vertices / 100 + 1;
+  for (std::size_t i = 0; i < degree.size(); ++i) {
+    total += degree[i];
+    if (i < top_count) top += degree[i];
+  }
+  // Top 1% of vertices should hold well over 10% of incident edges.
+  EXPECT_GT(static_cast<double>(top), 0.1 * static_cast<double>(total));
+}
+
+TEST(SplitTest, NinetyTenReplaySplit) {
+  GeneratedGraph g = GenerateDataset(GetProfile("Amazon", 0.5), 6);
+  const std::size_t total = g.edges.size();
+  const SplitDataset split = SplitForReplay(std::move(g));
+  EXPECT_EQ(split.initial.size() + split.increments.size(), total);
+  EXPECT_NEAR(static_cast<double>(split.initial.size()),
+              0.9 * static_cast<double>(total), 1.0);
+  // Increments strictly follow the initial graph in time.
+  if (!split.initial.empty() && !split.increments.empty()) {
+    EXPECT_LT(split.initial.back().ts, split.increments.front().ts);
+  }
+}
+
+TEST(FraudInjectorTest, PatternShapes) {
+  Rng rng(7);
+  for (FraudPattern pattern :
+       {FraudPattern::kCustomerMerchantCollusion, FraudPattern::kDealHunter,
+        FraudPattern::kClickFarming}) {
+    FraudInstanceConfig config;
+    config.pattern = pattern;
+    config.num_transactions = 100;
+    config.start_ts = 5000;
+    std::vector<VertexId> members;
+    const auto edges =
+        SynthesizeFraudInstance(config, 0, 1000, 1000, 1100, &rng, &members);
+    ASSERT_EQ(edges.size(), 100u);
+    EXPECT_FALSE(members.empty());
+    std::set<VertexId> member_set(members.begin(), members.end());
+    for (const Edge& e : edges) {
+      EXPECT_TRUE(member_set.count(e.src));
+      EXPECT_TRUE(member_set.count(e.dst));
+      EXPECT_LT(e.src, 1000u);
+      EXPECT_GE(e.dst, 1000u);
+      EXPECT_GE(e.ts, 5000);
+      EXPECT_GT(e.weight, 0.0);
+    }
+  }
+}
+
+TEST(FraudInjectorTest, ClickFarmingUsesOneMerchant) {
+  Rng rng(8);
+  FraudInstanceConfig config;
+  config.pattern = FraudPattern::kClickFarming;
+  config.num_transactions = 50;
+  std::vector<VertexId> members;
+  const auto edges =
+      SynthesizeFraudInstance(config, 0, 100, 100, 200, &rng, &members);
+  std::set<VertexId> merchants;
+  for (const Edge& e : edges) merchants.insert(e.dst);
+  EXPECT_EQ(merchants.size(), 1u);
+}
+
+TEST(FraudInjectorTest, InjectKeepsStreamSortedAndLabeled) {
+  LabeledStream stream;
+  for (int i = 0; i < 50; ++i) {
+    stream.Append({0, 1, 1.0, Timestamp(i) * 100});
+  }
+  Rng rng(9);
+  FraudInstanceConfig config;
+  config.num_transactions = 20;
+  config.start_ts = 1234;
+  config.micros_per_edge = 37;
+  std::vector<VertexId> members;
+  const auto edges =
+      SynthesizeFraudInstance(config, 0, 50, 50, 100, &rng, &members);
+  InjectInstances(&stream, {edges}, {members});
+
+  ASSERT_EQ(stream.edges.size(), 70u);
+  ASSERT_EQ(stream.group.size(), 70u);
+  ASSERT_EQ(stream.group_vertices.size(), 1u);
+  std::size_t fraud_count = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(stream.edges[i - 1].ts, stream.edges[i].ts);
+    }
+    if (stream.IsFraud(i)) {
+      ++fraud_count;
+      EXPECT_EQ(stream.group[i], 0);
+    }
+  }
+  EXPECT_EQ(fraud_count, 20u);
+}
+
+TEST(WorkloadTest, BuildsFraudLabeledWorkload) {
+  FraudMix mix;
+  mix.instances_per_pattern = 1;
+  mix.transactions_per_instance = 30;
+  const Workload w = BuildWorkload("Grab1", 0.001, 11, &mix);
+  EXPECT_EQ(w.profile.name, "Grab1");
+  EXPECT_GT(w.initial.size(), 0u);
+  EXPECT_GT(w.stream.size(), 0u);
+  EXPECT_EQ(w.stream.group_vertices.size(), 3u);  // one per pattern
+  std::size_t fraud = 0;
+  for (std::size_t i = 0; i < w.stream.size(); ++i) {
+    if (w.stream.IsFraud(i)) ++fraud;
+  }
+  EXPECT_EQ(fraud, 90u);
+}
+
+TEST(WorkloadTest, NoFraudWhenMixIsNull) {
+  const Workload w = BuildWorkload("Wiki-Vote", 0.02, 12, nullptr);
+  EXPECT_TRUE(w.stream.group_vertices.empty());
+  for (std::size_t i = 0; i < w.stream.size(); ++i) {
+    EXPECT_FALSE(w.stream.IsFraud(i));
+  }
+}
+
+}  // namespace
+}  // namespace spade

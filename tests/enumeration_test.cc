@@ -1,0 +1,171 @@
+// Tests for dense-subgraph enumeration (Appendix C.2) and the sliding
+// time-window detector (Appendix C.3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/enumeration.h"
+#include "core/time_window.h"
+#include "metrics/density.h"
+#include "peel/static_peeler.h"
+#include "tests/test_util.h"
+
+namespace spade {
+namespace {
+
+DynamicGraph TwoRingGraph() {
+  // Ring A {0,1,2} heavy, ring B {3,4,5} lighter, a bridge, an outlier 6.
+  DynamicGraph g(7);
+  EXPECT_TRUE(g.AddEdge(0, 1, 9.0).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2, 9.0).ok());
+  EXPECT_TRUE(g.AddEdge(2, 0, 9.0).ok());
+  EXPECT_TRUE(g.AddEdge(3, 4, 4.0).ok());
+  EXPECT_TRUE(g.AddEdge(4, 5, 4.0).ok());
+  EXPECT_TRUE(g.AddEdge(5, 3, 4.0).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 0.5).ok());
+  return g;
+}
+
+TEST(EnumerationTest, FindsBothRingsInDensityOrder) {
+  DynamicGraph g = TwoRingGraph();
+  EnumerateOptions options;
+  options.max_communities = 8;
+  options.min_density = 0.1;
+  const auto communities = EnumerateDenseSubgraphs(g, options);
+  ASSERT_GE(communities.size(), 2u);
+
+  auto sorted = communities[0].members;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(communities[0].density, 9.0);
+
+  sorted = communities[1].members;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{3, 4, 5}));
+  EXPECT_DOUBLE_EQ(communities[1].density, 4.0);
+
+  // Densities are non-increasing.
+  for (std::size_t i = 1; i < communities.size(); ++i) {
+    EXPECT_LE(communities[i].density, communities[i - 1].density + 1e-9);
+  }
+}
+
+TEST(EnumerationTest, CommunitiesAreDisjoint) {
+  Rng rng(8);
+  DynamicGraph g = testing::RandomGraph(&rng, 40, 150, 6, 0);
+  EnumerateOptions options;
+  options.max_communities = 6;
+  const auto communities = EnumerateDenseSubgraphs(g, options);
+  std::set<VertexId> seen;
+  for (const auto& c : communities) {
+    for (VertexId v : c.members) {
+      EXPECT_TRUE(seen.insert(v).second) << "vertex " << v << " repeated";
+    }
+  }
+}
+
+TEST(EnumerationTest, RespectsMaxCommunities) {
+  Rng rng(9);
+  DynamicGraph g = testing::RandomGraph(&rng, 40, 120, 5, 0);
+  EnumerateOptions options;
+  options.max_communities = 2;
+  EXPECT_LE(EnumerateDenseSubgraphs(g, options).size(), 2u);
+}
+
+TEST(EnumerationTest, RespectsMinDensity) {
+  DynamicGraph g = TwoRingGraph();
+  EnumerateOptions options;
+  options.min_density = 5.0;  // only ring A qualifies
+  const auto communities = EnumerateDenseSubgraphs(g, options);
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_DOUBLE_EQ(communities[0].density, 9.0);
+}
+
+TEST(EnumerationTest, EmptyGraph) {
+  DynamicGraph g;
+  EXPECT_TRUE(EnumerateDenseSubgraphs(g, {}).empty());
+}
+
+TEST(EnumerationTest, ReportedDensityMatchesDefinition) {
+  Rng rng(10);
+  DynamicGraph g = testing::RandomGraph(&rng, 30, 100, 5, 1);
+  const auto communities = EnumerateDenseSubgraphs(g, {});
+  ASSERT_FALSE(communities.empty());
+  // The first community is measured on the full graph.
+  EXPECT_NEAR(communities[0].density,
+              SubgraphDensity(g, communities[0].members), 1e-9);
+}
+
+// --- Time-window detection (Appendix C.3) ---
+
+TEST(TimeWindowTest, ExpiresOldEdges) {
+  TimeWindowDetector detector(5, /*window_span=*/100, MakeDW());
+  ASSERT_TRUE(detector.Offer({0, 1, 5.0, 10}).ok());
+  ASSERT_TRUE(detector.Offer({1, 2, 5.0, 50}).ok());
+  EXPECT_EQ(detector.WindowEdgeCount(), 2u);
+  // ts=160 pushes the horizon to 60: the first two edges expire.
+  ASSERT_TRUE(detector.Offer({2, 3, 5.0, 160}).ok());
+  EXPECT_EQ(detector.WindowEdgeCount(), 1u);
+  EXPECT_EQ(detector.graph().NumEdges(), 1u);
+}
+
+TEST(TimeWindowTest, RejectsOutOfOrderTimestamps) {
+  TimeWindowDetector detector(5, 100, MakeDW());
+  ASSERT_TRUE(detector.Offer({0, 1, 1.0, 50}).ok());
+  EXPECT_FALSE(detector.Offer({1, 2, 1.0, 40}).ok());
+}
+
+TEST(TimeWindowTest, RejectsUnknownVertices) {
+  TimeWindowDetector detector(3, 100, MakeDW());
+  EXPECT_FALSE(detector.Offer({0, 9, 1.0, 1}).ok());
+}
+
+TEST(TimeWindowTest, DetectsCurrentWindowCommunity) {
+  TimeWindowDetector detector(8, /*window_span=*/1000, MakeDW());
+  // Burst A at t=0..2, burst B at t=2000..2002 (A expired by then).
+  for (const Edge& e : std::vector<Edge>{
+           {0, 1, 9.0, 0}, {1, 2, 9.0, 1}, {2, 0, 9.0, 2}}) {
+    ASSERT_TRUE(detector.Offer(e).ok());
+  }
+  Community c = detector.Detect();
+  std::sort(c.members.begin(), c.members.end());
+  EXPECT_EQ(c.members, (std::vector<VertexId>{0, 1, 2}));
+
+  for (const Edge& e : std::vector<Edge>{
+           {4, 5, 6.0, 2000}, {5, 6, 6.0, 2001}, {6, 4, 6.0, 2002}}) {
+    ASSERT_TRUE(detector.Offer(e).ok());
+  }
+  c = detector.Detect();
+  std::sort(c.members.begin(), c.members.end());
+  EXPECT_EQ(c.members, (std::vector<VertexId>{4, 5, 6}));
+  EXPECT_EQ(detector.graph().NumEdges(), 3u);
+}
+
+TEST(TimeWindowTest, WindowStateMatchesStaticPeelOfWindowGraph) {
+  Rng rng(99);
+  TimeWindowDetector detector(12, /*window_span=*/64, MakeDW());
+  Timestamp ts = 0;
+  for (int i = 0; i < 200; ++i) {
+    ts += rng.NextBounded(10);
+    Edge e = testing::RandomEdge(&rng, 12);
+    e.ts = ts;
+    ASSERT_TRUE(detector.Offer(e).ok());
+    testing::ExpectStateEquals(PeelStatic(detector.graph()),
+                               detector.peel_state());
+  }
+}
+
+TEST(TimeWindowTest, AdvanceToDrainsEverything) {
+  TimeWindowDetector detector(4, 10, MakeDG());
+  ASSERT_TRUE(detector.Offer({0, 1, 1.0, 0}).ok());
+  ASSERT_TRUE(detector.Offer({1, 2, 1.0, 5}).ok());
+  ASSERT_TRUE(detector.AdvanceTo(1000).ok());
+  EXPECT_EQ(detector.WindowEdgeCount(), 0u);
+  EXPECT_EQ(detector.graph().NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,228 @@
+// Tests for the graph substrate: DynamicGraph invariants, CSR snapshots and
+// edge-list I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/rng.h"
+#include "graph/csr_graph.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph_io.h"
+#include "tests/test_util.h"
+
+namespace spade {
+namespace {
+
+TEST(DynamicGraphTest, EmptyGraph) {
+  DynamicGraph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_DOUBLE_EQ(g.TotalWeight(), 0.0);
+}
+
+TEST(DynamicGraphTest, AddEdgeMaintainsMirrors) {
+  DynamicGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1.5).ok());
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 4.0);
+  EXPECT_DOUBLE_EQ(g.TotalEdgeWeight(), 4.0);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(DynamicGraphTest, RejectsBadEdges) {
+  DynamicGraph g(2);
+  EXPECT_FALSE(g.AddEdge(0, 5, 1.0).ok());   // out of range
+  EXPECT_FALSE(g.AddEdge(0, 0, 1.0).ok());   // self-loop
+  EXPECT_FALSE(g.AddEdge(0, 1, 0.0).ok());   // zero weight
+  EXPECT_FALSE(g.AddEdge(0, 1, -2.0).ok());  // negative weight
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(DynamicGraphTest, VertexWeightTracksTotals) {
+  DynamicGraph g(2);
+  g.SetVertexWeight(0, 3.0);
+  g.SetVertexWeight(1, 1.0);
+  EXPECT_DOUBLE_EQ(g.TotalVertexWeight(), 4.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 3.0);
+  g.SetVertexWeight(0, 0.5);
+  EXPECT_DOUBLE_EQ(g.TotalVertexWeight(), 1.5);
+}
+
+TEST(DynamicGraphTest, AddVertexReturnsDenseIds) {
+  DynamicGraph g;
+  EXPECT_EQ(g.AddVertex(1.0), 0u);
+  EXPECT_EQ(g.AddVertex(), 1u);
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_DOUBLE_EQ(g.VertexWeight(0), 1.0);
+}
+
+TEST(DynamicGraphTest, EnsureVerticesGrowsOnly) {
+  DynamicGraph g(3);
+  g.EnsureVertices(2);
+  EXPECT_EQ(g.NumVertices(), 3u);
+  g.EnsureVertices(10);
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_DOUBLE_EQ(g.VertexWeight(9), 0.0);
+}
+
+TEST(DynamicGraphTest, RemoveEdgePicksLastParallelCopy) {
+  DynamicGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  auto removed = g.RemoveEdge(0, 1);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_DOUBLE_EQ(removed.value(), 2.0);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 1.0);
+}
+
+TEST(DynamicGraphTest, RemoveEdgeWithWeightFilter) {
+  DynamicGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  const double want = 1.0;
+  auto removed = g.RemoveEdge(0, 1, &want);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_DOUBLE_EQ(removed.value(), 1.0);
+  const double missing = 9.0;
+  EXPECT_FALSE(g.RemoveEdge(0, 1, &missing).ok());
+}
+
+TEST(DynamicGraphTest, RemoveMissingEdgeIsNotFound) {
+  DynamicGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  EXPECT_EQ(g.RemoveEdge(1, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.RemoveEdge(0, 2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DynamicGraphTest, HasEdgeEitherDirection) {
+  DynamicGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  EXPECT_TRUE(g.HasEdgeEitherDirection(0, 1));
+  EXPECT_TRUE(g.HasEdgeEitherDirection(1, 0));
+  EXPECT_FALSE(g.HasEdgeEitherDirection(0, 2));
+}
+
+TEST(DynamicGraphTest, ForEachIncidentCoversBothDirections) {
+  DynamicGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 1, 3.0).ok());
+  double sum = 0;
+  int count = 0;
+  g.ForEachIncident(1, [&](VertexId, double w) {
+    sum += w;
+    ++count;
+  });
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sum, 5.0);
+}
+
+TEST(DynamicGraphTest, WeightedDegreeMatchesDefinition) {
+  Rng rng(3);
+  DynamicGraph g = testing::RandomGraph(&rng, 20, 60, 5, 4);
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    double expect = g.VertexWeight(static_cast<VertexId>(v));
+    g.ForEachIncident(static_cast<VertexId>(v),
+                      [&](VertexId, double w) { expect += w; });
+    EXPECT_DOUBLE_EQ(g.WeightedDegree(static_cast<VertexId>(v)), expect);
+  }
+}
+
+TEST(CsrGraphTest, SnapshotMatchesDynamicGraph) {
+  Rng rng(17);
+  DynamicGraph g = testing::RandomGraph(&rng, 25, 70, 5, 3);
+  CsrGraph csr(g);
+  ASSERT_EQ(csr.NumVertices(), g.NumVertices());
+  EXPECT_EQ(csr.NumIncidentEntries(), 2 * g.NumEdges());
+  EXPECT_DOUBLE_EQ(csr.TotalWeight(), g.TotalWeight());
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    const auto vid = static_cast<VertexId>(v);
+    EXPECT_EQ(csr.Incident(vid).size(), g.Degree(vid));
+    EXPECT_DOUBLE_EQ(csr.WeightedDegree(vid), g.WeightedDegree(vid));
+    EXPECT_DOUBLE_EQ(csr.VertexWeight(vid), g.VertexWeight(vid));
+  }
+}
+
+TEST(CsrGraphTest, EmptySnapshot) {
+  DynamicGraph g;
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.NumVertices(), 0u);
+  EXPECT_EQ(csr.NumIncidentEntries(), 0u);
+}
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/spade_io_test.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(GraphIoTest, RoundTrip) {
+  std::vector<Edge> edges = {
+      {0, 1, 2.5, 100}, {1, 2, 1.0, 200}, {2, 0, 4.0, 300}};
+  ASSERT_TRUE(SaveEdgeList(path_, edges).ok());
+  auto loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 3u);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i], edges[i]);
+  }
+}
+
+TEST_F(GraphIoTest, MissingFileIsIOError) {
+  auto r = LoadEdgeList("/nonexistent/spade.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ParseEdgeLineTest, SkipsCommentsAndBlanks) {
+  Edge e;
+  std::string err;
+  EXPECT_FALSE(ParseEdgeLine("# comment", 0, &e, &err));
+  EXPECT_TRUE(err.empty());
+  EXPECT_FALSE(ParseEdgeLine("", 0, &e, &err));
+  EXPECT_TRUE(err.empty());
+  EXPECT_FALSE(ParseEdgeLine("   \t ", 0, &e, &err));
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(ParseEdgeLineTest, DefaultsWeightAndTimestamp) {
+  Edge e;
+  std::string err;
+  ASSERT_TRUE(ParseEdgeLine("3 7", 41, &e, &err));
+  EXPECT_EQ(e.src, 3u);
+  EXPECT_EQ(e.dst, 7u);
+  EXPECT_DOUBLE_EQ(e.weight, 1.0);
+  EXPECT_EQ(e.ts, 41);  // line index becomes the replay order
+}
+
+TEST(ParseEdgeLineTest, ParsesFullRow) {
+  Edge e;
+  std::string err;
+  ASSERT_TRUE(ParseEdgeLine("3 7 2.25 9000", 0, &e, &err));
+  EXPECT_DOUBLE_EQ(e.weight, 2.25);
+  EXPECT_EQ(e.ts, 9000);
+}
+
+TEST(ParseEdgeLineTest, RejectsMalformedAndNonPositive) {
+  Edge e;
+  std::string err;
+  EXPECT_FALSE(ParseEdgeLine("abc", 0, &e, &err));
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_FALSE(ParseEdgeLine("1 2 -3.0", 0, &e, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace spade

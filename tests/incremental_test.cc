@@ -1,0 +1,298 @@
+// Tests for the incremental reordering engine: single edge insertion
+// (§4.1), batch reordering (Algorithm 2) and edge deletion (Appendix C.1),
+// all verified for exact equivalence against the static peeler.
+
+#include "core/incremental_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "peel/static_peeler.h"
+#include "tests/test_util.h"
+
+namespace spade {
+namespace {
+
+using testing::ExpectStateEquals;
+using testing::RandomEdge;
+using testing::RandomGraph;
+using testing::ValidateCanonicalSequence;
+
+TEST(IncrementalInsertTest, SingleEdgeOnTinyGraph) {
+  DynamicGraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 3.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 4.0).ok());
+  PeelState state = PeelStatic(g);
+
+  IncrementalEngine engine;
+  ReorderStats stats;
+  const Edge e{0, 3, 5.0, 0};
+  ASSERT_TRUE(engine.InsertEdge(&g, &state, e, nullptr, &stats).ok());
+
+  ExpectStateEquals(PeelStatic(g), state);
+  EXPECT_GT(stats.affected_vertices, 0u);
+}
+
+TEST(IncrementalInsertTest, PrefixBeforeFirstEndpointIsUntouched) {
+  // Lemma 4.1: positions before the earlier endpoint never change.
+  Rng rng(7);
+  DynamicGraph g = RandomGraph(&rng, 30, 80);
+  PeelState state = PeelStatic(g);
+  const std::vector<VertexId> before = state.seq();
+
+  IncrementalEngine engine;
+  const Edge e = RandomEdge(&rng, 30);
+  const std::size_t cut =
+      std::min(state.PositionOf(e.src), state.PositionOf(e.dst));
+  ASSERT_TRUE(engine.InsertEdge(&g, &state, e, nullptr, nullptr).ok());
+
+  for (std::size_t i = 0; i < cut; ++i) {
+    EXPECT_EQ(before[i], state.VertexAt(i)) << "prefix changed at " << i;
+  }
+  ExpectStateEquals(PeelStatic(g), state);
+}
+
+TEST(IncrementalInsertTest, ParallelEdgesAccumulate) {
+  DynamicGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  PeelState state = PeelStatic(g);
+  IncrementalEngine engine;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        engine.InsertEdge(&g, &state, {0, 1, 2.0, 0}, nullptr, nullptr).ok());
+    ExpectStateEquals(PeelStatic(g), state);
+  }
+  EXPECT_EQ(g.NumEdges(), 6u);
+}
+
+TEST(IncrementalInsertTest, NewVertexJoinsAtHead) {
+  DynamicGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 4.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 4.0).ok());
+  PeelState state = PeelStatic(g);
+
+  IncrementalEngine engine;
+  // Vertex 5 (and implicitly 3, 4 stay absent) arrives with an edge.
+  const Edge e{5, 0, 1.0, 0};
+  ASSERT_TRUE(engine.InsertEdge(&g, &state, e, nullptr, nullptr).ok());
+  ASSERT_EQ(g.NumVertices(), 6u);
+  // Gap ids 3 and 4 join as isolated vertices so state covers the graph.
+  ASSERT_EQ(state.size(), 6u);
+  EXPECT_TRUE(state.ContainsVertex(5));
+  ValidateCanonicalSequence(g, state);
+  ExpectStateEquals(PeelStatic(g), state);
+}
+
+TEST(IncrementalInsertTest, NewVertexWithPrior) {
+  DynamicGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+  PeelState state = PeelStatic(g);
+
+  IncrementalEngine engine;
+  VertexSuspFn prior = [](VertexId, const DynamicGraph&) { return 3.5; };
+  ASSERT_TRUE(
+      engine.InsertEdge(&g, &state, {2, 0, 1.0, 0}, prior, nullptr).ok());
+  EXPECT_DOUBLE_EQ(g.VertexWeight(2), 3.5);
+  ValidateCanonicalSequence(g, state);
+}
+
+TEST(IncrementalInsertTest, RejectsNonPositiveWeight) {
+  DynamicGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  PeelState state = PeelStatic(g);
+  IncrementalEngine engine;
+  EXPECT_FALSE(
+      engine.InsertEdge(&g, &state, {0, 1, 0.0, 0}, nullptr, nullptr).ok());
+  EXPECT_FALSE(
+      engine.InsertEdge(&g, &state, {0, 1, -1.0, 0}, nullptr, nullptr).ok());
+}
+
+TEST(IncrementalInsertTest, EmptyBatchIsNoOp) {
+  DynamicGraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  PeelState state = PeelStatic(g);
+  IncrementalEngine engine;
+  ASSERT_TRUE(
+      engine.InsertBatch(&g, &state, {}, nullptr, nullptr).ok());
+  ExpectStateEquals(PeelStatic(g), state);
+}
+
+// Property: after any sequence of single-edge insertions, the maintained
+// state equals a from-scratch static peel exactly (integer weights make the
+// comparison exact).
+TEST(IncrementalInsertTest, RandomizedSingleEdgeEquivalence) {
+  Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.NextBounded(30);
+    const std::size_t m = rng.NextBounded(3 * n);
+    DynamicGraph g = RandomGraph(&rng, n, m, 6, 3);
+    PeelState state = PeelStatic(g);
+    IncrementalEngine engine;
+    for (int step = 0; step < 25; ++step) {
+      const Edge e = RandomEdge(&rng, n);
+      ASSERT_TRUE(engine.InsertEdge(&g, &state, e, nullptr, nullptr).ok());
+      ExpectStateEquals(PeelStatic(g), state);
+    }
+  }
+}
+
+// Property: batch insertion is equivalent to static recomputation, for
+// batch sizes spanning one edge to hundreds.
+class BatchEquivalenceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchEquivalenceTest, BatchEqualsStatic) {
+  const std::size_t batch_size = GetParam();
+  Rng rng(1000 + batch_size);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + rng.NextBounded(40);
+    DynamicGraph g = RandomGraph(&rng, n, 2 * n, 6, 2);
+    PeelState state = PeelStatic(g);
+    IncrementalEngine engine;
+    for (int round = 0; round < 4; ++round) {
+      std::vector<Edge> batch;
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        batch.push_back(RandomEdge(&rng, n));
+      }
+      ASSERT_TRUE(
+          engine.InsertBatch(&g, &state, batch, nullptr, nullptr).ok());
+      ExpectStateEquals(PeelStatic(g), state);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64, 256));
+
+// Property: batch insertion commutes with splitting — inserting E1+E2 in
+// one batch or two gives the same final state.
+TEST(IncrementalInsertTest, BatchSplitConsistency) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 5 + rng.NextBounded(25);
+    DynamicGraph g1 = RandomGraph(&rng, n, n, 5, 0);
+    // Duplicate the graph by replaying its edges.
+    DynamicGraph g2(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const auto& e : g1.OutNeighbors(static_cast<VertexId>(u))) {
+        ASSERT_TRUE(
+            g2.AddEdge(static_cast<VertexId>(u), e.vertex, e.weight).ok());
+      }
+    }
+    PeelState s1 = PeelStatic(g1);
+    PeelState s2 = PeelStatic(g2);
+    std::vector<Edge> all;
+    for (int i = 0; i < 20; ++i) all.push_back(RandomEdge(&rng, n));
+
+    IncrementalEngine e1, e2;
+    ASSERT_TRUE(e1.InsertBatch(&g1, &s1, all, nullptr, nullptr).ok());
+    std::span<const Edge> span(all);
+    ASSERT_TRUE(
+        e2.InsertBatch(&g2, &s2, span.subspan(0, 10), nullptr, nullptr).ok());
+    ASSERT_TRUE(
+        e2.InsertBatch(&g2, &s2, span.subspan(10), nullptr, nullptr).ok());
+    ExpectStateEquals(s1, s2);
+  }
+}
+
+TEST(IncrementalDeleteTest, DeleteRestoresPreInsertState) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.NextBounded(20);
+    DynamicGraph g = RandomGraph(&rng, n, 2 * n, 5, 2);
+    PeelState state = PeelStatic(g);
+    IncrementalEngine engine;
+
+    const Edge e = RandomEdge(&rng, n);
+    ASSERT_TRUE(engine.InsertEdge(&g, &state, e, nullptr, nullptr).ok());
+    ASSERT_TRUE(
+        engine.DeleteEdge(&g, &state, e.src, e.dst, nullptr, &e.weight).ok());
+    ExpectStateEquals(PeelStatic(g), state);
+  }
+}
+
+TEST(IncrementalDeleteTest, RandomizedDeleteEquivalence) {
+  Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 3 + rng.NextBounded(25);
+    DynamicGraph g = RandomGraph(&rng, n, 3 * n, 5, 2);
+    PeelState state = PeelStatic(g);
+    IncrementalEngine engine;
+    for (int step = 0; step < 15; ++step) {
+      // Pick an existing edge uniformly-ish: random vertex with out-edges.
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      std::size_t guard = 0;
+      while (g.OutDegree(u) == 0 && guard++ < 4 * n) {
+        u = static_cast<VertexId>(rng.NextBounded(n));
+      }
+      if (g.OutDegree(u) == 0) break;
+      const auto& pick =
+          g.OutNeighbors(u)[rng.NextBounded(g.OutDegree(u))];
+      ASSERT_TRUE(
+          engine.DeleteEdge(&g, &state, u, pick.vertex, nullptr, nullptr)
+              .ok());
+      ExpectStateEquals(PeelStatic(g), state);
+    }
+  }
+}
+
+TEST(IncrementalDeleteTest, DeleteMissingEdgeFails) {
+  DynamicGraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  PeelState state = PeelStatic(g);
+  IncrementalEngine engine;
+  EXPECT_FALSE(engine.DeleteEdge(&g, &state, 1, 2, nullptr, nullptr).ok());
+  // Direction matters: (1, 0) was never inserted.
+  EXPECT_FALSE(engine.DeleteEdge(&g, &state, 1, 0, nullptr, nullptr).ok());
+}
+
+TEST(IncrementalDeleteTest, MixedInsertDeleteEquivalence) {
+  Rng rng(123);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 4 + rng.NextBounded(20);
+    DynamicGraph g = RandomGraph(&rng, n, n, 5, 1);
+    PeelState state = PeelStatic(g);
+    IncrementalEngine engine;
+    std::vector<Edge> live;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const auto& e : g.OutNeighbors(static_cast<VertexId>(u))) {
+        live.push_back({static_cast<VertexId>(u), e.vertex, e.weight, 0});
+      }
+    }
+    for (int step = 0; step < 30; ++step) {
+      if (!live.empty() && rng.NextBool(0.4)) {
+        const std::size_t pick = rng.NextBounded(live.size());
+        const Edge victim = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        ASSERT_TRUE(engine
+                        .DeleteEdge(&g, &state, victim.src, victim.dst,
+                                    nullptr, &victim.weight)
+                        .ok());
+      } else {
+        const Edge e = RandomEdge(&rng, n);
+        live.push_back(e);
+        ASSERT_TRUE(engine.InsertEdge(&g, &state, e, nullptr, nullptr).ok());
+      }
+      ExpectStateEquals(PeelStatic(g), state);
+    }
+  }
+}
+
+TEST(ReorderStatsTest, AffectedAreaIsBounded) {
+  Rng rng(31);
+  DynamicGraph g = RandomGraph(&rng, 200, 600, 4, 0);
+  PeelState state = PeelStatic(g);
+  IncrementalEngine engine;
+  ReorderStats stats;
+  ASSERT_TRUE(
+      engine.InsertEdge(&g, &state, RandomEdge(&rng, 200), nullptr, &stats)
+          .ok());
+  EXPECT_LE(stats.affected_vertices, 200u);
+  EXPECT_GT(stats.affected_vertices, 0u);
+  EXPECT_LE(stats.rewritten_span, 200u);
+}
+
+}  // namespace
+}  // namespace spade

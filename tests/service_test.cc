@@ -1,0 +1,145 @@
+// Tests for DetectionService: multi-producer submission, draining,
+// alerting, backpressure and shutdown semantics.
+
+#include "service/detection_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "peel/static_peeler.h"
+#include "tests/test_util.h"
+
+namespace spade {
+namespace {
+
+Spade MakeDetector(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> initial;
+  for (std::size_t i = 0; i < m; ++i) {
+    initial.push_back(testing::RandomEdge(&rng, n));
+  }
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  EXPECT_TRUE(spade.BuildGraph(n, initial).ok());
+  return spade;
+}
+
+TEST(DetectionServiceTest, ProcessesSubmittedEdges) {
+  DetectionService service(MakeDetector(20, 60, 1), nullptr);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(service.Submit(testing::RandomEdge(&rng, 20)).ok());
+  }
+  service.Drain();
+  EXPECT_EQ(service.EdgesProcessed(), 100u);
+}
+
+TEST(DetectionServiceTest, StateMatchesStaticAfterStop) {
+  Rng rng(3);
+  std::vector<Edge> updates;
+  for (int i = 0; i < 200; ++i) updates.push_back(testing::RandomEdge(&rng, 25));
+
+  DetectionService service(MakeDetector(25, 80, 3), nullptr);
+  for (const Edge& e : updates) {
+    ASSERT_TRUE(service.Submit(e).ok());
+  }
+  service.Stop();
+
+  // Reference: same edges through a plain single-threaded detector.
+  Spade reference = MakeDetector(25, 80, 3);
+  for (const Edge& e : updates) {
+    ASSERT_TRUE(reference.InsertEdge(e).ok());
+  }
+  const Community expected = reference.Detect();
+  // The service's detector is gone after Stop(); compare what it last
+  // reported through CurrentCommunity before... instead restart pattern:
+  // use a fresh service and compare live.
+  DetectionService service2(MakeDetector(25, 80, 3), nullptr);
+  for (const Edge& e : updates) {
+    ASSERT_TRUE(service2.Submit(e).ok());
+  }
+  service2.Drain();
+  Community got = service2.CurrentCommunity();
+  std::sort(got.members.begin(), got.members.end());
+  Community want = expected;
+  std::sort(want.members.begin(), want.members.end());
+  EXPECT_EQ(got.members, want.members);
+  EXPECT_NEAR(got.density, want.density, 1e-9);
+}
+
+TEST(DetectionServiceTest, AlertsFireOnCommunityChange) {
+  std::atomic<int> alerts{0};
+  std::atomic<std::size_t> last_size{0};
+  DetectionService service(
+      MakeDetector(12, 30, 4),
+      [&](const Community& c) {
+        ++alerts;
+        last_size = c.members.size();
+      });
+  // A burst that forms a brand-new densest ring must trigger an alert.
+  for (const Edge& e : std::vector<Edge>{{0, 1, 500.0, 0},
+                                         {1, 2, 500.0, 1},
+                                         {2, 0, 500.0, 2}}) {
+    ASSERT_TRUE(service.Submit(e).ok());
+  }
+  service.Drain();
+  service.Stop();
+  EXPECT_GT(alerts.load(), 0);
+  EXPECT_GT(service.AlertsDelivered(), 0u);
+  EXPECT_GT(last_size.load(), 0u);
+}
+
+TEST(DetectionServiceTest, ConcurrentProducers) {
+  DetectionService service(MakeDetector(30, 100, 5), nullptr);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> producers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!service.Submit(testing::RandomEdge(&rng, 30)).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  service.Drain();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(service.EdgesProcessed(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(DetectionServiceTest, SubmitAfterStopFails) {
+  DetectionService service(MakeDetector(10, 20, 6), nullptr);
+  service.Stop();
+  const Status s = service.Submit({0, 1, 1.0, 0});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DetectionServiceTest, StopIsIdempotent) {
+  DetectionService service(MakeDetector(10, 20, 7), nullptr);
+  ASSERT_TRUE(service.Submit({0, 1, 1.0, 0}).ok());
+  service.Stop();
+  service.Stop();
+  EXPECT_EQ(service.EdgesProcessed(), 1u);
+}
+
+TEST(DetectionServiceTest, InvalidEdgesAreDroppedNotFatal) {
+  DetectionService service(MakeDetector(10, 20, 8), nullptr);
+  ASSERT_TRUE(service.Submit({0, 0, 1.0, 0}).ok());   // self-loop: dropped
+  ASSERT_TRUE(service.Submit({0, 1, -1.0, 0}).ok());  // bad weight: dropped
+  ASSERT_TRUE(service.Submit({0, 1, 1.0, 0}).ok());
+  service.Drain();
+  EXPECT_EQ(service.EdgesProcessed(), 1u);
+}
+
+}  // namespace
+}  // namespace spade

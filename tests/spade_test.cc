@@ -1,0 +1,297 @@
+// Tests for the Spade facade: the Listing 1 API surface, built-in semantics
+// (DG/DW/FD), edge grouping (Algorithm 3) and its benign-edge guarantees
+// (Definition 4.1, Lemmas 4.3/4.4).
+
+#include "core/spade.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "graph/graph_io.h"
+#include "metrics/density.h"
+#include "peel/static_peeler.h"
+#include "tests/test_util.h"
+
+namespace spade {
+namespace {
+
+// A small transaction log: a dense ring {0,1,2} plus background edges.
+std::vector<Edge> DenseRingLog() {
+  return {
+      {0, 1, 10.0, 1}, {1, 2, 10.0, 2}, {2, 0, 10.0, 3},
+      {3, 4, 1.0, 4},  {4, 5, 1.0, 5},  {5, 6, 1.0, 6},
+  };
+}
+
+TEST(SpadeTest, BuildAndDetectWithDG) {
+  Spade spade;
+  spade.SetSemantics(MakeDG());
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  Community c = spade.Detect();
+  std::sort(c.members.begin(), c.members.end());
+  // DG ignores weights: ring density 3/3 = 1; whole graph 6/7 < 1.
+  EXPECT_EQ(c.members, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(c.density, 1.0);
+}
+
+TEST(SpadeTest, DWUsesTransactionAmounts) {
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  Community c = spade.Detect();
+  std::sort(c.members.begin(), c.members.end());
+  EXPECT_EQ(c.members, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(c.density, 10.0);
+}
+
+TEST(SpadeTest, FDWeightsByObjectDegree) {
+  Spade spade;
+  spade.SetSemantics(MakeFD());
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  const auto& g = spade.graph();
+  // Every inserted edge weight must equal 1/log(deg(dst) + 5) evaluated at
+  // insertion time; all degrees here are small, so weights are in
+  // (1/log(11), 1/log(5)].
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    for (const auto& e : g.OutNeighbors(static_cast<VertexId>(v))) {
+      EXPECT_GT(e.weight, 1.0 / std::log(11.0));
+      EXPECT_LE(e.weight, 1.0 / std::log(5.0));
+    }
+  }
+  EXPECT_FALSE(spade.Detect().members.empty());
+}
+
+TEST(SpadeTest, CustomSemanticsViaVSuspESusp) {
+  Spade spade;
+  spade.VSusp([](VertexId v, const DynamicGraph&) {
+    return v == 3 ? 100.0 : 0.0;  // vertex 3 is known-suspicious
+  });
+  spade.ESusp([](const Edge&, const DynamicGraph&) { return 0.001; });
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  Community c = spade.Detect();
+  // The huge prior makes {3} itself the densest subgraph.
+  ASSERT_EQ(c.members.size(), 1u);
+  EXPECT_EQ(c.members[0], 3u);
+  EXPECT_NEAR(c.density, 100.0, 1.0);
+}
+
+TEST(SpadeTest, InsertEdgeUpdatesCommunity) {
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+
+  // A new heavier ring {4,5,6} overtakes the old one.
+  for (const Edge& e : std::vector<Edge>{
+           {4, 5, 40.0, 10}, {5, 6, 40.0, 11}, {6, 4, 40.0, 12}}) {
+    auto r = spade.InsertEdge(e);
+    ASSERT_TRUE(r.ok());
+  }
+  Community c = spade.Detect();
+  std::sort(c.members.begin(), c.members.end());
+  EXPECT_EQ(c.members, (std::vector<VertexId>{4, 5, 6}));
+}
+
+TEST(SpadeTest, InsertMatchesStaticRecompute) {
+  Rng rng(404);
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  std::vector<Edge> initial;
+  for (int i = 0; i < 40; ++i) {
+    initial.push_back(testing::RandomEdge(&rng, 20));
+  }
+  ASSERT_TRUE(spade.BuildGraph(20, initial).ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(spade.InsertEdge(testing::RandomEdge(&rng, 20)).ok());
+    testing::ExpectStateEquals(PeelStatic(spade.graph()),
+                               spade.peel_state());
+  }
+}
+
+TEST(SpadeTest, InsertBatchMatchesStaticRecompute) {
+  Rng rng(405);
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  std::vector<Edge> initial;
+  for (int i = 0; i < 40; ++i) {
+    initial.push_back(testing::RandomEdge(&rng, 20));
+  }
+  ASSERT_TRUE(spade.BuildGraph(20, initial).ok());
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Edge> batch;
+    for (int i = 0; i < 25; ++i) batch.push_back(testing::RandomEdge(&rng, 20));
+    ASSERT_TRUE(spade.InsertBatchEdges(batch).ok());
+    testing::ExpectStateEquals(PeelStatic(spade.graph()),
+                               spade.peel_state());
+  }
+}
+
+TEST(SpadeTest, DeleteEdgeMatchesStaticRecompute) {
+  Rng rng(406);
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  std::vector<Edge> initial;
+  for (int i = 0; i < 30; ++i) {
+    initial.push_back(testing::RandomEdge(&rng, 15));
+  }
+  ASSERT_TRUE(spade.BuildGraph(15, initial).ok());
+  for (int i = 0; i < 10; ++i) {
+    const Edge& victim = initial[rng.NextBounded(initial.size())];
+    const Status s = spade.DeleteEdge(victim.src, victim.dst);
+    if (s.ok()) {
+      testing::ExpectStateEquals(PeelStatic(spade.graph()),
+                                 spade.peel_state());
+    }
+  }
+}
+
+TEST(SpadeTest, LoadGraphFromFile) {
+  const std::string path = ::testing::TempDir() + "/spade_load_test.txt";
+  ASSERT_TRUE(SaveEdgeList(path, DenseRingLog()).ok());
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  ASSERT_TRUE(spade.LoadGraph(path).ok());
+  EXPECT_EQ(spade.graph().NumVertices(), 7u);
+  EXPECT_EQ(spade.graph().NumEdges(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(SpadeTest, LoadGraphMissingFileFails) {
+  Spade spade;
+  EXPECT_FALSE(spade.LoadGraph("/nonexistent/graph.txt").ok());
+}
+
+TEST(SpadeTest, RejectsOutOfRangeInitialEdge) {
+  Spade spade;
+  std::vector<Edge> edges = {{0, 9, 1.0, 0}};
+  EXPECT_FALSE(spade.BuildGraph(3, edges).ok());
+}
+
+// --- Edge grouping (Algorithm 3) ---
+
+TEST(EdgeGroupingTest, BenignEdgesAreBuffered) {
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  spade.TurnOnEdgeGrouping();
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  // g(S_P) = 10; an edge between two degree-1 outsiders with tiny weight
+  // cannot lift either endpoint to the community density.
+  auto r = spade.InsertEdge({3, 6, 0.5, 20});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(spade.PendingBenignEdges(), 1u);
+  // The cached community is returned unchanged (Lemma 4.4).
+  Community c = std::move(r).value();
+  std::sort(c.members.begin(), c.members.end());
+  EXPECT_EQ(c.members, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(EdgeGroupingTest, UrgentEdgeFlushesBuffer) {
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  spade.TurnOnEdgeGrouping();
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  ASSERT_TRUE(spade.InsertEdge({3, 6, 0.5, 20}).ok());
+  ASSERT_EQ(spade.PendingBenignEdges(), 1u);
+  // An edge heavy enough to rival the community is urgent.
+  ASSERT_TRUE(spade.InsertEdge({3, 6, 50.0, 21}).ok());
+  EXPECT_EQ(spade.PendingBenignEdges(), 0u);
+  testing::ExpectStateEquals(PeelStatic(spade.graph()), spade.peel_state());
+}
+
+TEST(EdgeGroupingTest, DetectFlushesBuffer) {
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  spade.TurnOnEdgeGrouping();
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  ASSERT_TRUE(spade.InsertEdge({3, 6, 0.5, 20}).ok());
+  ASSERT_TRUE(spade.InsertEdge({4, 6, 0.5, 21}).ok());
+  EXPECT_EQ(spade.PendingBenignEdges(), 2u);
+  spade.Detect();
+  EXPECT_EQ(spade.PendingBenignEdges(), 0u);
+  EXPECT_EQ(spade.graph().NumEdges(), 8u);
+  testing::ExpectStateEquals(PeelStatic(spade.graph()), spade.peel_state());
+}
+
+TEST(EdgeGroupingTest, BufferCapForcesFlush) {
+  SpadeOptions options;
+  options.enable_edge_grouping = true;
+  options.max_benign_buffer = 3;
+  Spade spade(options);
+  spade.SetSemantics(MakeDW());
+  ASSERT_TRUE(spade.BuildGraph(10, DenseRingLog()).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        spade.InsertEdge({static_cast<VertexId>(3 + i),
+                          static_cast<VertexId>(7 + (i % 3)), 0.01, 0})
+            .ok());
+  }
+  // Buffer held at most 3; the next benign edge cannot extend it.
+  ASSERT_TRUE(spade.InsertEdge({5, 8, 0.01, 0}).ok());
+  EXPECT_EQ(spade.PendingBenignEdges(), 0u);
+}
+
+TEST(EdgeGroupingTest, IsBenignMatchesDefinition41) {
+  Spade spade;
+  spade.SetSemantics(MakeDW());
+  spade.TurnOnEdgeGrouping();
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  const auto& g = spade.graph();
+  const double threshold = spade.peel_state().BestDensity();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Edge e = testing::RandomEdge(&rng, 7, 12);
+    const bool benign = spade.IsBenign(e);
+    const bool def = g.WeightedDegree(e.src) + e.weight < threshold &&
+                     g.WeightedDegree(e.dst) + e.weight < threshold;
+    EXPECT_EQ(benign, def) << "edge " << e.src << "->" << e.dst << " w "
+                           << e.weight;
+  }
+}
+
+// Lemma 4.3/4.4: inserting a benign edge never produces a *better* (denser)
+// community, and its endpoints stay outside the detected community.
+TEST(EdgeGroupingTest, BenignInsertionCannotImproveCommunity) {
+  Rng rng(505);
+  for (int trial = 0; trial < 20; ++trial) {
+    Spade spade;
+    spade.SetSemantics(MakeDW());
+    spade.TurnOnEdgeGrouping();
+    std::vector<Edge> initial;
+    for (int i = 0; i < 50; ++i) {
+      initial.push_back(testing::RandomEdge(&rng, 15));
+    }
+    ASSERT_TRUE(spade.BuildGraph(15, initial).ok());
+    const double before = spade.peel_state().BestDensity();
+
+    Edge e = testing::RandomEdge(&rng, 15, 1);
+    e.weight = 0.125;  // tiny weight: likely benign
+    if (!spade.IsBenign(e)) continue;
+    ASSERT_TRUE(spade.InsertEdge(e).ok());
+    Community after = spade.Detect();  // forces the flush
+
+    const bool endpoints_out =
+        std::find(after.members.begin(), after.members.end(), e.src) ==
+            after.members.end() &&
+        std::find(after.members.begin(), after.members.end(), e.dst) ==
+            after.members.end();
+    // Lemma 4.4: endpoints outside S_P' or the density did not improve.
+    EXPECT_TRUE(endpoints_out || after.density < before + 1e-9);
+  }
+}
+
+TEST(SpadeTest, CumulativeStatsAccumulate) {
+  Spade spade;
+  spade.SetSemantics(MakeDG());
+  ASSERT_TRUE(spade.BuildGraph(7, DenseRingLog()).ok());
+  ASSERT_TRUE(spade.InsertEdge({3, 5, 1.0, 0}).ok());
+  ASSERT_TRUE(spade.InsertEdge({4, 6, 1.0, 0}).ok());
+  EXPECT_GT(spade.cumulative_stats().affected_vertices, 0u);
+  spade.ResetStats();
+  EXPECT_EQ(spade.cumulative_stats().affected_vertices, 0u);
+}
+
+}  // namespace
+}  // namespace spade

@@ -1,0 +1,157 @@
+// Tests for snapshot persistence: round-tripping graph + peel state,
+// corruption detection and the Spade facade's save/restore.
+
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/rng.h"
+#include "core/spade.h"
+#include "peel/static_peeler.h"
+#include "tests/test_util.h"
+
+namespace spade {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/spade_snapshot_test.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, GraphRoundTrip) {
+  Rng rng(5);
+  DynamicGraph g = testing::RandomGraph(&rng, 30, 90, 6, 3);
+  ASSERT_TRUE(SaveSnapshot(path_, g, nullptr).ok());
+
+  DynamicGraph restored;
+  bool state_present = true;
+  ASSERT_TRUE(LoadSnapshot(path_, &restored, nullptr, &state_present).ok());
+  EXPECT_FALSE(state_present);
+  ASSERT_EQ(restored.NumVertices(), g.NumVertices());
+  ASSERT_EQ(restored.NumEdges(), g.NumEdges());
+  EXPECT_DOUBLE_EQ(restored.TotalWeight(), g.TotalWeight());
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    const auto vid = static_cast<VertexId>(v);
+    EXPECT_DOUBLE_EQ(restored.VertexWeight(vid), g.VertexWeight(vid));
+    EXPECT_DOUBLE_EQ(restored.WeightedDegree(vid), g.WeightedDegree(vid));
+  }
+}
+
+TEST_F(SnapshotTest, StateRoundTrip) {
+  Rng rng(6);
+  DynamicGraph g = testing::RandomGraph(&rng, 25, 60, 5, 2);
+  PeelState state = PeelStatic(g);
+  ASSERT_TRUE(SaveSnapshot(path_, g, &state).ok());
+
+  DynamicGraph restored_graph;
+  PeelState restored_state;
+  bool state_present = false;
+  ASSERT_TRUE(
+      LoadSnapshot(path_, &restored_graph, &restored_state, &state_present)
+          .ok());
+  EXPECT_TRUE(state_present);
+  testing::ExpectStateEquals(state, restored_state, 0.0);
+  EXPECT_DOUBLE_EQ(restored_state.BestDensity(), state.BestDensity());
+}
+
+TEST_F(SnapshotTest, RejectsMismatchedState) {
+  DynamicGraph g(3);
+  PeelState state(2);
+  state.Append(0, 0.0);
+  state.Append(1, 0.0);
+  EXPECT_FALSE(SaveSnapshot(path_, g, &state).ok());
+}
+
+TEST_F(SnapshotTest, DetectsCorruption) {
+  Rng rng(7);
+  DynamicGraph g = testing::RandomGraph(&rng, 10, 20, 4, 0);
+  PeelState state = PeelStatic(g);
+  ASSERT_TRUE(SaveSnapshot(path_, g, &state).ok());
+
+  // Flip one byte in the middle of the file.
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(64);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.write(&byte, 1);
+  }
+  DynamicGraph restored;
+  PeelState restored_state;
+  bool present = false;
+  const Status s = LoadSnapshot(path_, &restored, &restored_state, &present);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST_F(SnapshotTest, RejectsGarbageFile) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    f << "this is not a snapshot";
+  }
+  DynamicGraph g;
+  EXPECT_FALSE(LoadSnapshot(path_, &g, nullptr, nullptr).ok());
+}
+
+TEST_F(SnapshotTest, MissingFileIsIOError) {
+  DynamicGraph g;
+  const Status s = LoadSnapshot("/nonexistent/snap.bin", &g, nullptr, nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(Crc64Test, KnownProperties) {
+  const char data[] = "123456789";
+  const std::uint64_t crc = Crc64(data, 9);
+  EXPECT_NE(crc, 0u);
+  // Deterministic and sensitive to single-bit changes.
+  EXPECT_EQ(crc, Crc64(data, 9));
+  char mutated[] = "123456788";
+  EXPECT_NE(crc, Crc64(mutated, 9));
+  // Streaming in two chunks matches one shot.
+  const std::uint64_t part = Crc64(data, 4);
+  EXPECT_EQ(Crc64(data + 4, 5, part), crc);
+}
+
+TEST_F(SnapshotTest, SpadeSaveRestoreResumesIncrementally) {
+  Rng rng(8);
+  Spade original;
+  original.SetSemantics(MakeDW());
+  std::vector<Edge> initial;
+  for (int i = 0; i < 60; ++i) initial.push_back(testing::RandomEdge(&rng, 20));
+  ASSERT_TRUE(original.BuildGraph(20, initial).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(original.InsertEdge(testing::RandomEdge(&rng, 20)).ok());
+  }
+  ASSERT_TRUE(original.SaveState(path_).ok());
+
+  Spade restored;
+  restored.SetSemantics(MakeDW());
+  ASSERT_TRUE(restored.RestoreState(path_).ok());
+  testing::ExpectStateEquals(original.peel_state(), restored.peel_state(),
+                             0.0);
+
+  // Both detectors continue identically on further updates.
+  for (int i = 0; i < 10; ++i) {
+    const Edge e = testing::RandomEdge(&rng, 20);
+    ASSERT_TRUE(original.InsertEdge(e).ok());
+    ASSERT_TRUE(restored.InsertEdge(e).ok());
+  }
+  testing::ExpectStateEquals(original.peel_state(), restored.peel_state(),
+                             0.0);
+  testing::ExpectStateEquals(PeelStatic(restored.graph()),
+                             restored.peel_state());
+}
+
+}  // namespace
+}  // namespace spade

@@ -11,6 +11,8 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -62,14 +64,42 @@ inline const std::vector<Algo>& Algos() {
   return algos;
 }
 
+/// Warmup + adaptive-iteration measurement (the dsharlet/array pattern from
+/// SNIPPETS.md): runs `op` once untimed to warm caches and allocators, then
+/// grows the iteration count until a timed run exceeds `min_time_s`, so
+/// short operations are averaged over enough repetitions to be stable
+/// enough to gate regressions. Returns seconds per iteration.
+template <typename Op>
+inline double BenchmarkSecondsPerIteration(Op&& op, double min_time_s = 0.1,
+                                           int max_trials = 10) {
+  op();  // warmup
+  long iterations = 1;
+  double per_iteration_s = 0.0;
+  for (int trial = 0; trial < max_trials; ++trial) {
+    Timer timer;
+    for (long j = 0; j < iterations; ++j) op();
+    const double elapsed = timer.ElapsedSeconds();
+    per_iteration_s = elapsed / static_cast<double>(iterations);
+    if (elapsed > min_time_s) break;
+    const long next = static_cast<long>(
+        std::ceil((min_time_s * 2) / std::max(per_iteration_s, 1e-12)));
+    iterations = std::min(std::max(next, iterations), iterations * 10);
+  }
+  return per_iteration_s;
+}
+
 /// One full static peel (the baseline's per-detection cost), seconds.
+/// Warmed up and averaged over adaptive iterations so small graphs do not
+/// report timer noise.
 inline double MeasureStaticSeconds(const DynamicGraph& g) {
-  Timer timer;
-  PeelState state = PeelStatic(g);
-  // Consume the result so the optimizer cannot drop the peel.
-  volatile double guard = state.BestDensity();
-  (void)guard;
-  return timer.ElapsedSeconds();
+  return BenchmarkSecondsPerIteration(
+      [&g] {
+        PeelState state = PeelStatic(g);
+        // Consume the result so the optimizer cannot drop the peel.
+        volatile double guard = state.BestDensity();
+        (void)guard;
+      },
+      /*min_time_s=*/0.05);
 }
 
 /// Builds a Spade over the workload's initial graph under `algo` semantics.

@@ -35,15 +35,36 @@ Status IncrementalEngine::InsertBatch(DynamicGraph* g, PeelState* state,
   // below: the merge then places them canonically relative to existing
   // equal-weight vertices.
   new_vertices_.clear();
+  batch_endpoints_.clear();
+  for (const Edge& e : edges) {
+    batch_endpoints_.push_back(e.src);
+    batch_endpoints_.push_back(e.dst);
+  }
+  std::sort(batch_endpoints_.begin(), batch_endpoints_.end());
+  const auto is_batch_endpoint = [&](VertexId nv) {
+    return std::binary_search(batch_endpoints_.begin(),
+                              batch_endpoints_.end(), nv);
+  };
+  // Register every id the graph ends up covering but the state does not —
+  // gap ids implied by a sparse id space, or endpoints a caller already
+  // created in the graph (Spade grows the graph before weighting) — as
+  // isolated prior-0 vertices, so the state always covers the graph. Batch
+  // endpoints are excluded from gap filling: each takes the prior-carrying
+  // branch of its own iteration, regardless of the order endpoints are
+  // reached. The gap cursor only moves forward, so across the whole batch
+  // every id is inspected once (state coverage is dense below it apart
+  // from skipped endpoints, which their own iterations fill before the
+  // merge).
+  auto gap_cursor = static_cast<VertexId>(state->size());
   for (const Edge& e : edges) {
     for (VertexId v : {e.src, e.dst}) {
       if (v >= g->NumVertices() || !state->ContainsVertex(v)) {
-        const std::size_t old_n = g->NumVertices();
         g->EnsureVertices(v + 1);
-        for (std::size_t nv = old_n; nv + 1 < g->NumVertices(); ++nv) {
-          if (!state->ContainsVertex(static_cast<VertexId>(nv))) {
-            state->InsertVertexAtHead(static_cast<VertexId>(nv), 0.0);
-            new_vertices_.push_back(static_cast<VertexId>(nv));
+        for (; gap_cursor < g->NumVertices(); ++gap_cursor) {
+          if (!is_batch_endpoint(gap_cursor) &&
+              !state->ContainsVertex(gap_cursor)) {
+            state->InsertVertexAtHead(gap_cursor, 0.0);
+            new_vertices_.push_back(gap_cursor);
           }
         }
         const double prior = vsusp ? vsusp(v, *g) : 0.0;
@@ -59,8 +80,16 @@ Status IncrementalEngine::InsertBatch(DynamicGraph* g, PeelState* state,
   // head placement is order-unverified), so they must be re-examined when
   // the merge scan reaches them. Stored deltas are never modified here —
   // understated values keep every pruning comparison conservative
-  // (DESIGN.md §2.4).
+  // (DESIGN.md §2.4). Instead, each inserted edge credits the recovery
+  // accumulator of its earlier-positioned endpoint, which is exactly the
+  // term the stored weight would have carried had the edge existed at peel
+  // time (the later-positioned endpoint's corrections accrue as the earlier
+  // one transitions through T; DESIGN.md §3.1).
   BumpEpoch();
+  pending_.EnsureCapacity(g->NumVertices());
+  if (g->NumVertices() > 0) {
+    EnsureScratch(static_cast<VertexId>(g->NumVertices() - 1));
+  }
   black_positions_.clear();
   for (VertexId v : new_vertices_) {
     if (ColorOf(v) != Color::kBlack) {
@@ -76,11 +105,26 @@ Status IncrementalEngine::InsertBatch(DynamicGraph* g, PeelState* state,
         black_positions_.push_back(state->PositionOf(v));
       }
     }
+    if (options_.stored_delta_recovery) {
+      const bool src_earlier =
+          state->PositionOf(e.src) < state->PositionOf(e.dst);
+      AddRecov(src_earlier ? e.src : e.dst, e.weight);
+    }
   }
   std::sort(black_positions_.begin(), black_positions_.end());
 
-  pending_.EnsureCapacity(g->NumVertices());
   ReorderStats local;
+  // Pre-seed every created vertex into the queue at its exact initial
+  // weight (prior plus all incident edges — which are all new, hence all
+  // pending). Head placement is by fiat, not by peel order, so a stored
+  // head delta is NOT a lower bound on later unscanned weights the way an
+  // old canonical slot is — a case-1 emit against it could overtake a
+  // cheaper head vertex further on. With the whole head block in T from
+  // the start, the merge skips those slots and orders the newcomers
+  // canonically.
+  for (VertexId v : new_vertices_) {
+    PushPending(*g, v, state->PositionOf(v), g->WeightedDegree(v), &local);
+  }
   MergeLoop(*g, state, black_positions_,
             black_positions_.empty() ? 0 : black_positions_.front(), &local);
   state->InvalidateBest();
@@ -110,6 +154,8 @@ Status IncrementalEngine::DeleteEdge(DynamicGraph* g, PeelState* state,
   const std::size_t py = std::max(ps, pd);
 
   BumpEpoch();
+  pending_.EnsureCapacity(g->NumVertices());
+  EnsureScratch(static_cast<VertexId>(g->NumVertices() - 1));
   ReorderStats local;
 
   // Backward walk (Appendix C.1): the earliest step where the endpoint's
@@ -158,13 +204,15 @@ Status IncrementalEngine::DeleteEdge(DynamicGraph* g, PeelState* state,
   }
 
   // Either endpoint moves: seed the queue with both at their exact weights
-  // from the merged splice point. Their dips can cascade through neighbors;
-  // the merge's early-pop sweep handles that transitively.
+  // from the merged splice point. The weight is taken at the splice cursor
+  // rather than at the endpoint's own slot, so the O(1) recovery identity
+  // does not apply — recompute from the graph (two scans per deletion, the
+  // same order as walk_splice itself). Their dips can cascade through
+  // neighbors; the merge's early-pop sweep handles that transitively.
   const std::size_t splice = std::min(splice_x, splice_y);
-  pending_.EnsureCapacity(g->NumVertices());
   for (VertexId u : {x, y}) {
-    PushPending(*g, u, ExactPendingWeight(*g, u, splice, *state, &local),
-                &local);
+    PushPending(*g, u, state->PositionOf(u),
+                ExactPendingWeight(*g, u, splice, *state, &local), &local);
   }
 
   black_positions_.clear();
@@ -193,14 +241,74 @@ double IncrementalEngine::ExactPendingWeight(const DynamicGraph& g,
   return w;
 }
 
+double IncrementalEngine::RecoveredWeight(const DynamicGraph& g,
+                                          const PeelState& state, VertexId u,
+                                          double stored_delta, std::size_t k,
+                                          ReorderStats* stats) const {
+  if (!options_.stored_delta_recovery) {
+    return ExactPendingWeight(g, u, k, state, stats);
+  }
+  // Algorithm 2's gray recovery (DESIGN.md §3.1): u is being read at its own
+  // pre-merge slot k, so the stored peeling weight counts exactly u's vertex
+  // weight plus its edges into the pre-merge suffix [k, n); the accumulator
+  // carries the net correction from every neighbor that entered or left T
+  // and every inserted edge. O(1) instead of an incident-list rescan.
+  (void)g;
+  ++stats->recovery_lookups;
+  return stored_delta + RecovOf(u);
+}
+
 void IncrementalEngine::PushPending(const DynamicGraph& g, VertexId u,
-                                    double weight, ReorderStats* stats) {
+                                    std::size_t old_pos, double weight,
+                                    ReorderStats* stats) {
   pending_.Push(u, weight);
   ++stats->affected_vertices;
-  g.ForEachIncident(u, [&](VertexId v, double) {
-    if (ColorOf(v) == Color::kWhite) SetColor(v, Color::kGray);
-  });
-  stats->touched_edges += g.Degree(u);
+  if (options_.stored_delta_recovery) {
+    // Defer the gray+credit pass: if u pops before the merge reads another
+    // affected slot, neither the credits nor their matching debits are ever
+    // observable, and u's only incident pass is the relax pass at emit. The
+    // degree budget funds white-slot adjacency probes in the meantime.
+    Scratch(u).deferred = true;
+    uncredited_.emplace_back(u, old_pos);
+    ++deferred_count_;
+    credit_budget_ += static_cast<std::ptrdiff_t>(g.Degree(u));
+  } else {
+    g.ForEachIncident(u, [&](VertexId v, double) {
+      if (ColorOf(v) == Color::kWhite) SetColor(v, Color::kGray);
+    });
+    stats->touched_edges += g.Degree(u);
+  }
+}
+
+void IncrementalEngine::FlushCredits(const DynamicGraph& g,
+                                     const PeelState& state,
+                                     ReorderStats* stats) {
+  for (const auto& [u, old_pos] : uncredited_) {
+    // Entries of members that already popped are stale — their pass was
+    // cancelled, not deferred.
+    VertexScratch& su = Scratch(u);
+    if (!su.deferred) continue;
+    su.deferred = false;
+    // u moved from "unscanned" to "pending": a later-positioned unscanned
+    // neighbor's stored weight missed this edge (u peeled first in the old
+    // order), but the edge now counts while u sits in T — credit it. The
+    // earlier-positioned ones already count it in their stored weight.
+    // Crediting a neighbor that is itself pending or already emitted is
+    // harmless (its accumulator is never read again this epoch), so the
+    // position test is the only guard — one packed-scratch line and one
+    // position read per edge, with a branchless accumulate.
+    g.ForEachIncident(u, [&](VertexId v, double c) {
+      VertexScratch& s = Scratch(v);
+      if (s.color == static_cast<std::uint8_t>(Color::kWhite)) {
+        s.color = static_cast<std::uint8_t>(Color::kGray);
+      }
+      s.recov += state.PositionOf(v) > old_pos ? c : 0.0;
+    });
+    stats->touched_edges += g.Degree(u);
+  }
+  uncredited_.clear();
+  deferred_count_ = 0;
+  credit_budget_ = 0;
 }
 
 void IncrementalEngine::EmitFromQueue(const DynamicGraph& g, PeelState* state,
@@ -212,23 +320,63 @@ void IncrementalEngine::EmitFromQueue(const DynamicGraph& g, PeelState* state,
   WriteEntry(state, w, umin, dmin);
   MarkEmitted(umin);
 
+  // Was umin's gray+credit pass ever flushed? If not, cancel it O(1) via
+  // the scratch flag (its list entry goes stale; the flush skips those):
+  // no credits were written, so no cancelling debits are owed.
+  bool credited = true;
+  if (options_.stored_delta_recovery) {
+    VertexScratch& su = Scratch(umin);
+    if (su.deferred) {
+      su.deferred = false;
+      --deferred_count_;
+      credit_budget_ -= static_cast<std::ptrdiff_t>(g.Degree(umin));
+      credited = false;
+    }
+  }
+
   // Phase 1: peeling umin releases its edges from every neighbor that was
-  // already in the queue.
-  g.ForEachIncident(umin, [&](VertexId v, double c) {
-    if (pending_.Contains(v)) pending_.Adjust(v, -c);
-  });
+  // already in the queue, and — when umin's credit pass ran and it emits at
+  // or behind the scan cursor — debits the recovery accumulator of every
+  // unscanned neighbor: whether the stored weight counted the edge
+  // (old_pos after the neighbor) or the credit pass added it, an emitted
+  // umin must no longer contribute. Debiting an already-emitted neighbor is
+  // harmless — its accumulator is never read again this epoch. No debits
+  // are owed otherwise: an uncredited umin wrote no credits, and an early
+  // emit (old_pos > k, deletion path) sweeps every readable unscanned
+  // neighbor into the queue at an exact from-graph weight below, making
+  // their accumulators unread.
+  if (credited && old_pos <= k) {
+    g.ForEachIncident(umin, [&](VertexId v, double c) {
+      if (pending_.Contains(v)) {
+        pending_.Decrease(v, -c);
+      } else if (options_.stored_delta_recovery) {
+        AddRecov(v, -c);
+      }
+    });
+  } else {
+    g.ForEachIncident(umin, [&](VertexId v, double c) {
+      if (pending_.Contains(v)) pending_.Decrease(v, -c);
+    });
+  }
   // Phase 2: if umin peels ahead of its old schedule (old position not yet
   // reached by the scan), its unscanned neighbors' dips accelerate — their
   // stored weights stop being trustworthy ordering bounds, so they are
   // swept into the queue at their exact current weights (DESIGN.md §2.6).
   // The Contains() guard keeps phase 1's relaxations and parallel edges
   // from double-counting: an exact weight already reflects umin's removal.
+  // The sweep takes each weight at the scan cursor, ahead of the swept
+  // vertex's own slot, so the O(1) stored-delta identity does not apply
+  // (it misses edges to unscanned vertices between the cursor and the
+  // slot); recompute from the graph. Early emission only ever happens on
+  // the deletion path — insertion merges push every vertex at its own slot
+  // — so the insert hot path never pays this scan (DESIGN.md §3.1).
   if (old_pos > k) {
     g.ForEachIncident(umin, [&](VertexId v, double c) {
       (void)c;
       if (!pending_.Contains(v) && !IsEmitted(v) &&
           state->PositionOf(v) >= k) {
-        PushPending(g, v, ExactPendingWeight(g, v, k, *state, stats), stats);
+        PushPending(g, v, state->PositionOf(v),
+                    ExactPendingWeight(g, v, k, *state, stats), stats);
       }
     });
   }
@@ -280,17 +428,82 @@ void IncrementalEngine::MergeLoop(const DynamicGraph& g, PeelState* state,
       // never overstates u_k's true weight, so this is conservative.
       EmitFromQueue(g, state, w++, k, stats);
       ++stats->rewritten_span;
-    } else if (ColorOf(u_k) != Color::kWhite) {
+      continue;
+    }
+    // Classify slot k. Colors and accumulators may be behind by the
+    // deferred gray+credit passes of current queue members; a white-looking
+    // incumbent is genuinely untouched iff it is also not adjacent to any
+    // queue member (white implies zero accumulator and no new edges, and
+    // relaxation is only owed to queue neighbors). Probing the incumbent's
+    // own incident list costs O(deg(u_k)) against the O(deg(T)) of a flush;
+    // the degree budget accumulated at push time keeps the probes bounded
+    // by one deferred pass overall, so the worst case stays one incident
+    // pass per affected vertex while a queue that drains before the next
+    // affected read never pays its credit pass at all.
+    bool affected = ColorOf(u_k) != Color::kWhite;
+    bool have_probe_weight = false;
+    double probe_weight = 0.0;
+    if (options_.stored_delta_recovery && deferred_count_ > 0) {
+      if (affected) {
+        // Gray or black with deferred credits outstanding: the accumulator
+        // is behind by exactly those credits — settle them.
+        FlushCredits(g, *state, stats);
+      } else {
+        const auto deg = static_cast<std::ptrdiff_t>(g.Degree(u_k));
+        if (credit_budget_ < deg) {
+          FlushCredits(g, *state, stats);
+          affected = ColorOf(u_k) != Color::kWhite;
+        } else {
+          // White slot: zero accumulator and no new edges, so it is
+          // untouched unless adjacent to a queue member — and since a
+          // credited pass would have grayed it, every queue neighbor is
+          // uncredited, which makes its exact pending weight computable in
+          // the same probe: the stored delta plus its edges to earlier-
+          // positioned queue members (later-positioned ones the stored
+          // delta already counts). The deferred passes never run for this.
+          credit_budget_ -= deg;
+          stats->touched_edges += g.Degree(u_k);
+          double add = 0.0;
+          bool adjacent = false;
+          g.ForEachIncident(u_k, [&](VertexId v, double c) {
+            if (pending_.Contains(v)) {
+              adjacent = true;
+              if (state->PositionOf(v) < k) add += c;
+            }
+          });
+          if (adjacent) {
+            affected = true;
+            have_probe_weight = true;
+            probe_weight = d_k + add;
+          }
+        }
+      }
+    }
+    if (affected) {
       // Case 2(a): affected vertex — its stored weight may miss new edges
-      // or edges into the queue; recover the exact value and let the queue
-      // order it.
-      PushPending(g, u_k, ExactPendingWeight(g, u_k, k, *state, stats),
+      // or edges into the queue; recover the exact value (O(1) from the
+      // stored delta plus the accumulator, or straight from the adjacency
+      // probe) and let the queue order it.
+      PushPending(g, u_k, k,
+                  have_probe_weight
+                      ? probe_weight
+                      : RecoveredWeight(g, *state, u_k, d_k, k, stats),
                   stats);
       ++k;
     } else {
       // Case 2(b): untouched vertex with the smallest weight — copy through.
+      // No recovery bookkeeping is owed: a white vertex has no queue
+      // neighbors (pushes gray their whole neighborhood) and emits at
+      // exactly its old slot, so no unscanned neighbor's stored weight
+      // counted it wrongly. The emitted mark is needed only while the write
+      // cursor runs ahead of the scan cursor (deletion merges, where early
+      // emits of splice seeds can push w past k): a copy written at w <= k
+      // lands at or before the cursor, so every emitted-or-pending test
+      // already excludes it by position. Insertion merges always have
+      // w <= k, so the hot path never pays this random store — the
+      // dominant write of a long displacement run.
       WriteEntry(state, w, u_k, d_k);
-      MarkEmitted(u_k);
+      if (w > k) MarkEmitted(u_k);
       ++w;
       ++k;
       ++stats->rewritten_span;

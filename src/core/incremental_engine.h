@@ -16,9 +16,21 @@
 // position before the scan cursor, so the stored peeling weight of any
 // unscanned vertex counts exactly its edges into the unscanned region; gray
 // recovery adds back the edges into T.
+//
+// Gray recovery is O(1) per push (DESIGN.md §3.1): instead of recomputing a
+// vertex's pending weight from the graph on every push, the engine
+// maintains an epoch-stamped per-vertex accumulator `recov_` holding the
+// exact correction between the stored peeling weight and the true pending
+// weight. The accumulator is updated as neighbors enter T (+c for the
+// later-positioned endpoint), leave T by emission (-c for every unscanned
+// neighbor), and as inserted edges arrive (+c mirroring what the stored
+// weight would have counted). Each affected vertex then pays exactly one
+// incident pass per state transition (push, emit) — never one per
+// relaxation or per queue examination.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -41,19 +53,34 @@ struct ReorderStats {
   std::size_t touched_edges = 0;
   /// Width of the rewritten window of the peeling sequence.
   std::size_t rewritten_span = 0;
+  /// Pending weights served O(1) from the stored-delta recovery accumulator
+  /// (each one an incident-list rescan the legacy path would have paid).
+  std::size_t recovery_lookups = 0;
 
   void Reset() { *this = ReorderStats(); }
   void Accumulate(const ReorderStats& other) {
     affected_vertices += other.affected_vertices;
     touched_edges += other.touched_edges;
     rewritten_span += other.rewritten_span;
+    recovery_lookups += other.recovery_lookups;
   }
+};
+
+/// Tuning knobs for the incremental engine.
+struct IncrementalOptions {
+  /// When true (default), pending weights come from the paper's Algorithm 2
+  /// stored-delta gray recovery in O(1) per push. When false, every push
+  /// recomputes the weight from the graph in O(deg) — the pre-optimization
+  /// behavior, kept as a differential baseline for tests and benchmarks.
+  bool stored_delta_recovery = true;
 };
 
 /// Stateful incremental reorderer bound to one (graph, peel state) pair.
 class IncrementalEngine {
  public:
   IncrementalEngine() = default;
+  explicit IncrementalEngine(IncrementalOptions options)
+      : options_(options) {}
 
   /// Inserts a batch of weighted edges (weight = final suspiciousness c_ij)
   /// into `g` and reorders `state` so it equals a from-scratch peel of the
@@ -77,36 +104,83 @@ class IncrementalEngine {
                     VertexId dst, ReorderStats* stats,
                     const double* weight_filter = nullptr);
 
+  /// Test-only: jumps the epoch counter (exercises wrap-around handling).
+  void ForceEpochForTesting(std::uint32_t epoch) { epoch_ = epoch; }
+
  private:
   enum class Color : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
 
-  /// Epoch-stamped color lookup (O(1) reset between updates).
+  /// All epoch-stamped per-vertex merge scratch, packed into one struct
+  /// behind a single stamp, so a neighbor touch during the hot incident
+  /// passes costs one cache line and one stamp branch instead of one per
+  /// array (high-degree vertices make these passes memory-bound).
+  struct VertexScratch {
+    std::uint32_t stamp = 0;
+    std::uint8_t color = 0;  // Color
+    bool emitted = false;
+    bool deferred = false;  // in uncredited_ with its credit pass pending
+    double recov = 0.0;
+  };
+
+  void EnsureScratch(VertexId v) {
+    if (v >= scratch_vertex_.size()) scratch_vertex_.resize(v + 1);
+  }
+
+  /// Canonicalized scratch access: the first touch in an epoch resets every
+  /// field, so callers read and write fields directly afterwards.
+  VertexScratch& Scratch(VertexId v) {
+    VertexScratch& s = scratch_vertex_[v];
+    if (s.stamp != epoch_) {
+      s.stamp = epoch_;
+      s.color = static_cast<std::uint8_t>(Color::kWhite);
+      s.emitted = false;
+      s.deferred = false;
+      s.recov = 0.0;
+    }
+    return s;
+  }
+
+  /// Read-only lookups: stale-stamped entries read as the epoch defaults
+  /// without canonicalizing (no store, no dirtied line).
   Color ColorOf(VertexId v) const {
-    return (v < color_stamp_.size() && color_stamp_[v] == epoch_)
-               ? static_cast<Color>(color_value_[v])
-               : Color::kWhite;
+    const VertexScratch& s = scratch_vertex_[v];
+    return s.stamp == epoch_ ? static_cast<Color>(s.color) : Color::kWhite;
   }
   void SetColor(VertexId v, Color c) {
-    if (v >= color_stamp_.size()) {
-      color_stamp_.resize(v + 1, 0);
-      color_value_.resize(v + 1, 0);
-    }
-    color_stamp_[v] = epoch_;
-    color_value_[v] = static_cast<std::uint8_t>(c);
+    Scratch(v).color = static_cast<std::uint8_t>(c);
   }
 
-  /// Starts a fresh update: invalidates all colors and emitted stamps.
-  void BumpEpoch() { epoch_ = epoch_ + 1 == 0 ? 1 : epoch_ + 1; }
+  /// Starts a fresh update: invalidates all colors, emitted flags and
+  /// recovery accumulators. When the 32-bit epoch wraps, stale stamps from
+  /// ~4 billion updates ago could alias the restarted counter, so every
+  /// stamp is cleared to the never-current value 0 first.
+  void BumpEpoch() {
+    uncredited_.clear();
+    deferred_count_ = 0;
+    credit_budget_ = 0;
+    if (++epoch_ == 0) {
+      std::fill(scratch_vertex_.begin(), scratch_vertex_.end(),
+                VertexScratch{});
+      epoch_ = 1;
+    }
+  }
 
-  /// Emitted-this-merge stamp (distinguishes peeled vertices from unscanned
+  /// Emitted-this-merge flag (distinguishes peeled vertices from unscanned
   /// ones whose rewritten position may exceed the scan cursor).
   bool IsEmitted(VertexId v) const {
-    return v < emitted_stamp_.size() && emitted_stamp_[v] == epoch_;
+    const VertexScratch& s = scratch_vertex_[v];
+    return s.stamp == epoch_ && s.emitted;
   }
-  void MarkEmitted(VertexId v) {
-    if (v >= emitted_stamp_.size()) emitted_stamp_.resize(v + 1, 0);
-    emitted_stamp_[v] = epoch_;
+  void MarkEmitted(VertexId v) { Scratch(v).emitted = true; }
+
+  /// Stored-delta recovery accumulator (DESIGN.md §3.1): the running
+  /// correction between an unscanned vertex's stored peeling weight and its
+  /// true pending weight. Epoch-stamped, so reset is free.
+  double RecovOf(VertexId v) const {
+    const VertexScratch& s = scratch_vertex_[v];
+    return s.stamp == epoch_ ? s.recov : 0.0;
   }
+  void AddRecov(VertexId v, double amount) { Scratch(v).recov += amount; }
 
   /// Runs the three-case merge loop from `start`. `black_positions` must be
   /// sorted ascending; the queue may be pre-seeded (deletion path).
@@ -120,16 +194,39 @@ class IncrementalEngine {
   void EmitFromQueue(const DynamicGraph& g, PeelState* state, std::size_t w,
                      std::size_t k, ReorderStats* stats);
 
-  /// Pushes u into the pending queue and grays its neighbors.
-  void PushPending(const DynamicGraph& g, VertexId u, double weight,
-                   ReorderStats* stats);
+  /// Pushes u — whose pre-merge position is `old_pos` — into the pending
+  /// queue at `weight`. In recovery mode the graying/crediting incident
+  /// pass is deferred: colors and accumulators are only consulted when the
+  /// merge classifies a slot (case 2), so a vertex that pops back out of T
+  /// before the next classification never pays its incident pass at all —
+  /// FlushCredits() settles the books lazily. Legacy mode grays eagerly.
+  void PushPending(const DynamicGraph& g, VertexId u, std::size_t old_pos,
+                   double weight, ReorderStats* stats);
 
-  /// Exact current peeling weight of u over the true pending set
-  /// (queue members plus unscanned vertices); replaces the paper's stored-
-  /// delta "recovery" with a from-graph computation of the same quantity.
+  /// Applies the deferred gray+credit incident pass of every pending queue
+  /// member that has not had one yet (u's edge counts toward the pending
+  /// weight of every later-positioned unscanned neighbor even though their
+  /// stored weight missed it). Must run before any slot classification or
+  /// recovered-weight read.
+  void FlushCredits(const DynamicGraph& g, const PeelState& state,
+                    ReorderStats* stats);
+
+  /// Exact current peeling weight of u over the true pending set (queue
+  /// members plus unscanned vertices), recomputed from the graph in
+  /// O(deg(u)). Used by the legacy (non-recovery) mode and by the deletion
+  /// path's splice seeding, where the weight is taken at an arbitrary
+  /// cursor rather than at u's own slot.
   double ExactPendingWeight(const DynamicGraph& g, VertexId u, std::size_t k,
                             const PeelState& state,
                             ReorderStats* stats) const;
+
+  /// Pending weight of the unscanned vertex u read at its own pre-merge
+  /// slot `k` (the only place the stored-delta identity holds): the stored
+  /// peeling weight plus the recovery accumulator, O(1). Falls back to the
+  /// from-graph recomputation when stored-delta recovery is disabled.
+  double RecoveredWeight(const DynamicGraph& g, const PeelState& state,
+                         VertexId u, double stored_delta, std::size_t k,
+                         ReorderStats* stats) const;
 
   /// Reads the pre-update entry at position k (scratch if already
   /// overwritten, live state otherwise).
@@ -148,15 +245,27 @@ class IncrementalEngine {
     scratch_delta_.clear();
   }
 
+  IncrementalOptions options_;
+
   IndexedMinHeap pending_;  // the paper's T
-  std::vector<std::uint32_t> color_stamp_;
-  std::vector<std::uint8_t> color_value_;
-  std::vector<std::uint32_t> emitted_stamp_;
+  std::vector<VertexScratch> scratch_vertex_;
   std::uint32_t epoch_ = 0;
 
   std::vector<std::size_t> black_positions_;
   std::vector<VertexId> new_vertices_;
+  std::vector<VertexId> batch_endpoints_;  // sorted, for gap-fill exclusion
   std::vector<std::pair<std::size_t, double>> neighbor_weight_by_pos_;
+
+  // Queue members whose gray+credit incident pass is still deferred
+  // (vertex, pre-merge position). Settled by FlushCredits or cancelled
+  // O(1) when the member pops unread (the scratch `deferred` flag is the
+  // source of truth; popped members leave stale list entries that the
+  // flush skips). The budget is the summed degree of the deferred members,
+  // spent on white-slot adjacency probes so probing never exceeds the cost
+  // of the deferred passes themselves.
+  std::vector<std::pair<VertexId, std::size_t>> uncredited_;
+  std::size_t deferred_count_ = 0;
+  std::ptrdiff_t credit_budget_ = 0;
 
   // Sliding preservation window: old entries of positions the write cursor
   // has already overwritten, so reads at the scan cursor stay pre-update.

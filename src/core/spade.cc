@@ -105,6 +105,11 @@ Status Spade::InsertWeightedBatch(std::span<const Edge> weighted) {
 }
 
 Status Spade::ApplyEdge(const Edge& raw_edge) {
+  // Reject before growing the graph: a failed insert must not leave
+  // vertices the peel state does not cover.
+  if (raw_edge.src == raw_edge.dst) {
+    return Status::InvalidArgument("ApplyEdge: self-loops not supported");
+  }
   EnsureEndpoints(raw_edge);
   const Edge weighted = Weight(raw_edge);
   if (options_.enable_edge_grouping) {
@@ -127,6 +132,14 @@ Status Spade::ApplyEdge(const Edge& raw_edge) {
 
 Status Spade::ApplyBatchEdges(std::span<const Edge> raw_edges) {
   SPADE_RETURN_NOT_OK(Flush());
+  for (const Edge& raw : raw_edges) {
+    // Reject before growing the graph: a failed insert must not leave
+    // vertices the peel state does not cover.
+    if (raw.src == raw.dst) {
+      return Status::InvalidArgument(
+          "ApplyBatchEdges: self-loops not supported");
+    }
+  }
   std::vector<Edge> weighted;
   weighted.reserve(raw_edges.size());
   for (const Edge& raw : raw_edges) {

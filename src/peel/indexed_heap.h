@@ -9,7 +9,9 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/logging.h"
@@ -80,6 +82,32 @@ class IndexedMinHeap {
   /// Adds `delta` to the weight of a contained vertex.
   void Adjust(VertexId v, double delta) {
     Update(v, heap_[slot_[v]].weight + delta);
+  }
+
+  /// Adds `delta` (<= 0) to the weight of a contained vertex. Peeling only
+  /// ever relaxes pending weights downward, so the fixup is a pure sift-up —
+  /// half the comparisons of the direction-agnostic Adjust.
+  void Decrease(VertexId v, double delta) {
+    SPADE_DCHECK(Contains(v));
+    SPADE_DCHECK(delta <= 0.0);
+    const std::size_t i = slot_[v];
+    heap_[i].weight += delta;
+    SiftUp(i);
+  }
+
+  /// Rebuilds the heap to hold exactly vertices [0, weights.size()) keyed by
+  /// `weights`, via bottom-up heapify: O(n) instead of the O(n log n) of n
+  /// pushes. The pop order is unchanged — the comparator's total order pins
+  /// the canonical sequence regardless of internal array layout.
+  void AssignAll(std::span<const double> weights) {
+    const std::size_t n = weights.size();
+    slot_.assign(std::max(slot_.size(), n), kNoSlot);
+    heap_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      heap_[v] = {weights[v], static_cast<VertexId>(v)};
+    }
+    for (std::size_t i = n / 2; i-- > 0;) SiftDown(i);
+    for (std::size_t i = 0; i < n; ++i) slot_[heap_[i].vertex] = i;
   }
 
   VertexId TopVertex() const {

@@ -6,10 +6,32 @@
 // Key identity (DESIGN.md §2.1): f(S_k) telescopes to the suffix sum of
 // `delta`, so the detected community S_P is the suffix of `seq` whose mean
 // `delta` is maximal.
+//
+// Two representation choices keep the update hot path proportional to the
+// affected area (DESIGN.md §3):
+//
+//  * Head offset (§3.3). The sequence lives in arrays with spare slots at
+//    the front; logical position i maps to physical slot `base_ + i` and
+//    `pos_` stores physical slots. Registering a brand-new vertex writes one
+//    entry at `--base_` — every existing logical position shifts by one
+//    without touching a single stored value. Only when the slack runs out is
+//    the storage reallocated (amortized O(1) per insertion).
+//
+//  * Blocked detection index (§3.2). `delta_` is carved into fixed blocks;
+//    each block caches its sum and the upper convex hull of the points
+//    (x, y) = (end - slot, within-block suffix sum). Because x is measured
+//    from the physical end, head insertions invalidate only the head block.
+//    Detect() walks blocks tail-to-head, accumulating the suffix sum T and
+//    binary-searching each clean hull for the best density (y + T) / x, so
+//    a detection after an update costs O(rewritten span + (n/B) log B)
+//    instead of O(n). Assign/BumpDelta dirty only the block they touch.
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/logging.h"
@@ -35,18 +57,23 @@ class PeelState {
     pos_.assign(n, kNoPos);
   }
 
-  std::size_t size() const { return seq_.size(); }
+  std::size_t size() const { return seq_.size() - base_; }
 
-  const std::vector<VertexId>& seq() const { return seq_; }
-  const std::vector<double>& delta() const { return delta_; }
+  /// Contiguous views of the logical sequence and peeling weights.
+  std::span<const VertexId> seq() const {
+    return {seq_.data() + base_, size()};
+  }
+  std::span<const double> delta() const {
+    return {delta_.data() + base_, size()};
+  }
 
-  VertexId VertexAt(std::size_t i) const { return seq_[i]; }
-  double DeltaAt(std::size_t i) const { return delta_[i]; }
+  VertexId VertexAt(std::size_t i) const { return seq_[base_ + i]; }
+  double DeltaAt(std::size_t i) const { return delta_[base_ + i]; }
 
   /// Position of vertex v in the peeling sequence.
   std::size_t PositionOf(VertexId v) const {
     SPADE_DCHECK(v < pos_.size());
-    return pos_[v];
+    return pos_[v] - base_;
   }
 
   bool ContainsVertex(VertexId v) const {
@@ -59,34 +86,47 @@ class PeelState {
     pos_[v] = seq_.size();
     seq_.push_back(v);
     delta_.push_back(delta);
+    // Growing the physical end shifts every point's x = end - slot, so
+    // every hull is stale (rebuilt once, on the first Detect()); block
+    // sums are unaffected except in the block gaining the new slot.
+    MarkDirtySlot(seq_.size() - 1);
+    ++hull_version_;
     InvalidateBest();
   }
 
   /// Overwrites position i (incremental rewrite path).
   void Assign(std::size_t i, VertexId v, double delta) {
-    SPADE_DCHECK(i < seq_.size());
-    seq_[i] = v;
-    delta_[i] = delta;
-    pos_[v] = i;
+    SPADE_DCHECK(i < size());
+    const std::size_t p = base_ + i;
+    seq_[p] = v;
+    delta_[p] = delta;
+    pos_[v] = p;
+    MarkDirtySlot(p);
     InvalidateBest();
   }
 
   /// Adds to the stored peeling weight at position i without reordering.
   void BumpDelta(std::size_t i, double amount) {
-    SPADE_DCHECK(i < delta_.size());
-    delta_[i] += amount;
+    SPADE_DCHECK(i < size());
+    delta_[base_ + i] += amount;
+    MarkDirtySlot(base_ + i);
     InvalidateBest();
   }
 
   /// Registers a brand-new vertex at the head of the sequence with peeling
   /// weight `delta0` (paper §4.1 "Vertex insertion": Δ_0 = 0 normally, but a
-  /// pre-weighted vertex carries its prior). All positions shift by one.
+  /// pre-weighted vertex carries its prior). All logical positions shift by
+  /// one — which the head offset makes free: amortized O(1), no stored
+  /// entry or index slot is touched.
   void InsertVertexAtHead(VertexId v, double delta0) {
     if (v >= pos_.size()) pos_.resize(v + 1, kNoPos);
     SPADE_DCHECK(pos_[v] == kNoPos);
-    seq_.insert(seq_.begin(), v);
-    delta_.insert(delta_.begin(), delta0);
-    for (std::size_t i = 0; i < seq_.size(); ++i) pos_[seq_[i]] = i;
+    if (base_ == 0) GrowFront();
+    --base_;
+    seq_[base_] = v;
+    delta_[base_] = delta0;
+    pos_[v] = base_;
+    MarkDirtySlot(base_);
     InvalidateBest();
   }
 
@@ -112,15 +152,27 @@ class PeelState {
     EnsureBest();
     Community c;
     c.density = best_density_;
-    c.members.assign(seq_.begin() + static_cast<std::ptrdiff_t>(best_start_),
-                     seq_.end());
+    const auto s = seq();
+    c.members.assign(s.begin() + static_cast<std::ptrdiff_t>(best_start_),
+                     s.end());
     return c;
   }
 
   /// f(S_k): suffix sum of delta from position k (0 => whole graph weight).
+  /// Costs O(B + n/B) via the cached block sums.
   double SuffixWeight(std::size_t k) const {
+    const std::size_t end = seq_.size();
+    std::size_t p = base_ + k;
+    if (p >= end) return 0.0;
     double sum = 0.0;
-    for (std::size_t i = k; i < delta_.size(); ++i) sum += delta_[i];
+    // Tail of the block containing p, element-wise.
+    const std::size_t block_end = std::min(end, (p / kBlock + 1) * kBlock);
+    for (; p < block_end; ++p) sum += delta_[p];
+    // Whole blocks after it, via cached sums (hulls are left alone).
+    for (std::size_t b = p / kBlock; p < end; ++b, p += kBlock) {
+      RefreshBlockSum(b);
+      sum += blocks_[b].sum;
+    }
     return sum;
   }
 
@@ -128,37 +180,212 @@ class PeelState {
   void Clear() {
     seq_.clear();
     delta_.clear();
+    base_ = 0;
     pos_.assign(pos_.size(), kNoPos);
+    blocks_.clear();
+    hull_arena_.clear();
+    ++sum_version_;
+    ++hull_version_;
     InvalidateBest();
   }
 
   static constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
 
  private:
-  void EnsureBest() const {
-    if (best_valid_) return;
-    const std::size_t n = seq_.size();
-    double suffix = 0.0;
-    double best = 0.0;
-    std::size_t best_start = n;
-    // Scan suffixes from shortest to longest; ">=" prefers the longer
-    // suffix (smaller start) on density ties.
-    for (std::size_t i = n; i-- > 0;) {
-      suffix += delta_[i];
-      const double density = suffix / static_cast<double>(n - i);
-      if (density >= best) {
-        best = density;
-        best_start = i;
+  // Block width of the detection index: ~sqrt(n) at the scales the engine
+  // targets, balancing the O(B) dirty-block rebuild against the O(n/B)
+  // tail-to-head walk.
+  static constexpr std::size_t kBlock = 512;
+
+  /// One point of a block's hull: x = physical end - slot (invariant under
+  /// head insertion), y = sum of delta over [slot, block end). 16 bytes so
+  /// a typical hull (~2 ln B points for random weights) spans 2-3 cache
+  /// lines in the flat arena.
+  struct HullPoint {
+    double y;
+    std::uint32_t x;
+    std::uint32_t slot;
+  };
+
+  struct Block {
+    double sum = 0.0;
+    std::uint32_t hull_size = 0;
+    // Freshness is two-tier: `dirty` marks content changes inside the
+    // block; the built counters are compared against the global versions,
+    // which bump when a structural change invalidates every block's sums
+    // (physical shift) or hulls (x = end - slot shift). Zero never matches
+    // a version, so fresh blocks start fully stale.
+    std::uint64_t sum_built = 0;
+    std::uint64_t hull_built = 0;
+    bool dirty = true;
+  };
+
+  void EnsureBlock(std::size_t b) const {
+    if (b >= blocks_.size()) {
+      blocks_.resize(b + 1);
+      hull_arena_.resize((b + 1) * kBlock);
+    }
+  }
+
+  void MarkDirtySlot(std::size_t p) {
+    const std::size_t b = p / kBlock;
+    EnsureBlock(b);
+    blocks_[b].dirty = true;
+  }
+
+  /// Moves the logical content to the middle of freshly grown storage so
+  /// the next Θ(size) head insertions are O(1) writes.
+  void GrowFront() {
+    const std::size_t slack = std::max<std::size_t>(kBlock, size());
+    seq_.insert(seq_.begin(), slack, kInvalidVertex);
+    delta_.insert(delta_.begin(), slack, 0.0);
+    base_ = slack;
+    for (std::size_t p = base_; p < seq_.size(); ++p) pos_[seq_[p]] = p;
+    // Every physical slot moved: block membership, sums and hulls are all
+    // stale.
+    ++sum_version_;
+    ++hull_version_;
+  }
+
+  /// Recomputes a block's sum only (no hull) if the sum is stale — the
+  /// cheap path SuffixWeight needs. Leaves the hull marked stale when the
+  /// content changed.
+  void RefreshBlockSum(std::size_t b) const {
+    EnsureBlock(b);
+    Block& blk = blocks_[b];
+    if (!blk.dirty && blk.sum_built == sum_version_) return;
+    const std::size_t end = seq_.size();
+    const std::size_t lo = std::max(b * kBlock, base_);
+    const std::size_t hi = std::min((b + 1) * kBlock, end);
+    // Same tail-to-head order as the full rebuild, so the cached sum is
+    // bit-identical regardless of which refresh path ran last.
+    double sum = 0.0;
+    for (std::size_t p = hi; p-- > lo;) sum += delta_[p];
+    blk.sum = sum;
+    blk.sum_built = sum_version_;
+    if (blk.dirty) {
+      blk.dirty = false;
+      blk.hull_built = hull_version_ - 1;  // content changed: hull stale
+    }
+  }
+
+  /// Recomputes a block's sum and upper hull if stale. Hull points live in
+  /// the flat arena at stride kBlock — no per-block allocations, and the
+  /// walk reads them without pointer chasing.
+  void RefreshBlock(std::size_t b) const {
+    EnsureBlock(b);
+    Block& blk = blocks_[b];
+    if (!blk.dirty && blk.sum_built == sum_version_ &&
+        blk.hull_built == hull_version_) {
+      return;
+    }
+    const std::size_t end = seq_.size();
+    const std::size_t lo = std::max(b * kBlock, base_);
+    const std::size_t hi = std::min((b + 1) * kBlock, end);
+    HullPoint* h = hull_arena_.data() + b * kBlock;
+    std::uint32_t hn = 0;
+    blk.sum = 0.0;
+    if (lo < hi) {
+      // Scan slots tail-to-head: x = end - p ascends, y accumulates the
+      // within-block suffix. Keep the upper hull (slopes strictly
+      // decreasing); collinear middle points are dropped — the larger-x
+      // endpoint of their edge always ties or beats them, and wins the
+      // smallest-start tie rule anyway.
+      for (std::size_t p = hi; p-- > lo;) {
+        blk.sum += delta_[p];
+        const HullPoint pt{blk.sum, static_cast<std::uint32_t>(end - p),
+                           static_cast<std::uint32_t>(p)};
+        while (hn >= 2) {
+          const HullPoint& a = h[hn - 2];
+          const HullPoint& m = h[hn - 1];
+          // Pop m when slope(a, m) <= slope(m, pt): m is under the chord.
+          if ((m.y - a.y) * static_cast<double>(pt.x - m.x) <=
+              (pt.y - m.y) * static_cast<double>(m.x - a.x)) {
+            --hn;
+          } else {
+            break;
+          }
+        }
+        h[hn++] = pt;
       }
     }
-    best_density_ = best;
+    blk.hull_size = hn;
+    blk.dirty = false;
+    blk.sum_built = sum_version_;
+    blk.hull_built = hull_version_;
+  }
+
+  /// Best density within a block given tail sum T beyond the block, and the
+  /// slot attaining it (largest x on ties => smallest start). The density
+  /// (y + T) / x is unimodal along the hull, so a binary search that moves
+  /// right on ties lands on the rightmost peak. Comparisons are
+  /// cross-multiplied ((y1+T)·x2 vs (y2+T)·x1, x > 0) so the walk performs
+  /// no divisions; the caller divides once at the very end.
+  static bool QueryHull(const HullPoint* hull, std::uint32_t size, double T,
+                        double* num, double* den, std::size_t* slot) {
+    if (size == 0) return false;
+    std::size_t lo = 0, hi = size - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if ((hull[mid + 1].y + T) * static_cast<double>(hull[mid].x) >=
+          (hull[mid].y + T) * static_cast<double>(hull[mid + 1].x)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    *num = hull[lo].y + T;
+    *den = static_cast<double>(hull[lo].x);
+    *slot = hull[lo].slot;
+    return true;
+  }
+
+  void EnsureBest() const {
+    if (best_valid_) return;
+    const std::size_t n = size();
+    const std::size_t end = seq_.size();
+    double tail = 0.0;
+    // Best density tracked as a (numerator, denominator) pair: density
+    // comparisons cross-multiply, and the single division happens once the
+    // walk is done.
+    double best_num = 0.0;
+    double best_den = 1.0;
+    std::size_t best_start = n;
+    if (n > 0) {
+      // Walk blocks from the tail (shortest suffixes, smallest x) to the
+      // head; ">=" prefers the later candidate (larger x, longer suffix) on
+      // density ties, matching the linear reference scan.
+      const std::size_t first_block = base_ / kBlock;
+      for (std::size_t b = (end - 1) / kBlock + 1; b-- > first_block;) {
+        RefreshBlock(b);
+        double num = 0.0, den = 1.0;
+        std::size_t slot = 0;
+        if (QueryHull(hull_arena_.data() + b * kBlock, blocks_[b].hull_size,
+                      tail, &num, &den, &slot) &&
+            num * best_den >= best_num * den) {
+          best_num = num;
+          best_den = den;
+          best_start = slot - base_;
+        }
+        tail += blocks_[b].sum;
+      }
+    }
+    best_density_ = best_num / best_den;
     best_start_ = best_start;
     best_valid_ = true;
   }
 
+  // Physical storage: logical position i lives at slot base_ + i; slots
+  // below base_ are reserved head slack. pos_ holds physical slots.
   std::vector<VertexId> seq_;
   std::vector<double> delta_;
+  std::size_t base_ = 0;
   std::vector<std::size_t> pos_;
+
+  mutable std::vector<Block> blocks_;
+  mutable std::vector<HullPoint> hull_arena_;  // kBlock-stride hull storage
+  std::uint64_t sum_version_ = 1;
+  std::uint64_t hull_version_ = 1;
 
   mutable bool best_valid_ = false;
   mutable std::size_t best_start_ = 0;

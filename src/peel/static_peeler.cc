@@ -8,11 +8,15 @@ PeelState PeelStatic(const CsrGraph& g) {
   const std::size_t n = g.NumVertices();
   PeelState state(n);
 
-  IndexedMinHeap heap(n);
+  // Seed every vertex at its whole-graph weight w_u(S_0) and heapify in one
+  // O(n) pass (pop order — and thus the canonical sequence — is identical
+  // to n individual pushes).
+  std::vector<double> initial(n);
   for (std::size_t u = 0; u < n; ++u) {
-    const auto uid = static_cast<VertexId>(u);
-    heap.Push(uid, g.WeightedDegree(uid));
+    initial[u] = g.WeightedDegree(static_cast<VertexId>(u));
   }
+  IndexedMinHeap heap(n);
+  heap.AssignAll(initial);
 
   while (!heap.empty()) {
     const double delta = heap.TopWeight();
@@ -22,7 +26,7 @@ PeelState PeelStatic(const CsrGraph& g) {
     // by the connecting edge weight (both directions are in Incident()).
     for (const auto& e : g.Incident(u)) {
       if (heap.Contains(e.vertex)) {
-        heap.Adjust(e.vertex, -e.weight);
+        heap.Decrease(e.vertex, -e.weight);
       }
     }
   }

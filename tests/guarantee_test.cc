@@ -84,7 +84,8 @@ TEST_P(SemanticsTest, PrefixStability) {
   spade.SetSemantics(Sem());
   ASSERT_TRUE(spade.BuildGraph(n, RandomLog(&rng, n, 90)).ok());
   for (int i = 0; i < 10; ++i) {
-    const std::vector<VertexId> before = spade.peel_state().seq();
+    const std::vector<VertexId> before(spade.peel_state().seq().begin(),
+                                       spade.peel_state().seq().end());
     const Edge e = testing::RandomEdge(&rng, n);
     const std::size_t cut = std::min(spade.peel_state().PositionOf(e.src),
                                      spade.peel_state().PositionOf(e.dst));

@@ -41,7 +41,8 @@ TEST(IncrementalInsertTest, PrefixBeforeFirstEndpointIsUntouched) {
   Rng rng(7);
   DynamicGraph g = RandomGraph(&rng, 30, 80);
   PeelState state = PeelStatic(g);
-  const std::vector<VertexId> before = state.seq();
+  const std::vector<VertexId> before(state.seq().begin(),
+                                     state.seq().end());
 
   IncrementalEngine engine;
   const Edge e = RandomEdge(&rng, 30);
@@ -97,6 +98,35 @@ TEST(IncrementalInsertTest, NewVertexWithPrior) {
       engine.InsertEdge(&g, &state, {2, 0, 1.0, 0}, prior, nullptr).ok());
   EXPECT_DOUBLE_EQ(g.VertexWeight(2), 3.5);
   ValidateCanonicalSequence(g, state);
+}
+
+TEST(IncrementalInsertTest, NewVertexPriorIsOrderIndependent) {
+  // Regression: when one update introduces several unseen endpoints, every
+  // endpoint must take the prior-carrying registration, regardless of
+  // whether a higher-id endpoint (whose gap fill spans the lower id) is
+  // reached first — within one edge and across a batch.
+  VertexSuspFn prior = [](VertexId, const DynamicGraph&) { return 1.5; };
+  for (int variant = 0; variant < 3; ++variant) {
+    DynamicGraph g(2);
+    ASSERT_TRUE(g.AddEdge(0, 1, 2.0).ok());
+    PeelState state = PeelStatic(g);
+    IncrementalEngine engine;
+    std::vector<Edge> batch;
+    if (variant == 0) {
+      batch = {{7, 3, 1.0, 0}};  // higher-id endpoint processed first
+    } else if (variant == 1) {
+      batch = {{3, 7, 1.0, 0}};
+    } else {
+      batch = {{7, 0, 1.0, 0}, {3, 1, 1.0, 0}};  // across batch edges
+    }
+    ASSERT_TRUE(engine.InsertBatch(&g, &state, batch, prior, nullptr).ok());
+    EXPECT_DOUBLE_EQ(g.VertexWeight(3), 1.5) << "variant " << variant;
+    EXPECT_DOUBLE_EQ(g.VertexWeight(7), 1.5) << "variant " << variant;
+    // Pure gap ids (never an endpoint) keep the documented prior of 0.
+    EXPECT_DOUBLE_EQ(g.VertexWeight(4), 0.0) << "variant " << variant;
+    ValidateCanonicalSequence(g, state);
+    ExpectStateEquals(PeelStatic(g), state);
+  }
 }
 
 TEST(IncrementalInsertTest, RejectsNonPositiveWeight) {

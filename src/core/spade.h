@@ -42,6 +42,16 @@ class Spade {
  public:
   explicit Spade(SpadeOptions options = {});
 
+  /// Movable but not copyable: detectors are moved into service shards
+  /// (ShardWorker takes one by value), and the graph plus peeling state can
+  /// be hundreds of megabytes — an accidental copy is always a bug. All
+  /// members are value types with no cross-references, so the defaulted
+  /// moves leave the detector fully functional at its new address.
+  Spade(Spade&&) = default;
+  Spade& operator=(Spade&&) = default;
+  Spade(const Spade&) = delete;
+  Spade& operator=(const Spade&) = delete;
+
   /// Plugs in the vertex suspiciousness function (a_u).
   void VSusp(VertexSuspFn vsusp) { vsusp_ = std::move(vsusp); }
   /// Plugs in the edge suspiciousness function (c_ij).

@@ -3,39 +3,24 @@
 // thread; a background worker drains them through Spade (edge grouping on)
 // and notifies moderators whenever the detected community changes.
 //
-// The service owns the Spade instance. Producers never block on
-// reordering; submissions queue under a small mutex and the worker applies
-// them in arrival order, so all single-threaded correctness guarantees of
-// the engine carry over unchanged.
+// Since the sharded refactor this is a thin façade over one ShardWorker
+// (see shard_worker.h for the lock-split pipeline and the
+// snapshot-publication protocol); ShardedDetectionService composes N of the
+// same workers behind a partitioner. The façade is kept because a huge
+// amount of calling code only ever needs one shard.
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
+#include <string>
 
 #include "common/status.h"
 #include "core/spade.h"
 #include "graph/types.h"
+#include "service/shard_worker.h"
 
 namespace spade {
-
-/// Invoked from the worker thread after a flush whose community differs
-/// from the previously reported one.
-using FraudAlertFn = std::function<void(const Community&)>;
-
-/// Service configuration.
-struct DetectionServiceOptions {
-  /// Detect (and possibly alert) after at most this many applied edges even
-  /// if no urgent edge forced a flush.
-  std::size_t detect_every = 256;
-  /// Bound on the submission queue; Submit fails fast beyond it.
-  std::size_t max_queue = 1 << 20;
-};
 
 /// Thread-safe streaming front-end over one Spade detector.
 class DetectionService {
@@ -43,58 +28,53 @@ class DetectionService {
   /// Takes ownership of a fully built detector (graph loaded, semantics
   /// installed). The worker starts immediately.
   DetectionService(Spade spade, FraudAlertFn on_alert,
-                   DetectionServiceOptions options = {});
-
-  /// Stops the worker, draining queued edges first.
-  ~DetectionService();
+                   DetectionServiceOptions options = {})
+      : worker_(std::move(spade), std::move(on_alert), options) {}
 
   DetectionService(const DetectionService&) = delete;
   DetectionService& operator=(const DetectionService&) = delete;
 
   /// Enqueues one transaction; callable from any thread. Fails with
-  /// kFailedPrecondition after Stop() and kOutOfRange when the queue is
-  /// full (backpressure).
-  Status Submit(const Edge& raw_edge);
+  /// kFailedPrecondition after Stop(); a full queue either fails with
+  /// kOutOfRange or blocks, per DetectionServiceOptions::block_when_full.
+  Status Submit(const Edge& raw_edge) { return worker_.Submit(raw_edge); }
 
-  /// Blocks until every edge submitted before this call has been applied.
-  void Drain();
+  /// Bulk enqueue: one lock acquisition + one worker wakeup for the chunk.
+  Status SubmitBatch(std::span<const Edge> raw_edges) {
+    return worker_.SubmitBatch(raw_edges);
+  }
+
+  /// Blocks until every edge submitted before this call has been applied
+  /// and is reflected by CurrentCommunity().
+  void Drain() { worker_.Drain(); }
 
   /// Drains, stops the worker and joins it. Idempotent.
-  void Stop();
+  void Stop() { worker_.Stop(); }
 
-  /// Snapshot of the current community (blocks briefly on the worker lock).
-  Community CurrentCommunity();
+  /// Latest published community; never blocks on an in-flight apply.
+  Community CurrentCommunity() const { return worker_.CurrentCommunity(); }
 
-  /// Edges applied by the worker so far.
-  std::uint64_t EdgesProcessed() const;
+  /// Zero-copy variant: the published snapshot itself.
+  std::shared_ptr<const Community> CurrentSnapshot() const {
+    return worker_.CurrentSnapshot();
+  }
 
-  /// Alerts delivered so far.
-  std::uint64_t AlertsDelivered() const;
+  /// Edges applied by the worker so far (lock-free).
+  std::uint64_t EdgesProcessed() const { return worker_.EdgesProcessed(); }
+
+  /// Alerts delivered so far (lock-free).
+  std::uint64_t AlertsDelivered() const { return worker_.AlertsDelivered(); }
+
+  /// Persists / restores the detector state (drains first).
+  Status SaveState(const std::string& path) {
+    return worker_.SaveState(path);
+  }
+  Status RestoreState(const std::string& path) {
+    return worker_.RestoreState(path);
+  }
 
  private:
-  void WorkerLoop();
-  /// Detects and fires the alert callback when the community changed.
-  void MaybeAlert();
-
-  DetectionServiceOptions options_;
-  FraudAlertFn on_alert_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   // signals the worker
-  std::condition_variable drain_cv_;  // signals Drain() waiters
-  std::deque<Edge> queue_;
-  bool stopping_ = false;
-
-  // Worker-owned state (guarded by mutex_ only around detector access from
-  // CurrentCommunity; the worker itself holds the lock while applying).
-  Spade spade_;
-  std::vector<VertexId> last_reported_;
-  double last_density_ = -1.0;
-  std::uint64_t processed_ = 0;
-  std::uint64_t alerts_ = 0;
-  std::size_t since_detect_ = 0;
-
-  std::thread worker_;
+  ShardWorker worker_;
 };
 
 }  // namespace spade

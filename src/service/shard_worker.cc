@@ -1,0 +1,302 @@
+#include "service/shard_worker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace spade {
+
+namespace {
+
+std::vector<VertexId> SortedMembers(const Community& c) {
+  std::vector<VertexId> sorted = c.members;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(Spade spade, FraudAlertFn on_alert,
+                         DetectionServiceOptions options)
+    : options_(options),
+      on_alert_(std::move(on_alert)),
+      spade_(std::move(spade)) {
+  spade_.TurnOnEdgeGrouping();
+  // Publish the initial community before the worker exists, so readers
+  // always observe a valid snapshot and the first alert fires only when the
+  // stream actually changes the community.
+  Community initial = spade_.Detect();
+  last_reported_ = SortedMembers(initial);
+  last_density_ = initial.density;
+  auto snap = std::make_shared<const Community>(std::move(initial));
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  snapshot_.store(std::move(snap));
+#else
+  snapshot_ = std::move(snap);
+#endif
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+ShardWorker::~ShardWorker() { Stop(); }
+
+Status ShardWorker::Submit(const Edge& raw_edge) {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      return Status::FailedPrecondition("ShardWorker is stopped");
+    }
+    if (producer_buffer_.size() >= options_.max_queue) {
+      if (!options_.block_when_full) {
+        return Status::OutOfRange("ShardWorker queue full");
+      }
+      space_cv_.wait(lock, [this] {
+        return stopping_ || producer_buffer_.size() < options_.max_queue;
+      });
+      if (stopping_) {
+        return Status::FailedPrecondition("ShardWorker is stopped");
+      }
+    }
+    producer_buffer_.push_back(raw_edge);
+    queue_depth_.store(producer_buffer_.size(), std::memory_order_relaxed);
+    ++submitted_;
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+Status ShardWorker::SubmitBatch(std::span<const Edge> raw_edges) {
+  if (raw_edges.empty()) return Status::OK();
+  if (raw_edges.size() > options_.max_queue) {
+    return Status::InvalidArgument(
+        "ShardWorker::SubmitBatch: chunk exceeds max_queue");
+  }
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      return Status::FailedPrecondition("ShardWorker is stopped");
+    }
+    if (producer_buffer_.size() + raw_edges.size() > options_.max_queue) {
+      if (!options_.block_when_full) {
+        return Status::OutOfRange("ShardWorker queue full");
+      }
+      space_cv_.wait(lock, [this, &raw_edges] {
+        return stopping_ || producer_buffer_.size() + raw_edges.size() <=
+                                options_.max_queue;
+      });
+      if (stopping_) {
+        return Status::FailedPrecondition("ShardWorker is stopped");
+      }
+    }
+    producer_buffer_.insert(producer_buffer_.end(), raw_edges.begin(),
+                            raw_edges.end());
+    queue_depth_.store(producer_buffer_.size(), std::memory_order_relaxed);
+    submitted_ += raw_edges.size();
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void ShardWorker::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  const std::uint64_t target = submitted_;
+  if (exact_through_ >= target || worker_exited_) return;
+  // The worker flushes the benign buffer and republishes only while a
+  // drain waiter is registered (exactness on demand keeps edge-grouping
+  // amortization intact between drains), so wake it up.
+  ++drain_waiters_;
+  work_cv_.notify_one();
+  drain_cv_.wait(lock, [this, target] {
+    return exact_through_ >= target || worker_exited_;
+  });
+  --drain_waiters_;
+}
+
+void ShardWorker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_ && !worker_.joinable()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::shared_ptr<const Community> ShardWorker::CurrentSnapshot() const {
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  return snapshot_.load();
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+#endif
+}
+
+Status ShardWorker::SaveState(const std::string& path) {
+  Drain();
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  return spade_.SaveState(path);
+}
+
+Status ShardWorker::RestoreState(const std::string& path) {
+  Drain();
+  std::shared_ptr<const Community> snap;
+  {
+    std::lock_guard<std::mutex> lock(detector_mutex_);
+    SPADE_RETURN_NOT_OK(spade_.RestoreState(path));
+    // Re-baseline the alert filter on the restored community and publish it
+    // so readers switch over atomically.
+    Community restored = spade_.Detect();
+    last_reported_ = SortedMembers(restored);
+    last_density_ = restored.density;
+    since_detect_ = 0;
+    snap = std::make_shared<const Community>(std::move(restored));
+  }
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  snapshot_.store(std::move(snap));
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snap);
+#endif
+  return Status::OK();
+}
+
+void ShardWorker::DetectAndPublish() {
+  // Caller (worker thread or RestoreState) holds detector_mutex_.
+  Community community = spade_.Detect();
+  since_detect_ = 0;
+  detections_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<VertexId> sorted = SortedMembers(community);
+  const bool changed =
+      sorted != last_reported_ || community.density != last_density_;
+  auto snap = std::make_shared<const Community>(std::move(community));
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  snapshot_.store(snap);
+#else
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = snap;
+  }
+#endif
+  if (!changed) return;
+  last_reported_ = std::move(sorted);
+  last_density_ = snap->density;
+  alerts_.fetch_add(1, std::memory_order_relaxed);
+  if (on_alert_) {
+    pending_alert_ = std::move(snap);
+  }
+}
+
+void ShardWorker::WorkerLoop() {
+  std::vector<Edge> batch;
+  while (true) {
+    bool make_exact = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || !producer_buffer_.empty() ||
+               (drain_waiters_ > 0 && exact_through_ < consumed_q_);
+      });
+      if (producer_buffer_.empty()) {
+        if (stopping_) break;
+        // A Drain() waiter needs the snapshot brought up to date (flush
+        // buffered benign edges, republish); no new edges to apply.
+        make_exact = drain_waiters_ > 0 && exact_through_ < consumed_q_;
+        if (!make_exact) continue;  // spurious wakeup
+      } else {
+        batch.clear();
+        std::swap(batch, producer_buffer_);
+        queue_depth_.store(0, std::memory_order_relaxed);
+      }
+    }
+
+    if (make_exact) {
+      std::shared_ptr<const Community> alert;
+      {
+        std::lock_guard<std::mutex> apply_lock(detector_mutex_);
+        if (since_detect_ > 0 || spade_.PendingBenignEdges() > 0) {
+          DetectAndPublish();
+          alert = std::move(pending_alert_);
+        }
+      }
+      if (alert) on_alert_(*alert);
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        // Only an empty buffer makes the snapshot exact; a racing Submit
+        // defers exactness to the next round.
+        if (producer_buffer_.empty()) exact_through_ = consumed_q_;
+      }
+      drain_cv_.notify_all();
+      continue;
+    }
+
+    // The whole buffer moved out at once; wake every blocked producer.
+    space_cv_.notify_all();
+
+    bool exact_after_batch = false;
+    for (const Edge& edge : batch) {
+      std::shared_ptr<const Community> alert;
+      {
+        std::lock_guard<std::mutex> apply_lock(detector_mutex_);
+        ++consumed_;
+        const Status s = spade_.ApplyEdge(edge);
+        if (s.ok()) {
+          processed_.fetch_add(1, std::memory_order_relaxed);
+          ++since_detect_;
+          // An urgent edge flushed the benign buffer inside ApplyEdge;
+          // detect right away so moderators hear about new fraudsters
+          // immediately.
+          if (spade_.PendingBenignEdges() == 0 ||
+              since_detect_ >= options_.detect_every) {
+            DetectAndPublish();
+            alert = std::move(pending_alert_);
+          }
+        } else {
+          SPADE_LOG_WARNING()
+              << "ShardWorker dropped edge: " << s.ToString();
+        }
+        exact_after_batch =
+            since_detect_ == 0 && spade_.PendingBenignEdges() == 0;
+      }
+      // Deliver with no lock held: a slow moderator delays the next apply
+      // on this shard but never blocks producers, readers, or Save/Restore
+      // beyond this one callback.
+      if (alert) on_alert_(*alert);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      consumed_q_ = consumed_;
+      // Cheap advance: if the batch happened to end on a fresh detection,
+      // the published snapshot is already exact and a later Drain() needs
+      // no worker round-trip. Otherwise exactness is produced on demand by
+      // the make_exact branch above.
+      if (exact_after_batch && producer_buffer_.empty()) {
+        exact_through_ = consumed_q_;
+      }
+    }
+    drain_cv_.notify_all();
+  }
+
+  // Final shutdown flush.
+  {
+    std::shared_ptr<const Community> alert;
+    {
+      std::lock_guard<std::mutex> apply_lock(detector_mutex_);
+      if (since_detect_ > 0 || spade_.PendingBenignEdges() > 0) {
+        DetectAndPublish();
+        alert = std::move(pending_alert_);
+      }
+    }
+    if (alert) on_alert_(*alert);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    worker_exited_ = true;
+    exact_through_ = consumed_;
+  }
+  drain_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+}  // namespace spade

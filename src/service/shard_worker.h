@@ -1,0 +1,222 @@
+// ShardWorker: one detector shard with a lock-split update pipeline.
+//
+// The worker owns a Spade instance exclusively; no other thread ever calls
+// into the detector while the worker runs. The three client-visible paths
+// are decoupled so none of them serializes on an in-flight reorder:
+//
+//   * Submit: producers append to a small swap buffer under `queue_mutex_`,
+//     which is held only for the push itself. The worker swaps the whole
+//     buffer out under the same mutex and applies it with no lock held, so
+//     producer latency is one uncontended push regardless of how expensive
+//     the current batch reorder is.
+//   * CurrentCommunity / CurrentSnapshot: the worker publishes each
+//     detected community as an atomically-swapped shared_ptr snapshot.
+//     Readers load the pointer and never touch any mutex on the apply path.
+//   * EdgesProcessed / AlertsDelivered: relaxed atomics.
+//
+// Alerts are delivered from the worker thread with no service lock held
+// (the snapshot is taken first), so a slow moderator callback can delay the
+// next detection but never blocks producers or readers.
+//
+// Snapshot-publication protocol (DESIGN.md §4.2): the worker republishes on
+// every detection (urgent flush or detect_every cadence). Exactness is
+// produced on demand: a Drain() waiter registers itself and wakes the
+// worker, which flushes any buffered benign edges, republishes, and
+// advances the drain cursor — so Drain() returning implies the published
+// snapshot reflects every edge submitted before the Drain() call, while an
+// undrained worker keeps its edge-grouping amortization instead of
+// flushing every time its queue momentarily empties. While the worker is
+// busy, the snapshot may trail the stream by at most the in-flight batch
+// plus `detect_every` edges (all of them benign-buffered, which by Lemma
+// 4.4 cannot have improved the community).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/spade.h"
+#include "graph/types.h"
+
+// Snapshot publication uses std::atomic<std::shared_ptr> when the standard
+// library provides it — except under ThreadSanitizer: libstdc++'s
+// _Sp_atomic hides a lock bit inside the pointer word that TSan cannot see
+// through, yielding false data-race reports. The fallback is a dedicated
+// pointer-swap mutex, which is still never the apply-path lock, so the
+// non-blocking read guarantee holds in both configurations.
+#if defined(__SANITIZE_THREAD__)
+#define SPADE_SNAPSHOT_PTR_MUTEX 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SPADE_SNAPSHOT_PTR_MUTEX 1
+#endif
+#endif
+#if !defined(SPADE_SNAPSHOT_PTR_MUTEX) && \
+    defined(__cpp_lib_atomic_shared_ptr)
+#define SPADE_SNAPSHOT_PTR_ATOMIC 1
+#endif
+
+namespace spade {
+
+/// Invoked from the worker thread after a detection whose community differs
+/// from the previously reported one. No service lock is held.
+using FraudAlertFn = std::function<void(const Community&)>;
+
+/// Per-shard service configuration (shared by DetectionService and every
+/// shard of a ShardedDetectionService).
+struct DetectionServiceOptions {
+  /// Detect (and possibly alert) after at most this many applied edges even
+  /// if no urgent edge forced a flush.
+  std::size_t detect_every = 256;
+  /// Bound on the submission buffer (edges accepted but not yet swapped
+  /// into the worker).
+  std::size_t max_queue = 1 << 20;
+  /// When the buffer is full: false = Submit fails fast with kOutOfRange;
+  /// true = Submit blocks until the worker frees space (backpressure
+  /// propagates to producers instead of dropping transactions).
+  bool block_when_full = false;
+};
+
+/// One shard: a background worker draining a swap-buffer queue through an
+/// exclusively-owned Spade detector.
+class ShardWorker {
+ public:
+  /// Takes ownership of a fully built detector (graph loaded, semantics
+  /// installed). Edge grouping is turned on; the worker starts immediately.
+  ShardWorker(Spade spade, FraudAlertFn on_alert,
+              DetectionServiceOptions options = {});
+
+  /// Stops the worker, draining queued edges first.
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Enqueues one transaction; callable from any thread. Fails with
+  /// kFailedPrecondition after Stop(); when the buffer is full it either
+  /// fails with kOutOfRange or blocks, per `block_when_full`.
+  Status Submit(const Edge& raw_edge);
+
+  /// Bulk enqueue: one lock acquisition and one worker wakeup for the whole
+  /// chunk — the high-throughput producer path (a per-edge Submit against a
+  /// fast worker degenerates into one futex round-trip per edge). All-or-
+  /// nothing: fails with kOutOfRange (or blocks) if the chunk does not fit,
+  /// and with kInvalidArgument if it can never fit (chunk > max_queue).
+  Status SubmitBatch(std::span<const Edge> raw_edges);
+
+  /// Blocks until every edge submitted before this call has been applied
+  /// AND the published snapshot reflects them. Returns immediately once the
+  /// worker has exited.
+  void Drain();
+
+  /// Drains, stops the worker and joins it. Idempotent.
+  void Stop();
+
+  /// Latest published community snapshot; never blocks on the apply path.
+  /// The pointer is immutable and safe to hold across further updates.
+  std::shared_ptr<const Community> CurrentSnapshot() const;
+
+  /// Convenience copy of the latest snapshot.
+  Community CurrentCommunity() const {
+    const auto snap = CurrentSnapshot();
+    return snap ? *snap : Community{};
+  }
+
+  /// Edges applied by the worker so far (relaxed; never takes a lock).
+  std::uint64_t EdgesProcessed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+
+  /// Alerts delivered so far (relaxed; never takes a lock).
+  std::uint64_t AlertsDelivered() const {
+    return alerts_.load(std::memory_order_relaxed);
+  }
+
+  /// Detections (Detect + snapshot publications) run so far (lock-free).
+  std::uint64_t DetectionsRun() const {
+    return detections_.load(std::memory_order_relaxed);
+  }
+
+  /// Edges accepted but not yet swapped into the worker (relaxed atomic;
+  /// never takes a lock, may trail the queue by an in-flight push).
+  std::size_t QueueDepth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Drains, then persists the detector state under the detector lock.
+  /// Safe to call while producers keep submitting; the snapshot is a
+  /// consistent prefix of the stream.
+  Status SaveState(const std::string& path);
+
+  /// Drains, then replaces the detector state from a snapshot written by
+  /// SaveState. The detector's installed semantics are reused; the restored
+  /// community is republished and becomes the alert baseline.
+  Status RestoreState(const std::string& path);
+
+ private:
+  void WorkerLoop();
+
+  /// Worker thread only: flushes + detects, publishes the snapshot, fires
+  /// the alert callback if the community changed. No lock held during the
+  /// callback.
+  void DetectAndPublish();
+
+  DetectionServiceOptions options_;
+  FraudAlertFn on_alert_;
+
+  // --- producer/worker handoff (all guarded by queue_mutex_) -------------
+  mutable std::mutex queue_mutex_;
+  std::condition_variable work_cv_;   // signals the worker
+  std::condition_variable drain_cv_;  // signals Drain() waiters
+  std::condition_variable space_cv_;  // signals blocked producers
+  std::vector<Edge> producer_buffer_;
+  bool stopping_ = false;
+  bool worker_exited_ = false;
+  std::size_t drain_waiters_ = 0;    // threads parked in Drain()
+  std::uint64_t submitted_ = 0;      // edges accepted by Submit
+  std::uint64_t consumed_q_ = 0;     // mirror of consumed_ for predicates
+  std::uint64_t exact_through_ = 0;  // edges reflected in an exact snapshot
+
+  // --- detector, touched only by the worker thread (or by Save/Restore
+  // while the worker is parked in its queue wait; detector_mutex_ makes
+  // that exclusion explicit and TSan-visible). Never taken by readers. ----
+  mutable std::mutex detector_mutex_;
+  Spade spade_;
+  std::vector<VertexId> last_reported_;
+  double last_density_ = -1.0;
+  std::size_t since_detect_ = 0;
+  std::uint64_t consumed_ = 0;  // edges taken off the queue by the worker
+  // Set by DetectAndPublish when the community changed; the worker moves it
+  // out and fires the callback after releasing detector_mutex_.
+  std::shared_ptr<const Community> pending_alert_;
+
+  // --- published state (lock-free readers) -------------------------------
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  std::atomic<std::shared_ptr<const Community>> snapshot_;
+#else
+  // Fallback (pre-C++20 library or TSan build): a dedicated pointer-swap
+  // mutex — still never the apply-path mutex, so readers cannot block
+  // behind a reorder.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Community> snapshot_;
+#endif
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> alerts_{0};
+  std::atomic<std::uint64_t> detections_{0};
+  // Mirror of producer_buffer_.size(), updated under queue_mutex_ but read
+  // lock-free by QueueDepth()/GetStats().
+  std::atomic<std::size_t> queue_depth_{0};
+
+  std::thread worker_;
+};
+
+}  // namespace spade

@@ -1,0 +1,193 @@
+#include "service/sharded_detection_service.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.h"
+#include "storage/sharded_snapshot.h"
+
+namespace spade {
+
+PartitionFn HashOfSourcePartitioner() {
+  return [](const Edge& e) -> std::size_t {
+    // splitmix64 finalizer: adjacent vertex ids land on unrelated shards.
+    std::uint64_t x = static_cast<std::uint64_t>(e.src);
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  };
+}
+
+PartitionFn TenantPartitioner(VertexId vertices_per_tenant) {
+  SPADE_CHECK(vertices_per_tenant > 0);
+  return [vertices_per_tenant](const Edge& e) -> std::size_t {
+    return e.src / vertices_per_tenant;
+  };
+}
+
+ShardedDetectionService::ShardedDetectionService(
+    std::vector<Spade> shards, ShardAlertFn on_alert,
+    ShardedDetectionServiceOptions options)
+    : options_(std::move(options)), on_alert_(std::move(on_alert)) {
+  SPADE_CHECK(!shards.empty());
+  if (!options_.partitioner) options_.partitioner = HashOfSourcePartitioner();
+  semantics_ = shards.front().semantics_name();
+  workers_.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    FraudAlertFn shard_alert;
+    if (on_alert_) {
+      shard_alert = [this, i](const Community& c) { on_alert_(i, c); };
+    }
+    workers_.push_back(std::make_unique<ShardWorker>(
+        std::move(shards[i]), std::move(shard_alert), options_.shard));
+  }
+}
+
+ShardedDetectionService::~ShardedDetectionService() { Stop(); }
+
+std::size_t ShardedDetectionService::ShardOf(const Edge& raw_edge) const {
+  return options_.partitioner(raw_edge) % workers_.size();
+}
+
+Status ShardedDetectionService::Submit(const Edge& raw_edge) {
+  return workers_[ShardOf(raw_edge)]->Submit(raw_edge);
+}
+
+Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
+                                            std::size_t* enqueued) {
+  if (enqueued != nullptr) *enqueued = 0;
+  if (workers_.size() == 1) {
+    const Status s = workers_[0]->SubmitBatch(raw_edges);
+    if (s.ok() && enqueued != nullptr) *enqueued = raw_edges.size();
+    return s;
+  }
+  std::vector<std::vector<Edge>> parts(workers_.size());
+  for (const Edge& e : raw_edges) parts[ShardOf(e)].push_back(e);
+  Status first_error = Status::OK();
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    if (parts[s].empty()) continue;
+    const Status status = workers_[s]->SubmitBatch(parts[s]);
+    if (status.ok()) {
+      if (enqueued != nullptr) *enqueued += parts[s].size();
+    } else if (first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+void ShardedDetectionService::Drain() {
+  for (auto& w : workers_) w->Drain();
+}
+
+void ShardedDetectionService::Stop() {
+  for (auto& w : workers_) w->Stop();
+}
+
+std::pair<std::size_t, std::shared_ptr<const Community>>
+ShardedDetectionService::ArgmaxSnapshot() const {
+  // One load per shard; the winning snapshot is returned from the same
+  // pass (re-loading after the argmax could observe a newer, lower-density
+  // republication and break the "densest over all snapshots" contract).
+  std::size_t best = 0;
+  std::shared_ptr<const Community> best_snap;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    auto snap = workers_[i]->CurrentSnapshot();
+    if (snap && (!best_snap || snap->density > best_snap->density)) {
+      best_snap = std::move(snap);
+      best = i;
+    }
+  }
+  return {best, std::move(best_snap)};
+}
+
+std::size_t ShardedDetectionService::TopShard() const {
+  return ArgmaxSnapshot().first;
+}
+
+Community ShardedDetectionService::CurrentCommunity() const {
+  const auto [shard, snap] = ArgmaxSnapshot();
+  return snap ? *snap : Community{};
+}
+
+std::shared_ptr<const Community> ShardedDetectionService::ShardSnapshot(
+    std::size_t shard) const {
+  SPADE_CHECK(shard < workers_.size());
+  return workers_[shard]->CurrentSnapshot();
+}
+
+Community ShardedDetectionService::ShardCommunity(std::size_t shard) const {
+  SPADE_CHECK(shard < workers_.size());
+  return workers_[shard]->CurrentCommunity();
+}
+
+ShardedServiceStats ShardedDetectionService::GetStats() const {
+  ShardedServiceStats stats;
+  stats.shard_edges.reserve(workers_.size());
+  stats.shard_alerts.reserve(workers_.size());
+  stats.shard_queue_depth.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    const std::uint64_t edges = w->EdgesProcessed();
+    const std::uint64_t alerts = w->AlertsDelivered();
+    stats.edges_processed += edges;
+    stats.alerts_delivered += alerts;
+    stats.shard_edges.push_back(edges);
+    stats.shard_alerts.push_back(alerts);
+    stats.shard_detections.push_back(w->DetectionsRun());
+    stats.shard_queue_depth.push_back(w->QueueDepth());
+  }
+  return stats;
+}
+
+std::uint64_t ShardedDetectionService::EdgesProcessed() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->EdgesProcessed();
+  return total;
+}
+
+std::uint64_t ShardedDetectionService::AlertsDelivered() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->AlertsDelivered();
+  return total;
+}
+
+Status ShardedDetectionService::SaveState(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot directory " + dir + ": " +
+                           ec.message());
+  }
+  ShardManifest manifest;
+  manifest.num_shards = static_cast<std::uint32_t>(workers_.size());
+  manifest.semantics = semantics_;
+  manifest.files.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::string name = ShardSnapshotFileName(i);
+    const std::string path = (std::filesystem::path(dir) / name).string();
+    SPADE_RETURN_NOT_OK(workers_[i]->SaveState(path));
+    manifest.files.push_back(name);
+  }
+  // Manifest last: a crashed save leaves no manifest, so a restore sees
+  // kNotFound rather than a torn directory.
+  return WriteShardManifest(dir, manifest);
+}
+
+Status ShardedDetectionService::RestoreState(const std::string& dir) {
+  ShardManifest manifest;
+  SPADE_RETURN_NOT_OK(ReadShardManifest(dir, &manifest));
+  if (manifest.num_shards != workers_.size()) {
+    return Status::FailedPrecondition(
+        "sharded snapshot has " + std::to_string(manifest.num_shards) +
+        " shards but the service has " + std::to_string(workers_.size()));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::string path =
+        (std::filesystem::path(dir) / manifest.files[i]).string();
+    SPADE_RETURN_NOT_OK(workers_[i]->RestoreState(path));
+  }
+  return Status::OK();
+}
+
+}  // namespace spade

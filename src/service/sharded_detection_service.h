@@ -1,0 +1,152 @@
+// ShardedDetectionService: N independent ShardWorker pipelines behind a
+// pluggable partitioner — the service-layer analogue of κ-Join's
+// vertex-cover decomposition (PAPERS.md): split the workload into parts
+// whose updates never interact, run each part's detector on its own core,
+// and combine answers at read time.
+//
+// Partitioner contract: the function maps an edge to an arbitrary
+// std::size_t key; the service reduces it modulo the shard count. Every
+// edge of one logical partition (tenant, region, product line) MUST map to
+// the same key — the shards are fully independent detectors, so an edge
+// routed to shard A is invisible to shard B. Correctness therefore requires
+// the partition to be closed under the communities one cares about: with
+// tenant-keyed routing, each tenant's community is exactly what a dedicated
+// single-tenant detector would report (the sharded differential test pins
+// this). A hash-of-source default is provided for workloads without a
+// natural key; it keeps per-source neighborhoods together but splits
+// cross-source communities, so treat its global answer as a per-shard
+// argmax, not a whole-graph detection.
+//
+// Cross-shard reads: CurrentCommunity() returns the densest community over
+// all shard snapshots. It does NOT stitch communities that span shards —
+// density of a cross-shard vertex set is not comparable without the edges
+// between parts, which no shard holds (ROADMAP: cross-shard stitching).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/spade.h"
+#include "graph/types.h"
+#include "service/shard_worker.h"
+
+namespace spade {
+
+/// Maps an edge to a routing key; the service takes it modulo num_shards.
+using PartitionFn = std::function<std::size_t(const Edge&)>;
+
+/// Alert callback with the originating shard id. Invoked from that shard's
+/// worker thread; callbacks from different shards run concurrently.
+using ShardAlertFn = std::function<void(std::size_t shard, const Community&)>;
+
+/// Default partitioner: a mixed hash of the source vertex.
+PartitionFn HashOfSourcePartitioner();
+
+/// Tenant routing for id spaces laid out as [tenant * vertices_per_tenant,
+/// (tenant+1) * vertices_per_tenant): key = src / vertices_per_tenant.
+PartitionFn TenantPartitioner(VertexId vertices_per_tenant);
+
+struct ShardedDetectionServiceOptions {
+  /// Knobs applied to every shard worker.
+  DetectionServiceOptions shard;
+  /// Edge routing; null selects HashOfSourcePartitioner().
+  PartitionFn partitioner;
+};
+
+/// Merged + per-shard service counters. All reads are lock-free (queue
+/// depths come from a relaxed mirror, not the queue mutex).
+struct ShardedServiceStats {
+  std::uint64_t edges_processed = 0;
+  std::uint64_t alerts_delivered = 0;
+  std::vector<std::uint64_t> shard_edges;
+  std::vector<std::uint64_t> shard_alerts;
+  std::vector<std::uint64_t> shard_detections;
+  std::vector<std::size_t> shard_queue_depth;
+};
+
+/// Partition-parallel streaming front-end over N Spade detectors.
+class ShardedDetectionService {
+ public:
+  /// Takes ownership of one fully built detector per shard (all built with
+  /// the same semantics; each should hold its partition's initial graph).
+  /// Workers start immediately.
+  ShardedDetectionService(std::vector<Spade> shards, ShardAlertFn on_alert,
+                          ShardedDetectionServiceOptions options = {});
+
+  /// Stops all shards.
+  ~ShardedDetectionService();
+
+  ShardedDetectionService(const ShardedDetectionService&) = delete;
+  ShardedDetectionService& operator=(const ShardedDetectionService&) = delete;
+
+  std::size_t num_shards() const { return workers_.size(); }
+
+  /// Routes the edge to its shard and enqueues it; callable from any
+  /// thread. Per-shard FIFO order is preserved per producer thread.
+  Status Submit(const Edge& raw_edge);
+
+  /// Bulk submit: partitions the chunk once and hands each shard its part
+  /// under a single lock acquisition + wakeup (the multi-producer
+  /// throughput path). Order within the chunk is preserved per shard.
+  /// Best-effort across shards: every shard's part is attempted, the first
+  /// failure is returned, and `*enqueued` (when non-null) receives the
+  /// number of edges actually accepted, so callers can reconcile partial
+  /// chunks.
+  Status SubmitBatch(std::span<const Edge> raw_edges,
+                     std::size_t* enqueued = nullptr);
+
+  /// The shard `raw_edge` would be routed to.
+  std::size_t ShardOf(const Edge& raw_edge) const;
+
+  /// Blocks until every shard has applied and republished everything
+  /// submitted before this call.
+  void Drain();
+
+  /// Drains and stops all shard workers. Idempotent.
+  void Stop();
+
+  /// Densest community over all shard snapshots (argmax density; ties break
+  /// toward the lower shard id). Never blocks on any apply path.
+  Community CurrentCommunity() const;
+
+  /// Shard id whose snapshot wins the density argmax. Advisory under
+  /// concurrent updates: the shard may republish between this call and a
+  /// subsequent read (CurrentCommunity() does its argmax and read in one
+  /// pass and is not subject to that race).
+  std::size_t TopShard() const;
+
+  /// Latest published snapshot of one shard (never blocks).
+  std::shared_ptr<const Community> ShardSnapshot(std::size_t shard) const;
+  Community ShardCommunity(std::size_t shard) const;
+
+  /// Merged counters plus per-shard breakdown.
+  ShardedServiceStats GetStats() const;
+  std::uint64_t EdgesProcessed() const;
+  std::uint64_t AlertsDelivered() const;
+
+  /// Persists all shards into `dir` (created if needed): a manifest plus
+  /// one snapshot file per shard. Drains each shard first.
+  Status SaveState(const std::string& dir);
+
+  /// Restores a directory written by SaveState. The manifest's shard count
+  /// must match this service's; detectors keep their installed semantics.
+  Status RestoreState(const std::string& dir);
+
+ private:
+  /// Single-pass density argmax over the shard snapshots: (shard, snapshot).
+  std::pair<std::size_t, std::shared_ptr<const Community>> ArgmaxSnapshot()
+      const;
+
+  ShardedDetectionServiceOptions options_;
+  ShardAlertFn on_alert_;  // outlives the workers (declared first)
+  std::string semantics_;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+};
+
+}  // namespace spade

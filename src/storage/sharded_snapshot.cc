@@ -1,0 +1,99 @@
+#include "storage/sharded_snapshot.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace spade {
+
+namespace {
+
+constexpr char kMagic[] = "spade-shard-manifest";
+constexpr int kVersion = 1;
+constexpr char kManifestName[] = "manifest.spade";
+
+}  // namespace
+
+std::string ShardSnapshotFileName(std::size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%zu.snapshot", shard);
+  return buf;
+}
+
+std::string ShardManifestPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / kManifestName).string();
+}
+
+Status WriteShardManifest(const std::string& dir,
+                          const ShardManifest& manifest) {
+  if (manifest.files.size() != manifest.num_shards) {
+    return Status::InvalidArgument(
+        "ShardManifest: files/num_shards mismatch");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create snapshot directory " + dir + ": " +
+                           ec.message());
+  }
+  const std::string path = ShardManifestPath(dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp);
+    out << kMagic << ' ' << kVersion << '\n';
+    out << "shards " << manifest.num_shards << '\n';
+    out << "semantics "
+        << (manifest.semantics.empty() ? "unknown" : manifest.semantics)
+        << '\n';
+    for (std::size_t i = 0; i < manifest.files.size(); ++i) {
+      out << "file " << i << ' ' << manifest.files[i] << '\n';
+    }
+    out.flush();
+    if (!out) return Status::IOError("write failed: " + tmp);
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot rename " + tmp + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status ReadShardManifest(const std::string& dir, ShardManifest* manifest) {
+  const std::string path = ShardManifestPath(dir);
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no shard manifest at " + path);
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Status::IOError("bad manifest magic in " + path);
+  }
+  if (version != kVersion) {
+    return Status::IOError("unsupported manifest version in " + path);
+  }
+  std::string key;
+  ShardManifest m;
+  if (!(in >> key >> m.num_shards) || key != "shards") {
+    return Status::IOError("manifest missing shard count: " + path);
+  }
+  if (!(in >> key >> m.semantics) || key != "semantics") {
+    return Status::IOError("manifest missing semantics: " + path);
+  }
+  m.files.assign(m.num_shards, "");
+  for (std::uint32_t i = 0; i < m.num_shards; ++i) {
+    std::size_t index = 0;
+    std::string name;
+    if (!(in >> key >> index >> name) || key != "file" || index != i ||
+        name.empty()) {
+      return Status::IOError("manifest shard entry " + std::to_string(i) +
+                             " malformed: " + path);
+    }
+    m.files[i] = name;
+  }
+  *manifest = std::move(m);
+  return Status::OK();
+}
+
+}  // namespace spade

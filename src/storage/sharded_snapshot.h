@@ -1,0 +1,52 @@
+// Sharded snapshot persistence: a manifest plus one binary snapshot file
+// per shard (snapshot.h format), all inside one directory.
+//
+// The manifest is deliberately a small line-oriented text file — it holds
+// only topology (shard count, per-shard file names, semantics name), while
+// all bulk data stays in the CRC-protected binary per-shard files. A
+// restore validates that the manifest's shard count matches the restoring
+// service before touching any shard, so a 4-shard snapshot cannot be
+// half-loaded into an 8-shard service.
+//
+// Format (manifest.spade):
+//   spade-shard-manifest 1
+//   shards <N>
+//   semantics <name>
+//   file <shard-index> <relative-file-name>     (N lines, dense 0..N-1)
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spade {
+
+/// Topology of one sharded snapshot directory.
+struct ShardManifest {
+  std::uint32_t num_shards = 0;
+  /// Semantics the shards ran under (informational; restore does not
+  /// install it — the service's detectors keep their own functions).
+  std::string semantics;
+  /// Per-shard snapshot file names, relative to the directory.
+  std::vector<std::string> files;
+};
+
+/// Canonical per-shard snapshot file name ("shard-<i>.snapshot").
+std::string ShardSnapshotFileName(std::size_t shard);
+
+/// Path of the manifest inside `dir`.
+std::string ShardManifestPath(const std::string& dir);
+
+/// Creates `dir` if needed and writes the manifest (atomically: temp file +
+/// rename). `manifest.files` must have exactly `num_shards` entries.
+Status WriteShardManifest(const std::string& dir,
+                          const ShardManifest& manifest);
+
+/// Parses the manifest in `dir`; fails with kNotFound when absent and
+/// kIOError on any structural mismatch.
+Status ReadShardManifest(const std::string& dir, ShardManifest* manifest);
+
+}  // namespace spade

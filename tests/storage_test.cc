@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
+
+#include "storage/sharded_snapshot.h"
 
 #include "common/rng.h"
 #include "core/spade.h"
@@ -151,6 +154,76 @@ TEST_F(SnapshotTest, SpadeSaveRestoreResumesIncrementally) {
                              0.0);
   testing::ExpectStateEquals(PeelStatic(restored.graph()),
                              restored.peel_state());
+}
+
+class ShardManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/spade_shard_manifest_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(ShardManifestTest, RoundTrip) {
+  ShardManifest manifest;
+  manifest.num_shards = 3;
+  manifest.semantics = "DW";
+  for (std::size_t i = 0; i < 3; ++i) {
+    manifest.files.push_back(ShardSnapshotFileName(i));
+  }
+  ASSERT_TRUE(WriteShardManifest(dir_, manifest).ok());
+
+  ShardManifest read;
+  ASSERT_TRUE(ReadShardManifest(dir_, &read).ok());
+  EXPECT_EQ(read.num_shards, 3u);
+  EXPECT_EQ(read.semantics, "DW");
+  EXPECT_EQ(read.files, manifest.files);
+}
+
+TEST_F(ShardManifestTest, MissingDirectoryIsNotFound) {
+  ShardManifest read;
+  const Status s = ReadShardManifest(dir_ + "/nope", &read);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ShardManifestTest, FilesCountMustMatchShards) {
+  ShardManifest manifest;
+  manifest.num_shards = 2;
+  manifest.files = {"only-one.snapshot"};
+  const Status s = WriteShardManifest(dir_, manifest);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardManifestTest, TruncatedManifestIsIOError) {
+  ShardManifest manifest;
+  manifest.num_shards = 2;
+  manifest.semantics = "DG";
+  manifest.files = {ShardSnapshotFileName(0), ShardSnapshotFileName(1)};
+  ASSERT_TRUE(WriteShardManifest(dir_, manifest).ok());
+  // Chop the last line off.
+  const std::string path = ShardManifestPath(dir_);
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+      contents += lines[i] + "\n";
+    }
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+  ShardManifest read;
+  const Status s = ReadShardManifest(dir_, &read);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
 }
 
 }  // namespace

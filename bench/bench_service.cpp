@@ -16,9 +16,19 @@
 // shard count: aggregate submit throughput, speedup vs 1 shard, and
 // fraud-group submit→alert latency percentiles. The repo commits a
 // reference copy; CI uploads a fresh one per run.
+//
+// Second workload: the cross-shard ring. Hash-of-source routing splits a
+// fraud ring's edges across every shard (each consecutive member pair has
+// different home shards), so no per-shard view ever contains the ring at
+// its real density — the blind spot the boundary-edge index + stitch pass
+// close. The sweep reports argmax vs stitched recall/density against the
+// 1-shard merged detector, plus the retained aggregate throughput, and
+// emits BENCH_stitching.json.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -213,6 +223,164 @@ SweepEntry RunConfig(const TenantWorkload& w, const TenantConfig& cfg,
   return e;
 }
 
+// ---------------------------------------------------------------------------
+// Cross-shard ring workload (stitching bench).
+
+struct StitchConfig {
+  std::size_t vertices = 8192;
+  std::size_t background_edges = 64000;
+  /// One legitimate whale clique per home-residue class (mod 8). Members of
+  /// a clique share their splitmix home at 8 shards — hence also at 4 and 2
+  /// (equal mod 8 implies equal mod its divisors) — so every shard at every
+  /// swept count holds whales of the same density and the benign threshold
+  /// (Definition 4.1) is pinned equal across configs, merged included.
+  std::size_t whale_size = 8;
+  std::size_t whale_edges = 100;
+  double whale_weight = 40.0;
+  /// Fraud ring whose 8 members cover all 8 home residues: every
+  /// consecutive pair crosses shards at 2, 4 and 8 shards, so the ring is
+  /// invisible to any per-shard argmax and fully boundary-indexed.
+  std::size_t ring_size = 8;
+  std::size_t ring_edges = 160;
+  double ring_weight = 60.0;
+  std::uint64_t seed = 4242;
+};
+
+struct StitchWorkload {
+  std::size_t num_vertices = 0;
+  LabeledStream stream;
+  std::vector<VertexId> ring;
+};
+
+StitchWorkload BuildStitchWorkload(const StitchConfig& cfg) {
+  StitchWorkload w;
+  w.num_vertices = cfg.vertices;
+  Rng rng(cfg.seed);
+  const Partitioner hash = HashOfSourcePartitioner();
+  const auto residue = [&hash](VertexId v) { return hash.home(v) % 8; };
+
+  // Bucket vertex ids by home residue; whales and the ring draw from them.
+  std::vector<std::vector<VertexId>> pools(8);
+  for (VertexId v = 0; v < cfg.vertices; ++v) {
+    pools[residue(v)].push_back(v);
+  }
+  std::unordered_set<VertexId> reserved;
+  for (std::size_t r = 0; r < 8; ++r) {
+    w.ring.push_back(pools[r][0]);
+    reserved.insert(pools[r][0]);
+  }
+
+  std::vector<Edge> edges;
+  // Whales first so every shard's threshold is anchored before the random
+  // traffic arrives.
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t i = 0; i < cfg.whale_edges; ++i) {
+      const auto a = pools[r][1 + rng.NextBounded(cfg.whale_size)];
+      auto b = pools[r][1 + rng.NextBounded(cfg.whale_size)];
+      while (b == a) b = pools[r][1 + rng.NextBounded(cfg.whale_size)];
+      edges.push_back(
+          Edge{a, b, cfg.whale_weight * (0.9 + 0.2 * rng.NextDouble()), 0});
+    }
+  }
+  for (std::size_t i = 0; i < cfg.background_edges; ++i) {
+    auto s = static_cast<VertexId>(rng.NextBounded(cfg.vertices));
+    auto d = static_cast<VertexId>(rng.NextBounded(cfg.vertices));
+    while (d == s || reserved.count(s) != 0 || reserved.count(d) != 0) {
+      s = static_cast<VertexId>(rng.NextBounded(cfg.vertices));
+      d = static_cast<VertexId>(rng.NextBounded(cfg.vertices));
+    }
+    edges.push_back(Edge{s, d, 1.0 + 9.0 * rng.NextDouble(), 0});
+  }
+  // Ring burst a third of the way in, consecutive members always in
+  // different home shards.
+  const std::size_t burst_at = edges.size() / 3;
+  for (std::size_t i = 0; i < cfg.ring_edges; ++i) {
+    const VertexId s = w.ring[i % w.ring.size()];
+    const VertexId d = w.ring[(i + 1) % w.ring.size()];
+    edges.insert(
+        edges.begin() + static_cast<std::ptrdiff_t>(
+                            std::min(burst_at + i, edges.size())),
+        Edge{s, d, cfg.ring_weight * (0.9 + 0.2 * rng.NextDouble()), 0});
+  }
+
+  Timestamp ts = 0;
+  for (Edge e : edges) {
+    e.ts = ts++;
+    const bool fraud = e.weight >= cfg.ring_weight * 0.9;
+    w.stream.Append(e, fraud ? 0 : kNormalEdge);
+  }
+  w.stream.group_vertices.push_back(w.ring);
+  return w;
+}
+
+std::vector<Spade> BuildHashShards(const StitchWorkload& w,
+                                   std::size_t num_shards) {
+  std::vector<Spade> shards;
+  shards.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    Spade spade;
+    spade.SetSemantics(MakeDW());
+    const Status st = spade.BuildGraph(w.num_vertices, {});
+    if (!st.ok()) {
+      std::fprintf(stderr, "BuildGraph failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    shards.push_back(std::move(spade));
+  }
+  return shards;
+}
+
+double RingRecall(const std::vector<VertexId>& ring,
+                  const std::vector<VertexId>& members) {
+  const std::unordered_set<VertexId> set(members.begin(), members.end());
+  std::size_t hit = 0;
+  for (const VertexId v : ring) hit += set.count(v);
+  return ring.empty() ? 0.0
+                      : static_cast<double>(hit) /
+                            static_cast<double>(ring.size());
+}
+
+struct StitchEntry {
+  std::size_t shards = 0;
+  double eps = 0.0;
+  double speedup = 1.0;
+  double argmax_recall = 0.0;
+  double argmax_density = 0.0;
+  double stitched_recall = 0.0;
+  double stitched_density = 0.0;
+  double stitch_ms = 0.0;
+  std::uint64_t boundary_edges = 0;
+  std::size_t seam_vertices = 0;
+  std::size_t seam_edges = 0;
+  bool stitched_flag = false;
+};
+
+StitchEntry RunStitchConfig(const StitchWorkload& w, std::size_t num_shards) {
+  ServiceReplayOptions options;
+  options.num_producers = 4;
+  options.final_stitch = true;
+  options.service.shard.block_when_full = true;
+  options.service.shard.detect_every = 64;
+  options.service.partitioner = HashOfSourcePartitioner();
+
+  const ServiceReplayReport report =
+      ReplayThroughService(BuildHashShards(w, num_shards), w.stream, options);
+
+  StitchEntry e;
+  e.shards = num_shards;
+  e.eps = report.SubmitThroughputEps();
+  e.argmax_recall = RingRecall(w.ring, report.final_argmax.members);
+  e.argmax_density = report.final_argmax.density;
+  e.stitched_recall = RingRecall(w.ring, report.final_stitched.members);
+  e.stitched_density = report.final_stitched.density;
+  e.stitch_ms = report.stitch_millis;
+  e.boundary_edges = report.boundary_edges;
+  e.seam_vertices = report.final_stitched.seam_vertices;
+  e.seam_edges = report.final_stitched.seam_edges;
+  e.stitched_flag = report.final_stitched.stitched;
+  return e;
+}
+
 }  // namespace
 }  // namespace spade::bench
 
@@ -276,5 +444,66 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
+
+  // ---- cross-shard ring workload (stitching sweep) ----
+  StitchConfig scfg;
+  const StitchWorkload sw = BuildStitchWorkload(scfg);
+  std::printf("\n# cross-shard ring sweep: %zu vertices, %zu stream edges, "
+              "ring of %zu split across every shard\n\n",
+              sw.num_vertices, sw.stream.size(), sw.ring.size());
+  std::printf("%7s %12s %9s %13s %15s %10s %10s %10s\n", "shards", "edges/s",
+              "speedup", "argmax-recall", "stitched-recall", "density",
+              "merged", "stitch-ms");
+
+  (void)RunStitchConfig(sw, 1);  // warm-up, same rationale as above
+
+  std::vector<StitchEntry> sentries;
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    StitchEntry e = RunStitchConfig(sw, shards);
+    if (!sentries.empty()) e.speedup = e.eps / sentries.front().eps;
+    const double merged_density =
+        sentries.empty() ? e.stitched_density : sentries.front().stitched_density;
+    std::printf("%7zu %12.0f %8.2fx %13.2f %15.2f %10.1f %10.1f %10.1f\n",
+                e.shards, e.eps, e.speedup, e.argmax_recall,
+                e.stitched_recall, e.stitched_density, merged_density,
+                e.stitch_ms);
+    sentries.push_back(e);
+  }
+
+  const std::string spath = out_dir + "/BENCH_stitching.json";
+  std::FILE* sf = std::fopen(spath.c_str(), "w");
+  if (sf == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", spath.c_str());
+    return 1;
+  }
+  std::fprintf(sf,
+               "{\n  \"workload\": {\"vertices\": %zu, \"stream_edges\": %zu, "
+               "\"ring_size\": %zu, \"ring_edges\": %zu},\n",
+               sw.num_vertices, sw.stream.size(), scfg.ring_size,
+               scfg.ring_edges);
+  std::fprintf(sf, "  \"merged_density\": %.4f,\n",
+               sentries.front().stitched_density);
+  std::fprintf(sf, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sentries.size(); ++i) {
+    const StitchEntry& e = sentries[i];
+    const double merged_density = sentries.front().stitched_density;
+    std::fprintf(
+        sf,
+        "    {\"shards\": %zu, \"edges_per_s\": %.0f, \"speedup_vs_1\": "
+        "%.2f, \"argmax_recall\": %.3f, \"argmax_density\": %.4f, "
+        "\"stitched_recall\": %.3f, \"stitched_density\": %.4f, "
+        "\"density_ratio_vs_merged\": %.4f, \"stitched\": %s, "
+        "\"stitch_ms\": %.2f, \"boundary_edges\": %llu, "
+        "\"seam_vertices\": %zu, \"seam_edges\": %zu}%s\n",
+        e.shards, e.eps, e.speedup, e.argmax_recall, e.argmax_density,
+        e.stitched_recall, e.stitched_density,
+        merged_density > 0.0 ? e.stitched_density / merged_density : 0.0,
+        e.stitched_flag ? "true" : "false", e.stitch_ms,
+        static_cast<unsigned long long>(e.boundary_edges), e.seam_vertices,
+        e.seam_edges, i + 1 == sentries.size() ? "" : ",");
+  }
+  std::fprintf(sf, "  ]\n}\n");
+  std::fclose(sf);
+  std::printf("\nwrote %s\n", spath.c_str());
   return 0;
 }

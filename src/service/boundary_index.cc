@@ -1,0 +1,197 @@
+#include "service/boundary_index.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+#include "storage/snapshot.h"
+
+namespace spade {
+
+namespace {
+
+constexpr std::uint64_t kBoundaryMagic = 0x53504144455F4249ULL;  // "SPADE_BI"
+constexpr std::uint32_t kBoundaryVersion = 1;
+
+}  // namespace
+
+BoundaryEdgeIndex::BoundaryEdgeIndex(std::size_t num_shards)
+    : num_shards_(num_shards), buckets_(num_shards * num_shards) {
+  SPADE_CHECK(num_shards > 0);
+}
+
+void BoundaryEdgeIndex::Record(std::size_t src_home, std::size_t dst_home,
+                               const Edge& edge) {
+  SPADE_DCHECK(src_home < num_shards_ && dst_home < num_shards_);
+  Bucket& bucket = buckets_[BucketOf(src_home, dst_home)];
+  {
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    bucket.edges.push_back(edge);
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool BoundaryEdgeIndex::FoldNewEdges(
+    Cursor* cursor, std::unordered_map<VertexId, double>* weight) const {
+  if (cursor->epoch.size() != buckets_.size()) {
+    cursor->epoch.assign(buckets_.size(), 0);
+    cursor->consumed.assign(buckets_.size(), 0);
+  }
+  // Pass 1: a bumped epoch anywhere (Clear/Load) invalidates the whole
+  // aggregate — per-bucket contributions are not tracked separately, so the
+  // only sound recovery is a full rebuild.
+  bool rebuilt = false;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::lock_guard<std::mutex> lock(buckets_[b].mutex);
+    if (cursor->epoch[b] != buckets_[b].epoch) {
+      rebuilt = true;
+      break;
+    }
+  }
+  if (rebuilt) {
+    weight->clear();
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      std::lock_guard<std::mutex> lock(buckets_[b].mutex);
+      cursor->epoch[b] = buckets_[b].epoch;
+      cursor->consumed[b] = 0;
+    }
+  }
+  // Pass 2: fold only the suffix appended since the cursor's last visit.
+  // Edges recorded between the passes are picked up here or next time;
+  // either way exactly once, because buckets are append-only within an
+  // epoch.
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::lock_guard<std::mutex> lock(buckets_[b].mutex);
+    const std::vector<Edge>& edges = buckets_[b].edges;
+    for (std::size_t i = cursor->consumed[b]; i < edges.size(); ++i) {
+      (*weight)[edges[i].src] += edges[i].weight;
+      (*weight)[edges[i].dst] += edges[i].weight;
+    }
+    cursor->consumed[b] = edges.size();
+  }
+  return rebuilt;
+}
+
+std::vector<Edge> BoundaryEdgeIndex::SnapshotEdges() const {
+  std::vector<Edge> out;
+  out.reserve(TotalEdges());
+  for (const Bucket& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    out.insert(out.end(), bucket.edges.begin(), bucket.edges.end());
+  }
+  return out;
+}
+
+void BoundaryEdgeIndex::Clear() {
+  std::uint64_t dropped = 0;
+  for (Bucket& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    dropped += bucket.edges.size();
+    bucket.edges.clear();
+    ++bucket.epoch;
+  }
+  total_.fetch_sub(dropped, std::memory_order_relaxed);
+}
+
+Status BoundaryEdgeIndex::Save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + tmp);
+
+  std::uint64_t crc = 0;
+  auto write = [&](const void* data, std::size_t size) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    crc = Crc64(data, size, crc);
+  };
+  auto write_u64 = [&](std::uint64_t v) { write(&v, sizeof(v)); };
+
+  write_u64(kBoundaryMagic);
+  const std::uint32_t version = kBoundaryVersion;
+  write(&version, sizeof(version));
+  write_u64(num_shards_);
+  for (const Bucket& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    write_u64(bucket.edges.size());
+    for (const Edge& e : bucket.edges) {
+      write(&e.src, sizeof(e.src));
+      write(&e.dst, sizeof(e.dst));
+      write(&e.weight, sizeof(e.weight));
+      write(&e.ts, sizeof(e.ts));
+    }
+  }
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + tmp);
+  out.close();
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot rename " + tmp + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status BoundaryEdgeIndex::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no boundary index at " + path);
+
+  std::uint64_t crc = 0;
+  auto read = [&](void* data, std::size_t size) -> bool {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in) return false;
+    crc = Crc64(data, size, crc);
+    return true;
+  };
+
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t shards = 0;
+  if (!read(&magic, sizeof(magic)) || magic != kBoundaryMagic) {
+    return Status::IOError("bad boundary index magic in " + path);
+  }
+  if (!read(&version, sizeof(version)) || version != kBoundaryVersion) {
+    return Status::IOError("unsupported boundary index version in " + path);
+  }
+  if (!read(&shards, sizeof(shards)) || shards != num_shards_) {
+    return Status::FailedPrecondition(
+        "boundary index in " + path + " has " + std::to_string(shards) +
+        " shards but the service has " + std::to_string(num_shards_));
+  }
+  std::vector<std::vector<Edge>> loaded(buckets_.size());
+  std::uint64_t loaded_total = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::uint64_t count = 0;
+    if (!read(&count, sizeof(count))) {
+      return Status::IOError("truncated boundary index: " + path);
+    }
+    loaded[b].resize(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Edge& e = loaded[b][i];
+      if (!read(&e.src, sizeof(e.src)) || !read(&e.dst, sizeof(e.dst)) ||
+          !read(&e.weight, sizeof(e.weight)) || !read(&e.ts, sizeof(e.ts))) {
+        return Status::IOError("truncated boundary index: " + path);
+      }
+    }
+    loaded_total += count;
+  }
+  const std::uint64_t computed = crc;
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in || stored != computed) {
+    return Status::IOError("boundary index CRC mismatch: " + path);
+  }
+
+  std::uint64_t previous = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::lock_guard<std::mutex> lock(buckets_[b].mutex);
+    previous += buckets_[b].edges.size();
+    buckets_[b].edges = std::move(loaded[b]);
+    ++buckets_[b].epoch;
+  }
+  total_.fetch_add(loaded_total - previous, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace spade

@@ -1,0 +1,108 @@
+// BoundaryEdgeIndex: the router-side record of cross-shard edges.
+//
+// A sharded service applies every edge in exactly one shard's detector, so
+// a community whose vertices live on different home shards is invisible to
+// any single shard (DESIGN.md §4.4). The router closes that gap by
+// appending every edge whose endpoints have different home shards to this
+// index as it routes; the stitch pass later uses the per-vertex boundary
+// weight it accumulates to decide which vertices are worth pulling into the
+// seam graph. The index is a discovery structure, not a second copy of the
+// graph: seam edges are gathered from the shard detectors themselves (with
+// their applied semantic weights), so nothing here is ever double-counted
+// into a density.
+//
+// Layout: one append-only bucket per ordered shard pair (src_home,
+// dst_home), each with its own mutex, so producers recording into different
+// pairs never contend. Buckets are epoch-stamped: Clear()/Load() bump the
+// epoch, and a consumer folding the index into its aggregate through a
+// Cursor detects the bump and rebuilds from scratch instead of silently
+// mixing generations — between bumps a fold touches only the edges appended
+// since the consumer's last visit (rebuilds are incremental).
+//
+// Persistence: Save/Load write a little-endian, CRC-64-protected binary
+// file (same trailer scheme as storage/snapshot.h) holding the shard count
+// and every bucket's edges; the sharded snapshot manifest references it so
+// a restored fleet resumes stitching without replaying the stream.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace spade {
+
+/// Append-only, shard-pair-bucketed store of cross-shard edges.
+class BoundaryEdgeIndex {
+ public:
+  explicit BoundaryEdgeIndex(std::size_t num_shards);
+
+  BoundaryEdgeIndex(const BoundaryEdgeIndex&) = delete;
+  BoundaryEdgeIndex& operator=(const BoundaryEdgeIndex&) = delete;
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Appends one cross-shard edge to the (src_home, dst_home) bucket.
+  /// Thread-safe; callable from any producer.
+  void Record(std::size_t src_home, std::size_t dst_home, const Edge& edge);
+
+  /// Edges recorded so far across all buckets (relaxed; never locks).
+  std::uint64_t TotalEdges() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// A consumer's incremental position: per-bucket (epoch, consumed-prefix).
+  /// Value-initialized cursors start before everything.
+  struct Cursor {
+    std::vector<std::uint64_t> epoch;
+    std::vector<std::size_t> consumed;
+  };
+
+  /// Folds every edge appended since `cursor` into `weight` (each endpoint
+  /// accumulates the edge weight — the vertex's total cross-shard
+  /// suspiciousness mass). If any bucket's epoch changed since the cursor
+  /// last visited (Clear/Load), the aggregate is cleared and rebuilt from
+  /// the full index; returns true in that case. Concurrent Record() calls
+  /// are safe; concurrent Clear()/Load() must be serialized by the caller
+  /// (the service's stitch lock does this).
+  bool FoldNewEdges(Cursor* cursor,
+                    std::unordered_map<VertexId, double>* weight) const;
+
+  /// Copies out every indexed edge (save path and tests; O(total edges)).
+  std::vector<Edge> SnapshotEdges() const;
+
+  /// Drops every edge and bumps every bucket epoch.
+  void Clear();
+
+  /// Atomically persists the index (temp file + rename, CRC-64 trailer).
+  Status Save(const std::string& path) const;
+
+  /// Replaces the contents from a file written by Save. The file's shard
+  /// count must match; every bucket epoch is bumped so cursors rebuild.
+  Status Load(const std::string& path);
+
+ private:
+  struct Bucket {
+    mutable std::mutex mutex;
+    std::vector<Edge> edges;
+    std::uint64_t epoch = 1;
+  };
+
+  std::size_t BucketOf(std::size_t src_home, std::size_t dst_home) const {
+    return src_home * num_shards_ + dst_home;
+  }
+
+  std::size_t num_shards_;
+  // Fixed-size at construction (Bucket is immovable); never resized.
+  std::vector<Bucket> buckets_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace spade

@@ -132,6 +132,26 @@ std::shared_ptr<const Community> ShardWorker::CurrentSnapshot() const {
 #endif
 }
 
+void ShardWorker::CollectInduced(std::span<const VertexId> vertices,
+                                 const std::function<bool(VertexId)>& contains,
+                                 std::vector<Edge>* edges,
+                                 std::vector<double>* vertex_weight) const {
+  SPADE_CHECK(vertex_weight->size() >= vertices.size());
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  const DynamicGraph& g = spade_.graph();
+  const std::size_t n = g.NumVertices();
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    if (v >= n) continue;  // this shard never saw the vertex
+    (*vertex_weight)[i] = std::max((*vertex_weight)[i], g.VertexWeight(v));
+    for (const NeighborEntry& e : g.OutNeighbors(v)) {
+      if (contains(e.vertex)) {
+        edges->push_back(Edge{v, e.vertex, e.weight, 0});
+      }
+    }
+  }
+}
+
 Status ShardWorker::SaveState(const std::string& path) {
   Drain();
   std::lock_guard<std::mutex> lock(detector_mutex_);

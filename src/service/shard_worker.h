@@ -152,6 +152,21 @@ class ShardWorker {
     return queue_depth_.load(std::memory_order_relaxed);
   }
 
+  /// Copies the induced subgraph over `vertices` out of this shard's
+  /// detector graph, for the cross-shard stitch pass: every out-edge of a
+  /// listed vertex whose destination satisfies `contains` is appended to
+  /// `edges` (global vertex ids, applied semantic weights — out-edges only,
+  /// so an edge is emitted exactly once), and `vertex_weight[i]` is raised
+  /// to this shard's prior for `vertices[i]`. Holds the detector mutex for
+  /// the scan (O(out-degree sum of the listed vertices in this shard)), so
+  /// it delays at most one in-flight apply and never touches the queue.
+  /// Benign-buffered edges are not yet in the graph; a caller wanting them
+  /// included drains first.
+  void CollectInduced(std::span<const VertexId> vertices,
+                      const std::function<bool(VertexId)>& contains,
+                      std::vector<Edge>* edges,
+                      std::vector<double>* vertex_weight) const;
+
   /// Drains, then persists the detector state under the detector lock.
   /// Safe to call while producers keep submitting; the snapshot is a
   /// consistent prefix of the stream.

@@ -1,37 +1,64 @@
 #include "service/sharded_detection_service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
+#include "graph/dynamic_graph.h"
+#include "peel/static_peeler.h"
 #include "storage/sharded_snapshot.h"
 
 namespace spade {
 
-PartitionFn HashOfSourcePartitioner() {
-  return [](const Edge& e) -> std::size_t {
-    // splitmix64 finalizer: adjacent vertex ids land on unrelated shards.
-    std::uint64_t x = static_cast<std::uint64_t>(e.src);
-    x += 0x9E3779B97F4A7C15ull;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-    return static_cast<std::size_t>(x ^ (x >> 31));
-  };
+namespace {
+
+/// splitmix64 finalizer: adjacent vertex ids land on unrelated shards.
+std::size_t SplitMix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<std::size_t>(x ^ (x >> 31));
 }
 
-PartitionFn TenantPartitioner(VertexId vertices_per_tenant) {
+}  // namespace
+
+Partitioner HashOfSourcePartitioner() {
+  return Partitioner(
+      [](const Edge& e) { return SplitMix(e.src); },
+      [](VertexId v) { return SplitMix(v); });
+}
+
+Partitioner TenantPartitioner(VertexId vertices_per_tenant) {
   SPADE_CHECK(vertices_per_tenant > 0);
-  return [vertices_per_tenant](const Edge& e) -> std::size_t {
-    return e.src / vertices_per_tenant;
-  };
+  return Partitioner(
+      [vertices_per_tenant](const Edge& e) -> std::size_t {
+        return e.src / vertices_per_tenant;
+      },
+      [vertices_per_tenant](VertexId v) -> std::size_t {
+        return v / vertices_per_tenant;
+      });
 }
 
 ShardedDetectionService::ShardedDetectionService(
     std::vector<Spade> shards, ShardAlertFn on_alert,
     ShardedDetectionServiceOptions options)
-    : options_(std::move(options)), on_alert_(std::move(on_alert)) {
+    : options_(std::move(options)),
+      on_alert_(std::move(on_alert)),
+      boundary_(std::max<std::size_t>(1, shards.size())) {
   SPADE_CHECK(!shards.empty());
   if (!options_.partitioner) options_.partitioner = HashOfSourcePartitioner();
+  if (!options_.partitioner.home) {
+    // A partitioner supplied as a bare edge function: derive vertex homes
+    // from the key of a synthetic self-edge, which matches the edge routing
+    // exactly whenever the key only reads the source vertex.
+    options_.partitioner.home =
+        [edge_key = options_.partitioner.edge_key](VertexId v) {
+          return edge_key(Edge{v, v, 1.0, 0});
+        };
+  }
   semantics_ = shards.front().semantics_name();
   workers_.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
@@ -42,15 +69,41 @@ ShardedDetectionService::ShardedDetectionService(
     workers_.push_back(std::make_unique<ShardWorker>(
         std::move(shards[i]), std::move(shard_alert), options_.shard));
   }
+  if (options_.stitch.interval_ms > 0 && workers_.size() > 1) {
+    stitcher_ = std::thread([this] { StitcherLoop(); });
+  }
 }
 
 ShardedDetectionService::~ShardedDetectionService() { Stop(); }
 
 std::size_t ShardedDetectionService::ShardOf(const Edge& raw_edge) const {
-  return options_.partitioner(raw_edge) % workers_.size();
+  return options_.partitioner.edge_key(raw_edge) % workers_.size();
+}
+
+std::size_t ShardedDetectionService::HomeShardOf(VertexId v) const {
+  return options_.partitioner.home(v) % workers_.size();
+}
+
+void ShardedDetectionService::MaybeRecordBoundary(const Edge& raw_edge) {
+  if (workers_.size() == 1) return;
+  const std::size_t src_home = HomeShardOf(raw_edge.src);
+  const std::size_t dst_home = HomeShardOf(raw_edge.dst);
+  if (src_home != dst_home) boundary_.Record(src_home, dst_home, raw_edge);
+}
+
+void ShardedDetectionService::SeedBoundaryIndex(
+    std::span<const Edge> raw_edges) {
+  for (const Edge& e : raw_edges) MaybeRecordBoundary(e);
 }
 
 Status ShardedDetectionService::Submit(const Edge& raw_edge) {
+  // Record BEFORE the enqueue: once an edge can be inside a shard detector
+  // (and thus inside a SaveState snapshot), its boundary record must
+  // already exist, or a concurrent save could persist the edge without its
+  // seam and a restored fleet would never rediscover it. The cost of this
+  // ordering is a record for an edge the worker then rejects — harmless,
+  // because the index is discovery-only and never summed into a density.
+  MaybeRecordBoundary(raw_edge);
   return workers_[ShardOf(raw_edge)]->Submit(raw_edge);
 }
 
@@ -67,6 +120,8 @@ Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
   Status first_error = Status::OK();
   for (std::size_t s = 0; s < workers_.size(); ++s) {
     if (parts[s].empty()) continue;
+    // Same record-before-enqueue ordering as Submit (see there).
+    for (const Edge& e : parts[s]) MaybeRecordBoundary(e);
     const Status status = workers_[s]->SubmitBatch(parts[s]);
     if (status.ok()) {
       if (enqueued != nullptr) *enqueued += parts[s].size();
@@ -82,6 +137,12 @@ void ShardedDetectionService::Drain() {
 }
 
 void ShardedDetectionService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stitcher_mutex_);
+    stitcher_stop_ = true;
+  }
+  stitcher_cv_.notify_all();
+  if (stitcher_.joinable()) stitcher_.join();
   for (auto& w : workers_) w->Stop();
 }
 
@@ -106,9 +167,210 @@ std::size_t ShardedDetectionService::TopShard() const {
   return ArgmaxSnapshot().first;
 }
 
-Community ShardedDetectionService::CurrentCommunity() const {
+std::shared_ptr<const GlobalCommunity> ShardedDetectionService::LoadStitched()
+    const {
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  return stitched_.load();
+#else
+  std::lock_guard<std::mutex> lock(stitched_mutex_);
+  return stitched_;
+#endif
+}
+
+void ShardedDetectionService::StoreStitched(
+    std::shared_ptr<const GlobalCommunity> snap) {
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  stitched_.store(std::move(snap));
+#else
+  std::lock_guard<std::mutex> lock(stitched_mutex_);
+  stitched_ = std::move(snap);
+#endif
+}
+
+Community ShardedDetectionService::CurrentCommunity(
+    GlobalReadMode mode) const {
+  if (mode == GlobalReadMode::kStitched) {
+    return CurrentGlobalCommunity();
+  }
   const auto [shard, snap] = ArgmaxSnapshot();
   return snap ? *snap : Community{};
+}
+
+GlobalCommunity ShardedDetectionService::CurrentGlobalCommunity() const {
+  const auto stitched = LoadStitched();
+  const auto [shard, snap] = ArgmaxSnapshot();
+  const double argmax_density = snap ? snap->density : 0.0;
+  // A stale stitched snapshot never overclaims: the service is insert-only,
+  // so the global induced density of a fixed member set only grows after
+  // the pass that measured it.
+  if (stitched && stitched->density >= argmax_density) return *stitched;
+  GlobalCommunity g;
+  if (snap) {
+    g.members = snap->members;
+    g.density = snap->density;
+    g.shards.push_back(shard);
+  }
+  return g;
+}
+
+GlobalCommunity ShardedDetectionService::StitchNow() {
+  if (options_.stitch.drain_before_stitch) Drain();
+
+  GlobalCommunity result;
+  bool fire_alert = false;
+  {
+    std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);
+    const std::uint64_t pass =
+        stitch_passes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    result.stitch_pass = pass;
+
+    // One snapshot load per shard, reused for both the seam candidates and
+    // the argmax fallback so the pass compares against a consistent view.
+    std::vector<std::shared_ptr<const Community>> snaps(workers_.size());
+    std::size_t argmax_shard = 0;
+    double argmax_density = -1.0;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      snaps[i] = workers_[i]->CurrentSnapshot();
+      if (snaps[i] && snaps[i]->density > argmax_density) {
+        argmax_density = snaps[i]->density;
+        argmax_shard = i;
+      }
+    }
+
+    // Seam candidates: every shard's snapshot members (so the stitched
+    // answer can only refine the argmax), plus the heaviest
+    // boundary-adjacent vertices up to the seam budget.
+    std::unordered_set<VertexId> seam_set;
+    for (const auto& snap : snaps) {
+      if (!snap) continue;
+      seam_set.insert(snap->members.begin(), snap->members.end());
+    }
+    if (workers_.size() > 1) {
+      boundary_.FoldNewEdges(&stitch_cursor_, &boundary_weight_);
+      const std::size_t budget =
+          std::max(options_.stitch.max_seam_vertices, seam_set.size());
+      if (seam_set.size() + boundary_weight_.size() <= budget) {
+        for (const auto& [v, w] : boundary_weight_) seam_set.insert(v);
+      } else {
+        std::vector<std::pair<double, VertexId>> heaviest;
+        heaviest.reserve(boundary_weight_.size());
+        for (const auto& [v, w] : boundary_weight_) {
+          if (seam_set.count(v) == 0) heaviest.push_back({w, v});
+        }
+        const std::size_t take =
+            std::min(heaviest.size(), budget - seam_set.size());
+        std::partial_sort(heaviest.begin(),
+                          heaviest.begin() + static_cast<std::ptrdiff_t>(take),
+                          heaviest.end(), std::greater<>());
+        for (std::size_t i = 0; i < take; ++i) {
+          seam_set.insert(heaviest[i].second);
+        }
+      }
+    }
+
+    // Gather the exact induced subgraph over the seam set. Each edge lives
+    // in exactly one shard's detector, so the union across shards is the
+    // global induced edge multiset with the applied semantic weights —
+    // nothing is double-counted and nothing inside the seam is missed.
+    std::vector<VertexId> seam(seam_set.begin(), seam_set.end());
+    std::sort(seam.begin(), seam.end());
+    std::unordered_map<VertexId, VertexId> local_id;
+    local_id.reserve(seam.size());
+    for (std::size_t i = 0; i < seam.size(); ++i) {
+      local_id.emplace(seam[i], static_cast<VertexId>(i));
+    }
+    std::vector<Edge> seam_edges;
+    std::vector<double> seam_vertex_weight(seam.size(), 0.0);
+    const auto contains = [&local_id](VertexId v) {
+      return local_id.count(v) != 0;
+    };
+    for (const auto& worker : workers_) {
+      worker->CollectInduced(seam, contains, &seam_edges,
+                             &seam_vertex_weight);
+    }
+    result.seam_vertices = seam.size();
+    result.seam_edges = seam_edges.size();
+
+    // Peel the seam graph with the canonical static peeler. The density of
+    // whatever suffix wins is the exact global induced density of that
+    // member set (all of its edges are in the seam graph by construction).
+    Community seam_best;
+    if (!seam.empty()) {
+      DynamicGraph seam_graph(seam.size());
+      for (std::size_t i = 0; i < seam.size(); ++i) {
+        seam_graph.SetVertexWeight(static_cast<VertexId>(i),
+                                   seam_vertex_weight[i]);
+      }
+      for (const Edge& e : seam_edges) {
+        const Status s = seam_graph.AddEdge(local_id.at(e.src),
+                                            local_id.at(e.dst), e.weight);
+        SPADE_DCHECK(s.ok());
+        (void)s;
+      }
+      const PeelState state = PeelStatic(seam_graph);
+      const Community local = state.DetectCommunity();
+      seam_best.density = local.density;
+      seam_best.members.reserve(local.members.size());
+      for (const VertexId v : local.members) {
+        seam_best.members.push_back(seam[v]);
+      }
+    }
+
+    // The seam peel wins only when it is strictly denser than every
+    // single-shard view; otherwise the pass republishes the argmax (with
+    // provenance), so a stitched read never regresses below the plain one.
+    if (!seam_best.members.empty() && seam_best.density > argmax_density) {
+      result.members = std::move(seam_best.members);
+      result.density = seam_best.density;
+      result.stitched = true;
+    } else if (argmax_density >= 0.0 && snaps[argmax_shard]) {
+      result.members = snaps[argmax_shard]->members;
+      result.density = snaps[argmax_shard]->density;
+      result.stitched = false;
+    }
+
+    std::vector<std::size_t> member_shards;
+    for (const VertexId v : result.members) {
+      member_shards.push_back(HomeShardOf(v));
+    }
+    std::sort(member_shards.begin(), member_shards.end());
+    member_shards.erase(
+        std::unique(member_shards.begin(), member_shards.end()),
+        member_shards.end());
+    result.shards = std::move(member_shards);
+
+    if (result.stitched) {
+      std::vector<VertexId> sorted = result.members;
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted != last_stitched_members_ ||
+          result.density != last_stitched_density_) {
+        last_stitched_members_ = std::move(sorted);
+        last_stitched_density_ = result.density;
+        stitched_alerts_.fetch_add(1, std::memory_order_relaxed);
+        fire_alert = true;
+      }
+    }
+    StoreStitched(std::make_shared<const GlobalCommunity>(result));
+  }
+  // Deliver outside the stitch lock, so a slow moderator (or one that calls
+  // back into the service) cannot deadlock or delay the next pass.
+  if (fire_alert && options_.stitch.on_stitch_alert) {
+    options_.stitch.on_stitch_alert(result);
+  }
+  return result;
+}
+
+void ShardedDetectionService::StitcherLoop() {
+  std::unique_lock<std::mutex> lock(stitcher_mutex_);
+  while (!stitcher_stop_) {
+    stitcher_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.stitch.interval_ms),
+        [this] { return stitcher_stop_; });
+    if (stitcher_stop_) break;
+    lock.unlock();
+    StitchNow();
+    lock.lock();
+  }
 }
 
 std::shared_ptr<const Community> ShardedDetectionService::ShardSnapshot(
@@ -137,6 +399,9 @@ ShardedServiceStats ShardedDetectionService::GetStats() const {
     stats.shard_detections.push_back(w->DetectionsRun());
     stats.shard_queue_depth.push_back(w->QueueDepth());
   }
+  stats.boundary_edges = boundary_.TotalEdges();
+  stats.stitch_passes = stitch_passes_.load(std::memory_order_relaxed);
+  stats.stitched_alerts = stitched_alerts_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -169,6 +434,9 @@ Status ShardedDetectionService::SaveState(const std::string& dir) {
     SPADE_RETURN_NOT_OK(workers_[i]->SaveState(path));
     manifest.files.push_back(name);
   }
+  manifest.boundary_file = kBoundaryIndexFileName;
+  SPADE_RETURN_NOT_OK(boundary_.Save(
+      (std::filesystem::path(dir) / manifest.boundary_file).string()));
   // Manifest last: a crashed save leaves no manifest, so a restore sees
   // kNotFound rather than a torn directory.
   return WriteShardManifest(dir, manifest);
@@ -182,10 +450,33 @@ Status ShardedDetectionService::RestoreState(const std::string& dir) {
         "sharded snapshot has " + std::to_string(manifest.num_shards) +
         " shards but the service has " + std::to_string(workers_.size()));
   }
+  // Drop the stitched snapshot BEFORE touching any detector: it described
+  // the pre-restore fleet, and it must not survive a partially-failed
+  // restore either (a stale stitched read over replaced detectors would be
+  // the one overclaim the insert-only staleness argument cannot excuse).
+  {
+    std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);
+    last_stitched_members_.clear();
+    last_stitched_density_ = -1.0;
+    StoreStitched(nullptr);
+  }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     const std::string path =
         (std::filesystem::path(dir) / manifest.files[i]).string();
     SPADE_RETURN_NOT_OK(workers_[i]->RestoreState(path));
+  }
+  {
+    std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);
+    if (manifest.boundary_file.empty()) {
+      // Pre-stitching snapshot: no boundary record survives; stitching
+      // resumes as cross-shard traffic arrives.
+      boundary_.Clear();
+    } else {
+      // The epoch bump inside Load/Clear forces the next stitch pass to
+      // rebuild its per-vertex aggregate from the restored buckets.
+      SPADE_RETURN_NOT_OK(boundary_.Load(
+          (std::filesystem::path(dir) / manifest.boundary_file).string()));
+    }
   }
   return Status::OK();
 }

@@ -4,36 +4,49 @@
 // whose updates never interact, run each part's detector on its own core,
 // and combine answers at read time.
 //
-// Partitioner contract: the function maps an edge to an arbitrary
-// std::size_t key; the service reduces it modulo the shard count. Every
-// edge of one logical partition (tenant, region, product line) MUST map to
-// the same key — the shards are fully independent detectors, so an edge
-// routed to shard A is invisible to shard B. Correctness therefore requires
-// the partition to be closed under the communities one cares about: with
-// tenant-keyed routing, each tenant's community is exactly what a dedicated
-// single-tenant detector would report (the sharded differential test pins
-// this). A hash-of-source default is provided for workloads without a
-// natural key; it keeps per-source neighborhoods together but splits
-// cross-source communities, so treat its global answer as a per-shard
-// argmax, not a whole-graph detection.
+// Partitioner contract: a Partitioner carries two functions. `edge_key`
+// maps an edge to an arbitrary std::size_t routing key (reduced modulo the
+// shard count) and decides which shard applies the edge; `home` maps a
+// vertex to its home-shard key. For the built-in partitioners (hash-of-src,
+// tenant) routing IS home-of-source, so an edge whose endpoints share a
+// home is fully visible to its shard. When the endpoints' homes differ the
+// router additionally records the edge in the BoundaryEdgeIndex — the edge
+// still lands in exactly one shard's detector, but the stitch pass now
+// knows the seam exists. A bare PartitionFn still converts implicitly; its
+// `home` defaults to the key of a synthetic self-edge, which is exact for
+// any partitioner that only reads `src`.
 //
-// Cross-shard reads: CurrentCommunity() returns the densest community over
-// all shard snapshots. It does NOT stitch communities that span shards —
-// density of a cross-shard vertex set is not comparable without the edges
-// between parts, which no shard holds (ROADMAP: cross-shard stitching).
+// Cross-shard reads: CurrentCommunity() defaults to the densest community
+// over all shard snapshots (per-shard argmax). The stitch pass (StitchNow,
+// or a background stitcher when StitchOptions::interval_ms > 0) closes the
+// argmax's blind spot: it builds a seam graph over the boundary-adjacent
+// vertices plus every shard's snapshot members, gathers that vertex set's
+// induced edges from the shard detectors (each edge lives in exactly one
+// shard, so the union is the exact global induced subgraph), peels it with
+// the static peeler, and publishes the result as an atomically-swapped
+// GlobalCommunity snapshot — same non-blocking read protocol as the shard
+// snapshots. Reads in stitched mode return the denser of the stitched
+// snapshot and the live argmax. DESIGN.md §4.4 has the exactness and
+// staleness statements.
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/spade.h"
 #include "graph/types.h"
+#include "service/boundary_index.h"
 #include "service/shard_worker.h"
 
 namespace spade {
@@ -41,22 +54,89 @@ namespace spade {
 /// Maps an edge to a routing key; the service takes it modulo num_shards.
 using PartitionFn = std::function<std::size_t(const Edge&)>;
 
+/// Maps a vertex to its home-shard key (modulo num_shards).
+using VertexHomeFn = std::function<std::size_t(VertexId)>;
+
+/// Edge routing plus vertex home assignment. `home` drives boundary-edge
+/// detection and the stitch pass's shard tagging; when null it is derived
+/// from `edge_key` on a synthetic self-edge (exact whenever the edge key
+/// only reads the source vertex — true for every built-in partitioner).
+struct Partitioner {
+  Partitioner() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): a bare edge-routing
+  // function is still a complete partitioner (see `home` above).
+  Partitioner(PartitionFn edge) : edge_key(std::move(edge)) {}
+  Partitioner(PartitionFn edge, VertexHomeFn home_fn)
+      : edge_key(std::move(edge)), home(std::move(home_fn)) {}
+
+  PartitionFn edge_key;
+  VertexHomeFn home;
+
+  explicit operator bool() const { return static_cast<bool>(edge_key); }
+};
+
 /// Alert callback with the originating shard id. Invoked from that shard's
 /// worker thread; callbacks from different shards run concurrently.
 using ShardAlertFn = std::function<void(std::size_t shard, const Community&)>;
 
-/// Default partitioner: a mixed hash of the source vertex.
-PartitionFn HashOfSourcePartitioner();
+/// Default partitioner: a mixed hash of the source vertex (home = the same
+/// hash of the vertex, so routing equals home-of-source).
+Partitioner HashOfSourcePartitioner();
 
 /// Tenant routing for id spaces laid out as [tenant * vertices_per_tenant,
-/// (tenant+1) * vertices_per_tenant): key = src / vertices_per_tenant.
-PartitionFn TenantPartitioner(VertexId vertices_per_tenant);
+/// (tenant+1) * vertices_per_tenant): home(v) = v / vertices_per_tenant and
+/// an edge routes to its source's tenant. A cross-tenant edge is applied in
+/// the source tenant's shard AND recorded in the boundary index, so a
+/// community spanning tenants is reachable by the stitch pass instead of
+/// silently invisible.
+Partitioner TenantPartitioner(VertexId vertices_per_tenant);
+
+/// Result of a stitch pass (and the stitched read): a community whose
+/// density was evaluated on the exact global induced subgraph of its
+/// members, tagged with the home shards that contribute members.
+struct GlobalCommunity : Community {
+  /// True when the seam-graph peel produced this answer (strictly denser
+  /// than every single-shard snapshot); false when the pass fell back to
+  /// the per-shard argmax.
+  bool stitched = false;
+  /// Sorted unique home shards of the members.
+  std::vector<std::size_t> shards;
+  /// Monotone stitch-pass counter that produced this snapshot (0 = never).
+  std::uint64_t stitch_pass = 0;
+  /// Seam-graph size of the producing pass (diagnostics).
+  std::size_t seam_vertices = 0;
+  std::size_t seam_edges = 0;
+};
+
+/// Invoked after a stitch pass whose winning community came from the seam
+/// peel and differs from the previous stitched detection. Runs on the
+/// calling (or background stitcher) thread with no service lock held.
+using StitchAlertFn = std::function<void(const GlobalCommunity&)>;
+
+/// Stitch-pass configuration.
+struct StitchOptions {
+  /// Cap on the seam-graph vertex count. Shard snapshot members are always
+  /// included; boundary-adjacent vertices fill the remainder in decreasing
+  /// order of accumulated cross-shard edge weight.
+  std::size_t max_seam_vertices = 4096;
+  /// Drain every shard before gathering, so the seam graph reflects every
+  /// edge submitted before the pass (the exactness the differential suite
+  /// pins). Turning it off trades a bounded-staleness seam for not waiting
+  /// on the queues.
+  bool drain_before_stitch = true;
+  /// When > 0, a background thread runs a stitch pass at this period.
+  std::uint32_t interval_ms = 0;
+  /// Stitched-detection alerts (see StitchAlertFn).
+  StitchAlertFn on_stitch_alert;
+};
 
 struct ShardedDetectionServiceOptions {
   /// Knobs applied to every shard worker.
   DetectionServiceOptions shard;
-  /// Edge routing; null selects HashOfSourcePartitioner().
-  PartitionFn partitioner;
+  /// Edge routing + vertex homes; null selects HashOfSourcePartitioner().
+  Partitioner partitioner;
+  /// Cross-shard stitching knobs.
+  StitchOptions stitch;
 };
 
 /// Merged + per-shard service counters. All reads are lock-free (queue
@@ -64,6 +144,9 @@ struct ShardedDetectionServiceOptions {
 struct ShardedServiceStats {
   std::uint64_t edges_processed = 0;
   std::uint64_t alerts_delivered = 0;
+  std::uint64_t boundary_edges = 0;
+  std::uint64_t stitch_passes = 0;
+  std::uint64_t stitched_alerts = 0;
   std::vector<std::uint64_t> shard_edges;
   std::vector<std::uint64_t> shard_alerts;
   std::vector<std::uint64_t> shard_detections;
@@ -73,6 +156,14 @@ struct ShardedServiceStats {
 /// Partition-parallel streaming front-end over N Spade detectors.
 class ShardedDetectionService {
  public:
+  /// How CurrentCommunity() combines the shard views.
+  enum class GlobalReadMode {
+    /// Densest single-shard snapshot (never sees cross-shard communities).
+    kArgmax,
+    /// Denser of the latest stitched snapshot and the live argmax.
+    kStitched,
+  };
+
   /// Takes ownership of one fully built detector per shard (all built with
   /// the same semantics; each should hold its partition's initial graph).
   /// Workers start immediately.
@@ -88,7 +179,11 @@ class ShardedDetectionService {
   std::size_t num_shards() const { return workers_.size(); }
 
   /// Routes the edge to its shard and enqueues it; callable from any
-  /// thread. Per-shard FIFO order is preserved per producer thread.
+  /// thread. Per-shard FIFO order is preserved per producer thread. An
+  /// edge whose endpoint homes differ is recorded in the boundary index
+  /// before the enqueue (so a snapshot can never contain an unrecorded
+  /// seam edge); a record for an edge the worker then rejects is a
+  /// harmless discovery-only hint.
   Status Submit(const Edge& raw_edge);
 
   /// Bulk submit: partitions the chunk once and hands each shard its part
@@ -97,23 +192,48 @@ class ShardedDetectionService {
   /// Best-effort across shards: every shard's part is attempted, the first
   /// failure is returned, and `*enqueued` (when non-null) receives the
   /// number of edges actually accepted, so callers can reconcile partial
-  /// chunks.
+  /// chunks. Cross-home edges land in the boundary index (recorded before
+  /// each part's enqueue, as with Submit).
   Status SubmitBatch(std::span<const Edge> raw_edges,
                      std::size_t* enqueued = nullptr);
 
   /// The shard `raw_edge` would be routed to.
   std::size_t ShardOf(const Edge& raw_edge) const;
 
+  /// The home shard of a vertex (drives boundary-edge detection).
+  std::size_t HomeShardOf(VertexId v) const;
+
+  /// Registers pre-existing cross-home edges (e.g. the initial graphs the
+  /// shard detectors were built with, which never passed through Submit) in
+  /// the boundary index so the stitch pass can discover their seams.
+  /// Same-home edges are ignored.
+  void SeedBoundaryIndex(std::span<const Edge> raw_edges);
+
   /// Blocks until every shard has applied and republished everything
   /// submitted before this call.
   void Drain();
 
-  /// Drains and stops all shard workers. Idempotent.
+  /// Drains and stops all shard workers (and the background stitcher).
+  /// Idempotent.
   void Stop();
 
-  /// Densest community over all shard snapshots (argmax density; ties break
-  /// toward the lower shard id). Never blocks on any apply path.
-  Community CurrentCommunity() const;
+  /// Global community read. kArgmax: densest community over all shard
+  /// snapshots (ties break toward the lower shard id; never blocks on any
+  /// apply path). kStitched: the denser of the latest stitched snapshot and
+  /// the live argmax — still lock-free, but only as fresh as the last
+  /// stitch pass (a stitched snapshot's density is a valid lower bound of
+  /// its member set's current density, since the service is insert-only).
+  Community CurrentCommunity(
+      GlobalReadMode mode = GlobalReadMode::kArgmax) const;
+
+  /// Stitched read with provenance: the denser of the latest stitched
+  /// snapshot and the live argmax, tagged with contributing shards.
+  GlobalCommunity CurrentGlobalCommunity() const;
+
+  /// Runs a stitch pass now: (drain,) fold the boundary index, gather the
+  /// seam graph from the shard detectors, peel it, publish and return the
+  /// winner. Concurrent calls serialize. See class comment.
+  GlobalCommunity StitchNow();
 
   /// Shard id whose snapshot wins the density argmax. Advisory under
   /// concurrent updates: the shard may republish between this call and a
@@ -125,17 +245,24 @@ class ShardedDetectionService {
   std::shared_ptr<const Community> ShardSnapshot(std::size_t shard) const;
   Community ShardCommunity(std::size_t shard) const;
 
+  /// The router's cross-shard edge record (tests and diagnostics).
+  const BoundaryEdgeIndex& boundary_index() const { return boundary_; }
+
   /// Merged counters plus per-shard breakdown.
   ShardedServiceStats GetStats() const;
   std::uint64_t EdgesProcessed() const;
   std::uint64_t AlertsDelivered() const;
 
-  /// Persists all shards into `dir` (created if needed): a manifest plus
-  /// one snapshot file per shard. Drains each shard first.
+  /// Persists all shards into `dir` (created if needed): a manifest, one
+  /// snapshot file per shard, plus the boundary index. Drains each shard
+  /// first.
   Status SaveState(const std::string& dir);
 
   /// Restores a directory written by SaveState. The manifest's shard count
   /// must match this service's; detectors keep their installed semantics.
+  /// The boundary index is restored too (snapshots from before the index
+  /// existed restore it empty), and the stitched snapshot is reset — the
+  /// next stitch pass rebuilds it from the restored state.
   Status RestoreState(const std::string& dir);
 
  private:
@@ -143,10 +270,40 @@ class ShardedDetectionService {
   std::pair<std::size_t, std::shared_ptr<const Community>> ArgmaxSnapshot()
       const;
 
+  void MaybeRecordBoundary(const Edge& raw_edge);
+  std::shared_ptr<const GlobalCommunity> LoadStitched() const;
+  void StoreStitched(std::shared_ptr<const GlobalCommunity> snap);
+  void StitcherLoop();
+
   ShardedDetectionServiceOptions options_;
   ShardAlertFn on_alert_;  // outlives the workers (declared first)
   std::string semantics_;
   std::vector<std::unique_ptr<ShardWorker>> workers_;
+  BoundaryEdgeIndex boundary_;
+
+  // --- stitch state (all guarded by stitch_mutex_; passes serialize) -----
+  mutable std::mutex stitch_mutex_;
+  BoundaryEdgeIndex::Cursor stitch_cursor_;
+  std::unordered_map<VertexId, double> boundary_weight_;
+  std::vector<VertexId> last_stitched_members_;  // sorted
+  double last_stitched_density_ = -1.0;
+
+  // --- published stitched snapshot (lock-free readers; same TSan-aware
+  // protocol as ShardWorker's shard snapshot) ----------------------------
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  std::atomic<std::shared_ptr<const GlobalCommunity>> stitched_;
+#else
+  mutable std::mutex stitched_mutex_;
+  std::shared_ptr<const GlobalCommunity> stitched_;
+#endif
+  std::atomic<std::uint64_t> stitch_passes_{0};
+  std::atomic<std::uint64_t> stitched_alerts_{0};
+
+  // --- background stitcher (started when stitch.interval_ms > 0) ---------
+  std::mutex stitcher_mutex_;
+  std::condition_variable stitcher_cv_;
+  bool stitcher_stop_ = false;
+  std::thread stitcher_;
 };
 
 }  // namespace spade

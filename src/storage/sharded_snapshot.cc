@@ -10,7 +10,8 @@ namespace spade {
 namespace {
 
 constexpr char kMagic[] = "spade-shard-manifest";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;       // written
+constexpr int kMinVersion = 1;    // still readable (no boundary line)
 constexpr char kManifestName[] = "manifest.spade";
 
 }  // namespace
@@ -50,6 +51,9 @@ Status WriteShardManifest(const std::string& dir,
     for (std::size_t i = 0; i < manifest.files.size(); ++i) {
       out << "file " << i << ' ' << manifest.files[i] << '\n';
     }
+    if (!manifest.boundary_file.empty()) {
+      out << "boundary " << manifest.boundary_file << '\n';
+    }
     out.flush();
     if (!out) return Status::IOError("write failed: " + tmp);
   }
@@ -70,7 +74,7 @@ Status ReadShardManifest(const std::string& dir, ShardManifest* manifest) {
   if (!(in >> magic >> version) || magic != kMagic) {
     return Status::IOError("bad manifest magic in " + path);
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::IOError("unsupported manifest version in " + path);
   }
   std::string key;
@@ -91,6 +95,17 @@ Status ReadShardManifest(const std::string& dir, ShardManifest* manifest) {
                              " malformed: " + path);
     }
     m.files[i] = name;
+  }
+  if (version >= 2) {
+    // The boundary line is optional even in v2 (a fleet that never saw a
+    // cross-shard edge may omit it).
+    std::string name;
+    if (in >> key) {
+      if (key != "boundary" || !(in >> name) || name.empty()) {
+        return Status::IOError("manifest boundary entry malformed: " + path);
+      }
+      m.boundary_file = name;
+    }
   }
   *manifest = std::move(m);
   return Status::OK();

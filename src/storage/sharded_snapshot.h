@@ -9,10 +9,16 @@
 // half-loaded into an 8-shard service.
 //
 // Format (manifest.spade):
-//   spade-shard-manifest 1
+//   spade-shard-manifest 2
 //   shards <N>
 //   semantics <name>
 //   file <shard-index> <relative-file-name>     (N lines, dense 0..N-1)
+//   boundary <relative-file-name>               (optional, version >= 2)
+//
+// Version 2 adds the optional `boundary` line referencing the serialized
+// BoundaryEdgeIndex (service/boundary_index.h) so a restored fleet resumes
+// cross-shard stitching. Version-1 directories (written before stitching
+// existed) still load; they simply restore an empty boundary index.
 
 #pragma once
 
@@ -32,10 +38,16 @@ struct ShardManifest {
   std::string semantics;
   /// Per-shard snapshot file names, relative to the directory.
   std::vector<std::string> files;
+  /// Serialized boundary index, relative to the directory; empty when the
+  /// snapshot predates cross-shard stitching (manifest version 1).
+  std::string boundary_file;
 };
 
 /// Canonical per-shard snapshot file name ("shard-<i>.snapshot").
 std::string ShardSnapshotFileName(std::size_t shard);
+
+/// Canonical boundary index file name inside a snapshot directory.
+inline constexpr char kBoundaryIndexFileName[] = "boundary.index";
 
 /// Path of the manifest inside `dir`.
 std::string ShardManifestPath(const std::string& dir);

@@ -260,6 +260,17 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
     if (snap) mark_detected(*snap, drained_at);
   }
 
+  if (options.final_stitch) {
+    report.final_argmax = service.CurrentCommunity();
+    const double stitch_start = now_micros();
+    report.final_stitched = service.StitchNow();
+    report.stitch_millis = (now_micros() - stitch_start) * 1e-3;
+    report.stitched_valid = true;
+    // A group split across shards may be visible only in the stitched
+    // community; credit it from there (at the post-stitch clock).
+    mark_detected(report.final_stitched, now_micros());
+  }
+
   report.edges_submitted = n;
   report.submit_failures = failures.load();
   report.edges_processed = service.EdgesProcessed();
@@ -269,6 +280,7 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
     for (const std::uint64_t d : stats.shard_detections) {
       report.detections += d;
     }
+    report.boundary_edges = stats.boundary_edges;
   }
   for (std::size_t gid = 0; gid < groups; ++gid) {
     const double submitted = first_submit[gid].load();

@@ -91,6 +91,12 @@ struct ServiceReplayOptions {
   /// per-edge submission against a keeping-up worker costs one futex
   /// round-trip per edge.
   std::size_t producer_batch = 64;
+  /// Run one cross-shard stitch pass after the drain and report its result
+  /// (final_stitched / final_argmax / stitch_millis). Groups only reachable
+  /// through stitching are credited as detected from the stitched snapshot.
+  /// The stitch cost is excluded from wall_seconds (it is an amortized
+  /// periodic pass, not per-edge work) and reported separately.
+  bool final_stitch = false;
   /// Service construction knobs (shard worker options + partitioner).
   ShardedDetectionServiceOptions service;
 };
@@ -119,6 +125,13 @@ struct ServiceReplayReport {
   Summary fraud_latency_micros;
   std::size_t groups_detected = 0;
   std::size_t groups_total = 0;
+
+  /// Filled when ServiceReplayOptions::final_stitch is set.
+  bool stitched_valid = false;
+  GlobalCommunity final_stitched;
+  Community final_argmax;
+  double stitch_millis = 0.0;
+  std::uint64_t boundary_edges = 0;
 };
 
 /// Builds a ShardedDetectionService over `shards` (moved in), replays

@@ -174,12 +174,17 @@ Status Spade::RestoreState(const std::string& path) {
   PeelState state;
   bool state_present = false;
   SPADE_RETURN_NOT_OK(LoadSnapshot(path, &graph, &state, &state_present));
+  RestoreFromParts(std::move(graph), std::move(state), state_present);
+  return Status::OK();
+}
+
+void Spade::RestoreFromParts(DynamicGraph graph, PeelState state,
+                             bool state_present) {
   graph_ = std::move(graph);
   state_ = state_present ? std::move(state) : PeelStatic(graph_);
   benign_buffer_.clear();
   pending_wdeg_.clear();
   stats_.Reset();
-  return Status::OK();
 }
 
 }  // namespace spade

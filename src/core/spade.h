@@ -116,6 +116,13 @@ class Spade {
   /// are NOT serialized — install the same VSusp/ESusp before restoring.
   Status RestoreState(const std::string& path);
 
+  /// In-memory counterpart of RestoreState: adopts an already-validated
+  /// graph + peel state (recomputing the state when `state_present` is
+  /// false). Used by the two-phase chain restore, which must parse and
+  /// CRC-check every file before mutating any detector.
+  void RestoreFromParts(DynamicGraph graph, PeelState state,
+                        bool state_present);
+
   /// Number of buffered (grouped) benign edges awaiting a flush.
   std::size_t PendingBenignEdges() const { return benign_buffer_.size(); }
 

@@ -1,10 +1,7 @@
 #include "service/boundary_index.h"
 
-#include <filesystem>
-#include <fstream>
-
 #include "common/logging.h"
-#include "storage/snapshot.h"
+#include "storage/checked_io.h"
 
 namespace spade {
 
@@ -12,6 +9,47 @@ namespace {
 
 constexpr std::uint64_t kBoundaryMagic = 0x53504144455F4249ULL;  // "SPADE_BI"
 constexpr std::uint32_t kBoundaryVersion = 1;
+constexpr std::uint64_t kTailMagic = 0x53504144455F4254ULL;  // "SPADE_BT"
+constexpr std::uint32_t kTailVersion = 1;
+
+void WriteEdge(storage::ChecksummedFileWriter* writer, const Edge& e) {
+  writer->Write(e.src);
+  writer->Write(e.dst);
+  writer->Write(e.weight);
+  writer->Write(e.ts);
+}
+
+bool ReadEdge(storage::ChecksummedFileReader* reader, Edge* e) {
+  return reader->Read(&e->src) && reader->Read(&e->dst) &&
+         reader->Read(&e->weight) && reader->Read(&e->ts);
+}
+
+/// Shared payload reader for base and tail files (they differ only in the
+/// header): per-bucket counts + edges for `num_buckets` buckets.
+Status ReadBuckets(storage::ChecksummedFileReader* reader,
+                   std::size_t num_buckets,
+                   std::vector<std::vector<Edge>>* buckets) {
+  buckets->assign(num_buckets, {});
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    std::uint64_t count = 0;
+    if (!reader->Read(&count)) {
+      return Status::IOError("truncated boundary file: " + reader->path());
+    }
+    // Pre-allocation plausibility gate (see checked_io.h): 24 payload
+    // bytes per edge record.
+    if (reader->CountExceedsFile(count, 24)) {
+      return Status::IOError("boundary bucket count exceeds the file size: " +
+                             reader->path());
+    }
+    (*buckets)[b].resize(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (!ReadEdge(reader, &(*buckets)[b][i])) {
+        return Status::IOError("truncated boundary file: " + reader->path());
+      }
+    }
+  }
+  return reader->VerifyTrailer();
+}
 
 }  // namespace
 
@@ -82,115 +120,206 @@ std::vector<Edge> BoundaryEdgeIndex::SnapshotEdges() const {
   return out;
 }
 
-void BoundaryEdgeIndex::Clear() {
+void BoundaryEdgeIndex::Clear(Cursor* sync) {
+  if (sync != nullptr && sync->epoch.size() != buckets_.size()) {
+    sync->epoch.assign(buckets_.size(), 0);
+    sync->consumed.assign(buckets_.size(), 0);
+  }
   std::uint64_t dropped = 0;
-  for (Bucket& bucket : buckets_) {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    Bucket& bucket = buckets_[b];
     std::lock_guard<std::mutex> lock(bucket.mutex);
     dropped += bucket.edges.size();
     bucket.edges.clear();
     ++bucket.epoch;
+    if (sync != nullptr) {
+      sync->epoch[b] = bucket.epoch;
+      sync->consumed[b] = 0;
+    }
   }
   total_.fetch_sub(dropped, std::memory_order_relaxed);
 }
 
-Status BoundaryEdgeIndex::Save(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open " + tmp);
-
-  std::uint64_t crc = 0;
-  auto write = [&](const void* data, std::size_t size) {
-    out.write(static_cast<const char*>(data),
-              static_cast<std::streamsize>(size));
-    crc = Crc64(data, size, crc);
-  };
-  auto write_u64 = [&](std::uint64_t v) { write(&v, sizeof(v)); };
-
-  write_u64(kBoundaryMagic);
-  const std::uint32_t version = kBoundaryVersion;
-  write(&version, sizeof(version));
-  write_u64(num_shards_);
-  for (const Bucket& bucket : buckets_) {
+Status BoundaryEdgeIndex::Save(const std::string& path, Cursor* sync) const {
+  storage::ChecksummedFileWriter writer(path);
+  writer.Write(kBoundaryMagic);
+  writer.Write(kBoundaryVersion);
+  writer.Write(static_cast<std::uint64_t>(num_shards_));
+  // The cursor positions are staged and committed only after Finish()
+  // publishes the file: a cursor advanced past a write that never hit
+  // disk would silently drop those edges from every future tail.
+  std::vector<std::uint64_t> staged_epoch(buckets_.size(), 0);
+  std::vector<std::size_t> staged_consumed(buckets_.size(), 0);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const Bucket& bucket = buckets_[b];
     std::lock_guard<std::mutex> lock(bucket.mutex);
-    write_u64(bucket.edges.size());
-    for (const Edge& e : bucket.edges) {
-      write(&e.src, sizeof(e.src));
-      write(&e.dst, sizeof(e.dst));
-      write(&e.weight, sizeof(e.weight));
-      write(&e.ts, sizeof(e.ts));
-    }
+    writer.Write(static_cast<std::uint64_t>(bucket.edges.size()));
+    for (const Edge& e : bucket.edges) WriteEdge(&writer, e);
+    // Captured under the same lock as the write — the durable prefix is
+    // exactly what the file holds; an edge recorded after this point
+    // lands in the next tail, never in limbo.
+    staged_epoch[b] = bucket.epoch;
+    staged_consumed[b] = bucket.edges.size();
   }
-  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + tmp);
-  out.close();
-
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::IOError("cannot rename " + tmp + ": " + ec.message());
+  SPADE_RETURN_NOT_OK(writer.Finish());
+  if (sync != nullptr) {
+    sync->epoch = std::move(staged_epoch);
+    sync->consumed = std::move(staged_consumed);
   }
   return Status::OK();
 }
 
-Status BoundaryEdgeIndex::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("no boundary index at " + path);
+Status BoundaryEdgeIndex::SaveTail(const std::string& path,
+                                   std::uint64_t checkpoint_epoch,
+                                   Cursor* cursor,
+                                   std::uint64_t* bytes_written) const {
+  SPADE_CHECK(cursor != nullptr);
+  if (cursor->epoch.size() != buckets_.size()) {
+    return Status::FailedPrecondition(
+        "boundary tail cursor was never anchored by a full Save");
+  }
+  // An epoch bump (Clear/Load) since the cursor's anchor means the prefix
+  // the cursor describes no longer exists; only a full Save is sound.
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::lock_guard<std::mutex> lock(buckets_[b].mutex);
+    if (cursor->epoch[b] != buckets_[b].epoch) {
+      return Status::FailedPrecondition(
+          "boundary index epoch changed under the persist cursor");
+    }
+  }
+  storage::ChecksummedFileWriter writer(path);
+  writer.Write(kTailMagic);
+  writer.Write(kTailVersion);
+  writer.Write(static_cast<std::uint64_t>(num_shards_));
+  writer.Write(checkpoint_epoch);
+  // Staged like Save(): the cursor only advances once the file is
+  // durable, so a failed Finish() (disk full, rename error) leaves the
+  // unsaved edges claimable by a retry instead of silently dropping them
+  // from every future tail.
+  std::vector<std::size_t> staged_consumed(buckets_.size(), 0);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const Bucket& bucket = buckets_[b];
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    // Re-check under the lock (a concurrent Clear between the validation
+    // pass and here would silently rewind the bucket).
+    if (cursor->epoch[b] != bucket.epoch) {
+      return Status::FailedPrecondition(
+          "boundary index epoch changed under the persist cursor");
+    }
+    const std::size_t from = cursor->consumed[b];
+    const std::size_t to = bucket.edges.size();
+    writer.Write(static_cast<std::uint64_t>(to - from));
+    for (std::size_t i = from; i < to; ++i) WriteEdge(&writer, bucket.edges[i]);
+    staged_consumed[b] = to;
+  }
+  const std::uint64_t payload = writer.bytes_written();
+  SPADE_RETURN_NOT_OK(writer.Finish());
+  cursor->consumed = std::move(staged_consumed);
+  if (bytes_written != nullptr) {
+    *bytes_written = payload + sizeof(std::uint64_t);
+  }
+  return Status::OK();
+}
 
-  std::uint64_t crc = 0;
-  auto read = [&](void* data, std::size_t size) -> bool {
-    in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-    if (!in) return false;
-    crc = Crc64(data, size, crc);
-    return true;
-  };
+Status BoundaryEdgeIndex::ReadFile(const std::string& path,
+                                   std::size_t expected_shards,
+                                   FileData* out) {
+  storage::ChecksummedFileReader reader(path);
+  if (!reader.ok()) return Status::NotFound("no boundary index at " + path);
 
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
   std::uint64_t shards = 0;
-  if (!read(&magic, sizeof(magic)) || magic != kBoundaryMagic) {
+  if (!reader.Read(&magic) || magic != kBoundaryMagic) {
     return Status::IOError("bad boundary index magic in " + path);
   }
-  if (!read(&version, sizeof(version)) || version != kBoundaryVersion) {
+  if (!reader.Read(&version) || version != kBoundaryVersion) {
     return Status::IOError("unsupported boundary index version in " + path);
   }
-  if (!read(&shards, sizeof(shards)) || shards != num_shards_) {
+  if (!reader.Read(&shards) || shards != expected_shards) {
     return Status::FailedPrecondition(
         "boundary index in " + path + " has " + std::to_string(shards) +
-        " shards but the service has " + std::to_string(num_shards_));
+        " shards but the service has " + std::to_string(expected_shards));
   }
-  std::vector<std::vector<Edge>> loaded(buckets_.size());
-  std::uint64_t loaded_total = 0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    std::uint64_t count = 0;
-    if (!read(&count, sizeof(count))) {
-      return Status::IOError("truncated boundary index: " + path);
-    }
-    loaded[b].resize(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      Edge& e = loaded[b][i];
-      if (!read(&e.src, sizeof(e.src)) || !read(&e.dst, sizeof(e.dst)) ||
-          !read(&e.weight, sizeof(e.weight)) || !read(&e.ts, sizeof(e.ts))) {
-        return Status::IOError("truncated boundary index: " + path);
-      }
-    }
-    loaded_total += count;
-  }
-  const std::uint64_t computed = crc;
-  std::uint64_t stored = 0;
-  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  if (!in || stored != computed) {
-    return Status::IOError("boundary index CRC mismatch: " + path);
-  }
+  FileData parsed;
+  SPADE_RETURN_NOT_OK(
+      ReadBuckets(&reader, expected_shards * expected_shards, &parsed.buckets));
+  *out = std::move(parsed);
+  return Status::OK();
+}
 
+Status BoundaryEdgeIndex::ReadTailFile(const std::string& path,
+                                       std::size_t expected_shards,
+                                       std::uint64_t expected_epoch,
+                                       FileData* out) {
+  storage::ChecksummedFileReader reader(path);
+  if (!reader.ok()) return Status::NotFound("no boundary tail at " + path);
+
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t shards = 0;
+  FileData parsed;
+  if (!reader.Read(&magic) || magic != kTailMagic) {
+    return Status::IOError("bad boundary tail magic in " + path);
+  }
+  if (!reader.Read(&version) || version != kTailVersion) {
+    return Status::IOError("unsupported boundary tail version in " + path);
+  }
+  if (!reader.Read(&shards) || shards != expected_shards) {
+    return Status::FailedPrecondition(
+        "boundary tail in " + path + " has " + std::to_string(shards) +
+        " shards but the service has " + std::to_string(expected_shards));
+  }
+  if (!reader.Read(&parsed.epoch) || parsed.epoch != expected_epoch) {
+    return Status::IOError("boundary tail epoch mismatch in " + path);
+  }
+  SPADE_RETURN_NOT_OK(
+      ReadBuckets(&reader, expected_shards * expected_shards, &parsed.buckets));
+  *out = std::move(parsed);
+  return Status::OK();
+}
+
+void BoundaryEdgeIndex::AdoptBuckets(FileData&& data, Cursor* sync) {
+  SPADE_CHECK(data.buckets.size() == buckets_.size());
+  if (sync != nullptr && sync->epoch.size() != buckets_.size()) {
+    sync->epoch.assign(buckets_.size(), 0);
+    sync->consumed.assign(buckets_.size(), 0);
+  }
+  std::uint64_t loaded_total = 0;
   std::uint64_t previous = 0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     std::lock_guard<std::mutex> lock(buckets_[b].mutex);
     previous += buckets_[b].edges.size();
-    buckets_[b].edges = std::move(loaded[b]);
+    loaded_total += data.buckets[b].size();
+    buckets_[b].edges = std::move(data.buckets[b]);
     ++buckets_[b].epoch;
+    if (sync != nullptr) {
+      sync->epoch[b] = buckets_[b].epoch;
+      sync->consumed[b] = buckets_[b].edges.size();
+    }
   }
   total_.fetch_add(loaded_total - previous, std::memory_order_relaxed);
+}
+
+void BoundaryEdgeIndex::AppendBuckets(const FileData& data, Cursor* sync) {
+  SPADE_CHECK(data.buckets.size() == buckets_.size());
+  std::uint64_t appended = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    std::lock_guard<std::mutex> lock(buckets_[b].mutex);
+    buckets_[b].edges.insert(buckets_[b].edges.end(), data.buckets[b].begin(),
+                             data.buckets[b].end());
+    appended += data.buckets[b].size();
+    if (sync != nullptr && b < sync->consumed.size()) {
+      sync->consumed[b] += data.buckets[b].size();
+    }
+  }
+  total_.fetch_add(appended, std::memory_order_relaxed);
+}
+
+Status BoundaryEdgeIndex::Load(const std::string& path, Cursor* sync) {
+  FileData data;
+  SPADE_RETURN_NOT_OK(ReadFile(path, num_shards_, &data));
+  AdoptBuckets(std::move(data), sync);
   return Status::OK();
 }
 

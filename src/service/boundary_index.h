@@ -20,9 +20,19 @@
 // since the consumer's last visit (rebuilds are incremental).
 //
 // Persistence: Save/Load write a little-endian, CRC-64-protected binary
-// file (same trailer scheme as storage/snapshot.h) holding the shard count
+// file (storage/checked_io.h trailer discipline) holding the shard count
 // and every bucket's edges; the sharded snapshot manifest references it so
 // a restored fleet resumes stitching without replaying the stream.
+//
+// Incremental persistence: because buckets are append-only within an
+// epoch, a checkpoint does not need to rewrite them — SaveTail persists
+// only the per-bucket suffix appended since a persist Cursor's last visit
+// (the same cursor mechanism the stitch fold uses), so the boundary
+// index's checkpoint cost is O(cross-shard edges since the last save), not
+// O(all cross-shard edges ever). A restore loads the base file and then
+// appends each tail in epoch order; every Save/Load variant can keep a
+// caller-owned Cursor in sync under the same per-bucket lock, so no
+// concurrently recorded edge is ever skipped by the next tail.
 
 #pragma once
 
@@ -78,15 +88,60 @@ class BoundaryEdgeIndex {
   /// Copies out every indexed edge (save path and tests; O(total edges)).
   std::vector<Edge> SnapshotEdges() const;
 
-  /// Drops every edge and bumps every bucket epoch.
-  void Clear();
+  /// Drops every edge and bumps every bucket epoch. When `sync` is
+  /// non-null it is positioned at the now-empty buckets, so a following
+  /// SaveTail persists exactly the edges recorded after the clear.
+  void Clear(Cursor* sync = nullptr);
 
   /// Atomically persists the index (temp file + rename, CRC-64 trailer).
-  Status Save(const std::string& path) const;
+  /// When `sync` is non-null it is advanced, bucket by bucket under the
+  /// bucket lock, to exactly the prefix this file contains — the anchor
+  /// for subsequent SaveTail calls.
+  Status Save(const std::string& path, Cursor* sync = nullptr) const;
 
   /// Replaces the contents from a file written by Save. The file's shard
-  /// count must match; every bucket epoch is bumped so cursors rebuild.
-  Status Load(const std::string& path);
+  /// count must match; every bucket epoch is bumped so fold cursors
+  /// rebuild. `sync` (optional) is positioned at the loaded prefix.
+  Status Load(const std::string& path, Cursor* sync = nullptr);
+
+  /// Parsed contents of a base or tail file: one edge list per bucket.
+  struct FileData {
+    std::vector<std::vector<Edge>> buckets;
+    std::uint64_t epoch = 0;  // tail files only: the checkpoint epoch
+    std::size_t NumEdges() const {
+      std::size_t n = 0;
+      for (const auto& b : buckets) n += b.size();
+      return n;
+    }
+  };
+
+  /// Incremental save: writes only the per-bucket suffix appended since
+  /// `cursor` and advances it. Fails with kFailedPrecondition (writing
+  /// nothing) when any bucket's epoch changed since the cursor last
+  /// visited (Clear/Load happened) — the caller must fall back to a full
+  /// Save. `checkpoint_epoch` is stamped into the file for chain
+  /// validation.
+  Status SaveTail(const std::string& path, std::uint64_t checkpoint_epoch,
+                  Cursor* cursor, std::uint64_t* bytes_written = nullptr) const;
+
+  /// Reads + validates a base file without touching the index (the
+  /// two-phase restore validates every file before any side effect).
+  static Status ReadFile(const std::string& path, std::size_t expected_shards,
+                         FileData* out);
+
+  /// Reads + validates a tail file; `expected_epoch` must match the stamp.
+  static Status ReadTailFile(const std::string& path,
+                             std::size_t expected_shards,
+                             std::uint64_t expected_epoch, FileData* out);
+
+  /// Replaces the contents with `data` (epoch-bumping every bucket, like
+  /// Load). `sync` (optional) is positioned at the adopted prefix.
+  void AdoptBuckets(FileData&& data, Cursor* sync = nullptr);
+
+  /// Appends a validated tail to the buckets — no epoch bump, so fold
+  /// cursors pick the edges up incrementally. `sync` (optional) advances
+  /// past the appended suffix.
+  void AppendBuckets(const FileData& data, Cursor* sync = nullptr);
 
  private:
   struct Bucket {

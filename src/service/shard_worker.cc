@@ -152,10 +152,82 @@ void ShardWorker::CollectInduced(std::span<const VertexId> vertices,
   }
 }
 
-Status ShardWorker::SaveState(const std::string& path) {
+Status ShardWorker::SaveState(const std::string& path,
+                              bool start_delta_tracking) {
   Drain();
   std::lock_guard<std::mutex> lock(detector_mutex_);
-  return spade_.SaveState(path);
+  // A full save is a checkpoint: whatever history the log held is now
+  // covered by the base snapshot. (Spade::SaveState flushes the benign
+  // buffer first; replay of a later chain starts from that flushed state,
+  // which is why no marker needs to survive the reset.)
+  SPADE_RETURN_NOT_OK(spade_.SaveState(path));
+  delta_log_.clear();
+  delta_overflow_ = false;
+  if (start_delta_tracking) delta_tracking_ = true;
+  return Status::OK();
+}
+
+Status ShardWorker::SaveDelta(const std::string& path, std::uint32_t shard,
+                              std::uint64_t prev_epoch, std::uint64_t epoch,
+                              DeltaSaveInfo* info) {
+  Drain();
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  if (!delta_tracking_) {
+    return Status::FailedPrecondition(
+        "ShardWorker::SaveDelta: no checkpoint baseline (run a full "
+        "SaveState first)");
+  }
+  if (delta_overflow_) {
+    return Status::FailedPrecondition(
+        "ShardWorker::SaveDelta: delta log overflowed; a full SaveState is "
+        "required");
+  }
+  DeltaSegment segment;
+  segment.shard = shard;
+  segment.prev_epoch = prev_epoch;
+  segment.epoch = epoch;
+  segment.records = std::move(delta_log_);
+  delta_log_.clear();
+  std::uint64_t bytes = 0;
+  const Status s = WriteDeltaSegment(path, segment, &bytes);
+  if (!s.ok()) {
+    // The write failed but the history is still the truth — put it back so
+    // a retry (or a fallback full save) does not lose the chain.
+    delta_log_ = std::move(segment.records);
+    return s;
+  }
+  if (info != nullptr) {
+    info->bytes = bytes;
+    info->records = segment.records.size();
+    info->edges = segment.NumEdges();
+  }
+  return Status::OK();
+}
+
+void ShardWorker::AppendDeltaRecord(const DeltaRecord& record) {
+  if (!delta_tracking_ || delta_overflow_) return;
+  if (delta_log_.size() >= options_.max_delta_log) {
+    // Unbounded history is worse than a forced full checkpoint: drop the
+    // log, remember the overflow, and let the next SaveDelta fail fast.
+    delta_log_.clear();
+    delta_log_.shrink_to_fit();
+    delta_overflow_ = true;
+    return;
+  }
+  delta_log_.push_back(record);
+}
+
+std::shared_ptr<const Community> ShardWorker::RebaselineLocked(bool flush) {
+  // Re-baseline the alert filter on the restored community and publish it
+  // so readers switch over atomically. The non-flushing read preserves the
+  // replayed benign buffer (Lemma 4.4: buffered edges cannot have improved
+  // the community, so the baseline is the same either way).
+  Community restored =
+      flush ? spade_.Detect() : spade_.peel_state().DetectCommunity();
+  last_reported_ = SortedMembers(restored);
+  last_density_ = restored.density;
+  since_detect_ = 0;
+  return std::make_shared<const Community>(std::move(restored));
 }
 
 Status ShardWorker::RestoreState(const std::string& path) {
@@ -164,13 +236,9 @@ Status ShardWorker::RestoreState(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(detector_mutex_);
     SPADE_RETURN_NOT_OK(spade_.RestoreState(path));
-    // Re-baseline the alert filter on the restored community and publish it
-    // so readers switch over atomically.
-    Community restored = spade_.Detect();
-    last_reported_ = SortedMembers(restored);
-    last_density_ = restored.density;
-    since_detect_ = 0;
-    snap = std::make_shared<const Community>(std::move(restored));
+    delta_log_.clear();
+    delta_overflow_ = false;
+    snap = RebaselineLocked(/*flush=*/true);
   }
 #if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
   snapshot_.store(std::move(snap));
@@ -181,8 +249,55 @@ Status ShardWorker::RestoreState(const std::string& path) {
   return Status::OK();
 }
 
+Status ShardWorker::RestoreChain(RestorePlan&& plan) {
+  Drain();
+  std::shared_ptr<const Community> snap;
+  {
+    std::lock_guard<std::mutex> lock(detector_mutex_);
+    spade_.RestoreFromParts(std::move(plan.graph), std::move(plan.state),
+                            plan.state_present);
+    // Replay the applied history through the same entry points the live
+    // worker used. Every record passed CRC validation and came from a
+    // successfully applied edge, so a failure here is a logic error — but
+    // it still surfaces as a Status, not a partial silent state.
+    for (const DeltaSegment& segment : plan.segments) {
+      for (const DeltaRecord& record : segment.records) {
+        if (record.flush) {
+          SPADE_RETURN_NOT_OK(spade_.Flush());
+        } else {
+          SPADE_RETURN_NOT_OK(spade_.ApplyEdge(record.edge));
+        }
+      }
+    }
+    delta_log_.clear();
+    delta_overflow_ = false;
+    delta_tracking_ = true;
+    snap = RebaselineLocked(/*flush=*/false);
+  }
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  snapshot_.store(std::move(snap));
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snap);
+#endif
+  return Status::OK();
+}
+
+void ShardWorker::InspectDetector(
+    const std::function<void(const Spade&)>& fn) const {
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  fn(spade_);
+}
+
 void ShardWorker::DetectAndPublish() {
   // Caller (worker thread or RestoreState) holds detector_mutex_.
+  if (spade_.PendingBenignEdges() > 0) {
+    // Detect() is about to fold the benign buffer in; the replayed history
+    // must flush at exactly this point to stay bit-identical (the flush
+    // changes the graph, and state-dependent semantics weigh later edges
+    // against it).
+    AppendDeltaRecord(DeltaRecord::Flush());
+  }
   Community community = spade_.Detect();
   since_detect_ = 0;
   detections_.fetch_add(1, std::memory_order_relaxed);
@@ -261,6 +376,7 @@ void ShardWorker::WorkerLoop() {
         ++consumed_;
         const Status s = spade_.ApplyEdge(edge);
         if (s.ok()) {
+          AppendDeltaRecord(DeltaRecord::Insert(edge));
           processed_.fetch_add(1, std::memory_order_relaxed);
           ++since_detect_;
           // An urgent edge flushed the benign buffer inside ApplyEdge;

@@ -46,6 +46,7 @@
 #include "common/status.h"
 #include "core/spade.h"
 #include "graph/types.h"
+#include "storage/delta_segment.h"
 
 // Snapshot publication uses std::atomic<std::shared_ptr> when the standard
 // library provides it — except under ThreadSanitizer: libstdc++'s
@@ -84,6 +85,11 @@ struct DetectionServiceOptions {
   /// true = Submit blocks until the worker frees space (backpressure
   /// propagates to producers instead of dropping transactions).
   bool block_when_full = false;
+  /// Cap on the in-memory delta log (applied-history records kept for the
+  /// next incremental checkpoint). A worker whose owner stops
+  /// checkpointing must not grow without bound: at the cap the log is
+  /// dropped and the next checkpoint falls back to a full snapshot.
+  std::size_t max_delta_log = 1 << 20;
 };
 
 /// One shard: a background worker draining a swap-buffer queue through an
@@ -167,18 +173,73 @@ class ShardWorker {
                       std::vector<Edge>* edges,
                       std::vector<double>* vertex_weight) const;
 
-  /// Drains, then persists the detector state under the detector lock.
-  /// Safe to call while producers keep submitting; the snapshot is a
-  /// consistent prefix of the stream.
-  Status SaveState(const std::string& path);
+  /// Result of one incremental checkpoint of this shard.
+  struct DeltaSaveInfo {
+    std::uint64_t bytes = 0;   // segment file size incl. trailer
+    std::size_t edges = 0;     // edge records written
+    std::size_t records = 0;   // edge + flush-marker records written
+  };
+
+  /// Everything needed to rebuild this shard to a checkpoint epoch: the
+  /// already-validated base snapshot plus the validated delta chain. The
+  /// caller (two-phase restore) parses and CRC-checks every file before
+  /// constructing a plan, so applying one cannot half-fail on bad input.
+  struct RestorePlan {
+    DynamicGraph graph;
+    PeelState state;
+    bool state_present = false;
+    std::vector<DeltaSegment> segments;  // ascending, contiguous epochs
+  };
+
+  /// Drains, then persists the full detector state under the detector
+  /// lock. Safe to call while producers keep submitting; the snapshot is a
+  /// consistent prefix of the stream. A full save is a checkpoint: the
+  /// delta log is reset, and with `start_delta_tracking` the worker begins
+  /// (or continues) recording applied history for a future SaveDelta.
+  Status SaveState(const std::string& path,
+                   bool start_delta_tracking = false);
+
+  /// Incremental checkpoint: drains, then writes only the applied history
+  /// since the last checkpoint as a delta segment advancing `prev_epoch`
+  /// -> `epoch`, and clears the log. Cost is O(edges since last
+  /// checkpoint) — the detector state is not touched (no flush, no
+  /// reorder). Fails with kFailedPrecondition when no checkpoint baseline
+  /// exists (tracking never started) or the log overflowed
+  /// `max_delta_log`; the caller falls back to a full SaveState.
+  Status SaveDelta(const std::string& path, std::uint32_t shard,
+                   std::uint64_t prev_epoch, std::uint64_t epoch,
+                   DeltaSaveInfo* info = nullptr);
 
   /// Drains, then replaces the detector state from a snapshot written by
   /// SaveState. The detector's installed semantics are reused; the restored
   /// community is republished and becomes the alert baseline.
   Status RestoreState(const std::string& path);
 
+  /// Drains, installs the plan's base state, and replays its delta chain
+  /// through the normal ApplyEdge / Flush path — the restored detector
+  /// re-makes exactly the decisions the live one made (DESIGN.md §5), so
+  /// the result is bit-identical to the detector that wrote the chain.
+  /// Leaves delta tracking armed for the next incremental checkpoint.
+  Status RestoreChain(RestorePlan&& plan);
+
+  /// Runs `fn` on the detector under the detector mutex (tests and
+  /// diagnostics: peel-state differentials, graph audits). Blocks this
+  /// shard's apply path for the duration; never touches the queue.
+  void InspectDetector(const std::function<void(const Spade&)>& fn) const;
+
  private:
   void WorkerLoop();
+
+  /// Appends one applied-history record (detector mutex held). Drops the
+  /// whole log and marks overflow at the cap.
+  void AppendDeltaRecord(const DeltaRecord& record);
+
+  /// Re-baselines the alert filter on the current community and returns
+  /// the snapshot to publish (detector mutex held). `flushed` selects
+  /// Detect() (full restore: buffer is empty anyway) vs the non-flushing
+  /// read (chain restore: the replayed benign buffer must survive so the
+  /// restored detector keeps matching the live one).
+  std::shared_ptr<const Community> RebaselineLocked(bool flush);
 
   /// Worker thread only: flushes + detects, publishes the snapshot, fires
   /// the alert callback if the community changed. No lock held during the
@@ -213,6 +274,12 @@ class ShardWorker {
   // Set by DetectAndPublish when the community changed; the worker moves it
   // out and fires the callback after releasing detector_mutex_.
   std::shared_ptr<const Community> pending_alert_;
+  // Applied-history log for incremental checkpoints (DESIGN.md §5): raw
+  // edges in application order plus a marker at every benign-buffer flush.
+  // Guarded by detector_mutex_ like the detector it mirrors.
+  bool delta_tracking_ = false;
+  bool delta_overflow_ = false;
+  std::vector<DeltaRecord> delta_log_;
 
   // --- published state (lock-free readers) -------------------------------
 #if defined(SPADE_SNAPSHOT_PTR_ATOMIC)

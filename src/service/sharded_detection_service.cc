@@ -1,7 +1,9 @@
 #include "service/sharded_detection_service.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <unordered_set>
 #include <utility>
@@ -9,7 +11,9 @@
 #include "common/logging.h"
 #include "graph/dynamic_graph.h"
 #include "peel/static_peeler.h"
+#include "storage/delta_segment.h"
 #include "storage/sharded_snapshot.h"
+#include "storage/snapshot.h"
 
 namespace spade {
 
@@ -384,6 +388,12 @@ Community ShardedDetectionService::ShardCommunity(std::size_t shard) const {
   return workers_[shard]->CurrentCommunity();
 }
 
+void ShardedDetectionService::InspectShard(
+    std::size_t shard, const std::function<void(const Spade&)>& fn) const {
+  SPADE_CHECK(shard < workers_.size());
+  workers_[shard]->InspectDetector(fn);
+}
+
 ShardedServiceStats ShardedDetectionService::GetStats() const {
   ShardedServiceStats stats;
   stats.shard_edges.reserve(workers_.size());
@@ -417,32 +427,247 @@ std::uint64_t ShardedDetectionService::AlertsDelivered() const {
   return total;
 }
 
-Status ShardedDetectionService::SaveState(const std::string& dir) {
+namespace {
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  return (std::filesystem::path(dir) / name).string();
+}
+
+std::uint64_t FileSizeOrZero(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+/// True for any epoch-stamped checkpoint artifact name (base snapshots,
+/// delta segments, boundary bases and tails). Legacy unstamped names
+/// (shard-<i>.snapshot, boundary.index) never match. The single
+/// classifier serves both the GC and the epoch scanner: if they ever
+/// disagreed, NextEpochForDir could hand out an epoch whose crashed files
+/// survived GC — the stale-bytes collision the stamping exists to
+/// prevent.
+bool IsEpochStampedArtifact(const std::string& name) {
+  return name.find(".delta-") != std::string::npos ||
+         name.find(".snapshot-") != std::string::npos ||
+         name.rfind("boundary.tail-", 0) == 0 ||
+         name.rfind("boundary.index-", 0) == 0;
+}
+
+/// First epoch a chain-less save into `dir` may use. Epoch numbers must
+/// never collide with anything already in the directory: a fresh service
+/// saving over an older higher-epoch manifest at epoch 1 would rename new
+/// bases over that manifest's stamped files, reintroducing the
+/// old-manifest-replays-chain-onto-new-base corruption the stamping
+/// exists to prevent. The manifest gives the honest answer when readable;
+/// the file scan also covers torn manifests and orphaned higher-epoch
+/// files.
+std::uint64_t NextEpochForDir(const std::string& dir) {
+  std::uint64_t next = 1;
+  ShardManifest existing;
+  if (ReadShardManifest(dir, &existing).ok()) {
+    next = existing.epoch + 1;
+  }
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t dash = name.rfind('-');
+    if (!IsEpochStampedArtifact(name) || dash == std::string::npos) continue;
+    const std::string digits = name.substr(dash + 1);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long epoch = std::strtoull(digits.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') {
+      next = std::max<std::uint64_t>(next, epoch + 1);
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+Status ShardedDetectionService::SaveFull(const std::string& dir,
+                                         std::uint64_t epoch,
+                                         SaveInfo* info) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::IOError("cannot create snapshot directory " + dir + ": " +
                            ec.message());
   }
+  // Any failure below leaves the previous manifest in charge; drop the
+  // cached chain so the next save starts clean rather than extending a
+  // chain whose on-disk tail may not exist.
+  chain_dir_.clear();
+
   ShardManifest manifest;
   manifest.num_shards = static_cast<std::uint32_t>(workers_.size());
   manifest.semantics = semantics_;
+  manifest.epoch = epoch;
+  manifest.base_epoch = epoch;
   manifest.files.reserve(workers_.size());
+  std::uint64_t bytes = 0;
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    const std::string name = ShardSnapshotFileName(i);
-    const std::string path = (std::filesystem::path(dir) / name).string();
-    SPADE_RETURN_NOT_OK(workers_[i]->SaveState(path));
+    // Epoch-stamped names, never reused: a crash between these renames
+    // and the manifest write leaves the PREVIOUS manifest in charge, and
+    // that manifest must keep referencing its own (untouched) bases — a
+    // shared name would let it silently replay its delta chain onto this
+    // newer base (every CRC valid, a state no checkpoint ever held).
+    const std::string name = ShardSnapshotFileName(i, epoch);
+    const std::string path = JoinPath(dir, name);
+    // A full save is the checkpoint baseline: it arms per-worker delta
+    // tracking so the next save can be incremental.
+    SPADE_RETURN_NOT_OK(
+        workers_[i]->SaveState(path, /*start_delta_tracking=*/true));
+    bytes += FileSizeOrZero(path);
     manifest.files.push_back(name);
   }
-  manifest.boundary_file = kBoundaryIndexFileName;
-  SPADE_RETURN_NOT_OK(boundary_.Save(
-      (std::filesystem::path(dir) / manifest.boundary_file).string()));
-  // Manifest last: a crashed save leaves no manifest, so a restore sees
-  // kNotFound rather than a torn directory.
-  return WriteShardManifest(dir, manifest);
+  manifest.boundary_file = BoundaryIndexFileName(epoch);
+  const std::string boundary_path = JoinPath(dir, manifest.boundary_file);
+  // Save() anchors the persist cursor at exactly the prefix the file
+  // holds, so the first tail continues seamlessly.
+  SPADE_RETURN_NOT_OK(boundary_.Save(boundary_path,
+                                     &boundary_persist_cursor_));
+  bytes += FileSizeOrZero(boundary_path);
+  // Manifest last and atomically: a crash anywhere above leaves either no
+  // manifest (kNotFound) or the previous epoch's manifest (clean restore
+  // to the previous checkpoint) — never a torn directory in charge.
+  SPADE_RETURN_NOT_OK(WriteShardManifest(dir, manifest));
+  bytes += FileSizeOrZero(ShardManifestPath(dir));
+
+  chain_dir_ = dir;
+  chain_ = std::move(manifest);
+  chain_base_bytes_ = bytes;
+  chain_delta_bytes_ = 0;
+  RemoveStaleChainFiles(dir);
+  if (info != nullptr) {
+    info->delta = false;
+    info->epoch = epoch;
+    info->bytes_written = bytes;
+    info->chain_length = 0;
+    info->delta_edges = 0;
+  }
+  return Status::OK();
 }
 
-Status ShardedDetectionService::RestoreState(const std::string& dir) {
+Status ShardedDetectionService::SaveDeltaEpoch(const std::string& dir,
+                                               SaveInfo* info) {
+  const std::uint64_t epoch = chain_.epoch + 1;
+  ShardManifest manifest = chain_;  // extend the cached chain
+  std::uint64_t bytes = 0;
+  std::size_t delta_edges = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const std::string name = ShardDeltaFileName(i, epoch);
+    ShardWorker::DeltaSaveInfo shard_info;
+    SPADE_RETURN_NOT_OK(workers_[i]->SaveDelta(
+        JoinPath(dir, name), static_cast<std::uint32_t>(i), chain_.epoch,
+        epoch, &shard_info));
+    bytes += shard_info.bytes;
+    delta_edges += shard_info.edges;
+    manifest.deltas.push_back(
+        {epoch, static_cast<std::uint32_t>(i), name});
+  }
+  const std::string tail_name = BoundaryTailFileName(epoch);
+  std::uint64_t tail_bytes = 0;
+  SPADE_RETURN_NOT_OK(boundary_.SaveTail(JoinPath(dir, tail_name), epoch,
+                                         &boundary_persist_cursor_,
+                                         &tail_bytes));
+  bytes += tail_bytes;
+  manifest.boundary_tails.push_back({epoch, tail_name});
+  manifest.epoch = epoch;
+  SPADE_RETURN_NOT_OK(WriteShardManifest(dir, manifest));
+  bytes += FileSizeOrZero(ShardManifestPath(dir));
+
+  chain_ = std::move(manifest);
+  chain_delta_bytes_ += bytes;
+  if (info != nullptr) {
+    info->delta = true;
+    info->epoch = epoch;
+    info->bytes_written = bytes;
+    info->chain_length = chain_.ChainLength();
+    info->delta_edges = delta_edges;
+  }
+  return Status::OK();
+}
+
+void ShardedDetectionService::RemoveStaleChainFiles(
+    const std::string& dir) const {
+  std::unordered_set<std::string> referenced(chain_.files.begin(),
+                                             chain_.files.end());
+  referenced.insert(chain_.boundary_file);
+  for (const DeltaSegmentRef& ref : chain_.deltas) referenced.insert(ref.file);
+  for (const BoundaryTailRef& ref : chain_.boundary_tails) {
+    referenced.insert(ref.file);
+  }
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    // Only epoch-stamped artifacts are ever collected, so legacy
+    // unstamped files survive untouched.
+    if (IsEpochStampedArtifact(name) && referenced.count(name) == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+Status ShardedDetectionService::SaveState(const std::string& dir,
+                                          SaveMode mode, SaveInfo* info) {
+  std::lock_guard<std::mutex> save_lock(save_mutex_);
+  if (info != nullptr) *info = SaveInfo{};
+  const bool chain_active = !chain_dir_.empty() && chain_dir_ == dir;
+  if (mode == SaveMode::kDelta && !chain_active) {
+    return Status::FailedPrecondition(
+        "SaveState(kDelta): no active delta chain in " + dir +
+        " (write a full checkpoint there first)");
+  }
+  bool want_delta = chain_active && mode != SaveMode::kFull;
+  bool compacted = false;
+  if (want_delta && mode == SaveMode::kAuto) {
+    // Compaction policy: fold the chain back into a fresh base when it is
+    // long (restore replay cost) or heavy relative to the base (directory
+    // byte overhead). Byte accounting uses the chain as written so far —
+    // the decision lags one epoch, which keeps it free of a pre-pass over
+    // every worker's log.
+    const bool too_long = chain_.ChainLength() >= options_.checkpoint.max_chain_length;
+    const bool too_heavy =
+        static_cast<double>(chain_delta_bytes_) >
+        options_.checkpoint.max_delta_base_ratio *
+            static_cast<double>(std::max<std::uint64_t>(1, chain_base_bytes_));
+    if (too_long || too_heavy) {
+      want_delta = false;
+      compacted = true;
+    }
+  }
+  const std::uint64_t epoch =
+      chain_active ? chain_.epoch + 1 : NextEpochForDir(dir);
+  if (want_delta) {
+    const Status s = SaveDeltaEpoch(dir, info);
+    if (s.ok()) return s;
+    // A failed delta attempt may already have consumed some workers' logs
+    // into segment files the manifest never adopted; extending the chain
+    // after that would silently lose their records. Invalidate it — the
+    // only safe continuation is a fresh base.
+    chain_dir_.clear();
+    // A worker whose delta log overflowed (or whose boundary cursor was
+    // invalidated) reports kFailedPrecondition; in auto mode the right
+    // response is the fallback the caller would have to do anyway.
+    if (mode == SaveMode::kDelta ||
+        s.code() != StatusCode::kFailedPrecondition) {
+      return s;
+    }
+    compacted = true;
+  }
+  const Status s = SaveFull(dir, epoch, info);
+  if (s.ok() && info != nullptr) info->compacted = compacted;
+  return s;
+}
+
+Status ShardedDetectionService::RestoreState(const std::string& dir,
+                                             RestoreInfo* info) {
+  std::lock_guard<std::mutex> save_lock(save_mutex_);
   ShardManifest manifest;
   SPADE_RETURN_NOT_OK(ReadShardManifest(dir, &manifest));
   if (manifest.num_shards != workers_.size()) {
@@ -450,33 +675,139 @@ Status ShardedDetectionService::RestoreState(const std::string& dir) {
         "sharded snapshot has " + std::to_string(manifest.num_shards) +
         " shards but the service has " + std::to_string(workers_.size()));
   }
+
+  const std::uint64_t manifest_epoch = manifest.epoch;
+
+  // ---- Phase 1: parse + CRC-check every file, no side effects. ----------
+  // Bases first: a torn base is unrecoverable (fail cleanly, leaving the
+  // running fleet untouched).
+  std::vector<ShardWorker::RestorePlan> plans(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    SPADE_RETURN_NOT_OK(LoadSnapshot(JoinPath(dir, manifest.files[i]),
+                                     &plans[i].graph, &plans[i].state,
+                                     &plans[i].state_present));
+  }
+  BoundaryEdgeIndex::FileData boundary_base;
+  const bool has_boundary = !manifest.boundary_file.empty();
+  if (has_boundary) {
+    SPADE_RETURN_NOT_OK(
+        BoundaryEdgeIndex::ReadFile(JoinPath(dir, manifest.boundary_file),
+                                    workers_.size(), &boundary_base));
+  }
+  // Chain epochs, oldest first: stop at the first epoch with any torn or
+  // corrupt file. Everything before it is durable by construction (those
+  // files were fully written before the later manifest was published), so
+  // the longest valid prefix IS the last durable checkpoint.
+  std::vector<BoundaryEdgeIndex::FileData> tails;
+  std::uint64_t restored_epoch = manifest.base_epoch;
+  std::size_t delta_edges = 0;
+  for (std::uint64_t e = manifest.base_epoch + 1; e <= manifest.epoch; ++e) {
+    std::vector<DeltaSegment> epoch_segments(workers_.size());
+    bool epoch_ok = true;
+    for (std::size_t i = 0; i < workers_.size() && epoch_ok; ++i) {
+      const DeltaSegmentRef& ref =
+          manifest.deltas[(e - manifest.base_epoch - 1) * workers_.size() + i];
+      DeltaSegment segment;
+      const Status s = ReadDeltaSegment(JoinPath(dir, ref.file), &segment);
+      epoch_ok = s.ok() && segment.shard == i && segment.epoch == e &&
+                 segment.prev_epoch == e - 1;
+      if (epoch_ok) epoch_segments[i] = std::move(segment);
+    }
+    BoundaryEdgeIndex::FileData tail;
+    if (epoch_ok && has_boundary) {
+      const BoundaryTailRef& ref =
+          manifest.boundary_tails[e - manifest.base_epoch - 1];
+      epoch_ok = BoundaryEdgeIndex::ReadTailFile(JoinPath(dir, ref.file),
+                                                 workers_.size(), e, &tail)
+                     .ok();
+    }
+    if (!epoch_ok) {
+      SPADE_LOG_WARNING() << "RestoreState: chain torn at epoch " << e
+                          << "; recovering to durable epoch " << (e - 1);
+      break;
+    }
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      delta_edges += epoch_segments[i].NumEdges();
+      plans[i].segments.push_back(std::move(epoch_segments[i]));
+    }
+    if (has_boundary) tails.push_back(std::move(tail));
+    restored_epoch = e;
+  }
+
+  // ---- Phase 2: install. Everything applied below passed validation. ----
   // Drop the stitched snapshot BEFORE touching any detector: it described
-  // the pre-restore fleet, and it must not survive a partially-failed
-  // restore either (a stale stitched read over replaced detectors would be
-  // the one overclaim the insert-only staleness argument cannot excuse).
+  // the pre-restore fleet, and it must not survive the swap (a stale
+  // stitched read over replaced detectors would be the one overclaim the
+  // insert-only staleness argument cannot excuse). The stitch/boundary
+  // counters reset with it — stats() must describe the restored run.
   {
     std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);
     last_stitched_members_.clear();
     last_stitched_density_ = -1.0;
     StoreStitched(nullptr);
+    stitch_passes_.store(0, std::memory_order_relaxed);
+    stitched_alerts_.store(0, std::memory_order_relaxed);
   }
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    const std::string path =
-        (std::filesystem::path(dir) / manifest.files[i]).string();
-    SPADE_RETURN_NOT_OK(workers_[i]->RestoreState(path));
+    SPADE_RETURN_NOT_OK(workers_[i]->RestoreChain(std::move(plans[i])));
   }
   {
     std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);
-    if (manifest.boundary_file.empty()) {
+    if (!has_boundary) {
       // Pre-stitching snapshot: no boundary record survives; stitching
       // resumes as cross-shard traffic arrives.
-      boundary_.Clear();
+      boundary_.Clear(&boundary_persist_cursor_);
     } else {
-      // The epoch bump inside Load/Clear forces the next stitch pass to
-      // rebuild its per-vertex aggregate from the restored buckets.
-      SPADE_RETURN_NOT_OK(boundary_.Load(
-          (std::filesystem::path(dir) / manifest.boundary_file).string()));
+      // The epoch bump inside AdoptBuckets forces the next stitch pass to
+      // rebuild its per-vertex aggregate; tails append under the same
+      // cursor so the next SaveTail persists only post-restore records.
+      boundary_.AdoptBuckets(std::move(boundary_base),
+                             &boundary_persist_cursor_);
+      for (BoundaryEdgeIndex::FileData& tail : tails) {
+        boundary_.AppendBuckets(tail, &boundary_persist_cursor_);
+      }
     }
+  }
+
+  // Resume the chain in this directory when it has an epoch history (v3);
+  // legacy v1/v2 directories restart with a full save.
+  if (manifest.epoch >= 1) {
+    chain_dir_ = dir;
+    chain_ = std::move(manifest);
+    if (restored_epoch < chain_.epoch) {
+      // Truncate the cached chain to the durable prefix; the dropped
+      // epochs' files are dead and will be overwritten or GC'd.
+      chain_.epoch = restored_epoch;
+      chain_.deltas.resize((restored_epoch - chain_.base_epoch) *
+                           workers_.size());
+      if (has_boundary) {
+        chain_.boundary_tails.resize(restored_epoch - chain_.base_epoch);
+      }
+    }
+    chain_base_bytes_ = 0;
+    for (const std::string& f : chain_.files) {
+      chain_base_bytes_ += FileSizeOrZero(JoinPath(dir, f));
+    }
+    chain_delta_bytes_ = 0;
+    for (const DeltaSegmentRef& ref : chain_.deltas) {
+      chain_delta_bytes_ += FileSizeOrZero(JoinPath(dir, ref.file));
+    }
+    if (restored_epoch < manifest_epoch) {
+      // Collect the torn epochs' files now (best effort): leaving them
+      // would let a later save reuse their epoch numbers while the
+      // on-disk manifest still references the old bytes — a crash in
+      // that window would splice two timelines into one restorable (and
+      // wrong) chain.
+      RemoveStaleChainFiles(dir);
+    }
+  } else {
+    chain_dir_.clear();
+  }
+  if (info != nullptr) {
+    info->manifest_epoch = manifest_epoch;
+    info->restored_epoch = restored_epoch;
+    info->delta_edges_replayed = delta_edges;
+    info->truncated_chain = restored_epoch < manifest_epoch;
   }
   return Status::OK();
 }

@@ -48,6 +48,7 @@
 #include "graph/types.h"
 #include "service/boundary_index.h"
 #include "service/shard_worker.h"
+#include "storage/sharded_snapshot.h"
 
 namespace spade {
 
@@ -130,6 +131,18 @@ struct StitchOptions {
   StitchAlertFn on_stitch_alert;
 };
 
+/// When an auto-mode SaveState folds the delta chain back into a fresh
+/// base instead of appending another segment. Either trigger alone forces
+/// compaction; both bound the restore-time replay work (chain length) and
+/// the directory's byte overhead relative to one full snapshot.
+struct CheckpointPolicy {
+  /// Compact when the chain already holds this many delta epochs.
+  std::size_t max_chain_length = 16;
+  /// Compact when accumulated delta bytes exceed this fraction of the
+  /// base-snapshot bytes.
+  double max_delta_base_ratio = 0.5;
+};
+
 struct ShardedDetectionServiceOptions {
   /// Knobs applied to every shard worker.
   DetectionServiceOptions shard;
@@ -137,6 +150,8 @@ struct ShardedDetectionServiceOptions {
   Partitioner partitioner;
   /// Cross-shard stitching knobs.
   StitchOptions stitch;
+  /// Delta-chain compaction triggers for auto-mode SaveState.
+  CheckpointPolicy checkpoint;
 };
 
 /// Merged + per-shard service counters. All reads are lock-free (queue
@@ -245,6 +260,12 @@ class ShardedDetectionService {
   std::shared_ptr<const Community> ShardSnapshot(std::size_t shard) const;
   Community ShardCommunity(std::size_t shard) const;
 
+  /// Runs `fn` on one shard's detector under its detector mutex (tests and
+  /// diagnostics: peel-state differentials, graph audits). Blocks that
+  /// shard's apply path for the duration.
+  void InspectShard(std::size_t shard,
+                    const std::function<void(const Spade&)>& fn) const;
+
   /// The router's cross-shard edge record (tests and diagnostics).
   const BoundaryEdgeIndex& boundary_index() const { return boundary_; }
 
@@ -253,17 +274,66 @@ class ShardedDetectionService {
   std::uint64_t EdgesProcessed() const;
   std::uint64_t AlertsDelivered() const;
 
-  /// Persists all shards into `dir` (created if needed): a manifest, one
-  /// snapshot file per shard, plus the boundary index. Drains each shard
-  /// first.
-  Status SaveState(const std::string& dir);
+  /// Checkpoint flavor for SaveState.
+  enum class SaveMode {
+    /// Delta when a chain is active in `dir` and the CheckpointPolicy
+    /// allows it; full (base rewrite) otherwise.
+    kAuto,
+    /// Always rewrite the base snapshots (and start a fresh chain).
+    kFull,
+    /// Always append a delta epoch; fails with kFailedPrecondition when no
+    /// chain is active in `dir` (bench/tests that must isolate delta cost).
+    kDelta,
+  };
+
+  /// What one SaveState actually did.
+  struct SaveInfo {
+    bool delta = false;        // wrote only delta segments
+    bool compacted = false;    // auto mode folded the chain into a new base
+    std::uint64_t epoch = 0;   // checkpoint epoch this save produced
+    std::uint64_t bytes_written = 0;  // all files incl. manifest
+    std::size_t chain_length = 0;     // delta epochs now in the manifest
+    std::size_t delta_edges = 0;      // edge records across all segments
+  };
+
+  /// What one RestoreState actually recovered.
+  struct RestoreInfo {
+    std::uint64_t manifest_epoch = 0;  // epoch the manifest claims
+    std::uint64_t restored_epoch = 0;  // epoch actually reconstructed
+    std::size_t delta_edges_replayed = 0;
+    /// True when a torn/corrupt chain tail forced recovery to an earlier
+    /// durable epoch (restored_epoch < manifest_epoch).
+    bool truncated_chain = false;
+  };
+
+  /// Checkpoints all shards into `dir` (created if needed). The first save
+  /// into a directory writes full base snapshots; subsequent saves into
+  /// the same directory append one delta epoch — per-shard segments
+  /// holding only the edges applied since the previous checkpoint, an
+  /// incremental boundary-index tail, and a rewritten (tiny) manifest —
+  /// so checkpoint cost tracks traffic, not graph size. The
+  /// CheckpointPolicy folds the chain back into a fresh base when it grows
+  /// past its bounds. Drains each shard first. Crash-safe at every point:
+  /// the manifest is written last and atomically, and every bulk file
+  /// carries a CRC trailer, so a torn save either leaves the previous
+  /// manifest in charge or is detected at restore.
+  Status SaveState(const std::string& dir, SaveMode mode = SaveMode::kAuto,
+                   SaveInfo* info = nullptr);
 
   /// Restores a directory written by SaveState. The manifest's shard count
-  /// must match this service's; detectors keep their installed semantics.
-  /// The boundary index is restored too (snapshots from before the index
-  /// existed restore it empty), and the stitched snapshot is reset — the
-  /// next stitch pass rebuilds it from the restored state.
-  Status RestoreState(const std::string& dir);
+  /// must match this service's — validated (like everything else) before
+  /// any side effect: the whole chain is parsed and CRC-checked first, and
+  /// only then installed, so a failed restore never leaves a partial
+  /// graph. A torn chain tail (crash during the last delta save) recovers
+  /// to the last epoch whose files are all intact; a torn base or manifest
+  /// fails cleanly. Delta chains replay through the normal ApplyEdge path,
+  /// so restored detectors are bit-identical to the ones that wrote the
+  /// chain. Detectors keep their installed semantics. The boundary index
+  /// is restored too (snapshots from before the index existed restore it
+  /// empty), and the stitched snapshot *and* the stitch/boundary counters
+  /// are reset — stats() afterwards describes the restored run, not the
+  /// one that wrote the snapshot.
+  Status RestoreState(const std::string& dir, RestoreInfo* info = nullptr);
 
  private:
   /// Single-pass density argmax over the shard snapshots: (shard, snapshot).
@@ -275,11 +345,36 @@ class ShardedDetectionService {
   void StoreStitched(std::shared_ptr<const GlobalCommunity> snap);
   void StitcherLoop();
 
+  /// Full checkpoint: base snapshots + boundary index + chainless
+  /// manifest at `epoch`. Caller holds save_mutex_.
+  Status SaveFull(const std::string& dir, std::uint64_t epoch,
+                  SaveInfo* info);
+  /// Incremental checkpoint appending epoch `chain_.epoch + 1`. Caller
+  /// holds save_mutex_.
+  Status SaveDeltaEpoch(const std::string& dir, SaveInfo* info);
+  /// Deletes delta/tail files in `dir` that the just-written manifest no
+  /// longer references (best effort; orphans are harmless but untidy).
+  void RemoveStaleChainFiles(const std::string& dir) const;
+
   ShardedDetectionServiceOptions options_;
   ShardAlertFn on_alert_;  // outlives the workers (declared first)
   std::string semantics_;
   std::vector<std::unique_ptr<ShardWorker>> workers_;
   BoundaryEdgeIndex boundary_;
+
+  // --- checkpoint chain state (guarded by save_mutex_; Save/Restore
+  // serialize against each other, never against producers or readers) ----
+  mutable std::mutex save_mutex_;
+  /// Directory of the active delta chain ("" = none; next save is full).
+  std::string chain_dir_;
+  /// Cached manifest of `chain_dir_` (what a restore would read).
+  ShardManifest chain_;
+  /// Byte accounting driving CheckpointPolicy::max_delta_base_ratio.
+  std::uint64_t chain_base_bytes_ = 0;
+  std::uint64_t chain_delta_bytes_ = 0;
+  /// Position in the boundary index already covered by the chain's base +
+  /// tails; SaveTail persists only edges recorded past it.
+  BoundaryEdgeIndex::Cursor boundary_persist_cursor_;
 
   // --- stitch state (all guarded by stitch_mutex_; passes serialize) -----
   mutable std::mutex stitch_mutex_;

@@ -1,24 +1,92 @@
 #include "storage/sharded_snapshot.h"
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+
+#include "storage/checked_io.h"
 
 namespace spade {
 
 namespace {
 
 constexpr char kMagic[] = "spade-shard-manifest";
-constexpr int kVersion = 2;       // written
-constexpr int kMinVersion = 1;    // still readable (no boundary line)
+constexpr int kVersion = 3;       // written
+constexpr int kMinVersion = 1;    // still readable (no chain, no crc line)
 constexpr char kManifestName[] = "manifest.spade";
+
+Status Malformed(const std::string& path, const std::string& what) {
+  return Status::IOError("manifest " + what + ": " + path);
+}
+
+/// Structural chain validation shared by the writer (programming-error
+/// guard) and the reader (corruption guard): deltas must be exactly one
+/// segment per shard per epoch in (base_epoch, epoch], ascending, and
+/// boundary tails one per epoch.
+Status ValidateChain(const ShardManifest& m, const std::string& path) {
+  if (m.epoch < m.base_epoch) {
+    return Malformed(path, "epoch precedes base-epoch");
+  }
+  const std::uint64_t chain = m.epoch - m.base_epoch;
+  if (m.deltas.size() != chain * m.num_shards) {
+    return Malformed(path, "delta line count mismatch");
+  }
+  std::size_t k = 0;
+  for (std::uint64_t e = m.base_epoch + 1; e <= m.epoch; ++e) {
+    for (std::uint32_t s = 0; s < m.num_shards; ++s, ++k) {
+      const DeltaSegmentRef& ref = m.deltas[k];
+      if (ref.epoch != e || ref.shard != s || ref.file.empty()) {
+        return Malformed(path, "delta chain entry out of order");
+      }
+    }
+  }
+  const std::size_t expected_tails = m.boundary_file.empty() ? 0 : chain;
+  if (m.boundary_tails.size() != expected_tails) {
+    return Malformed(path, "boundary tail count mismatch");
+  }
+  for (std::uint64_t i = 0; i < m.boundary_tails.size(); ++i) {
+    if (m.boundary_tails[i].epoch != m.base_epoch + 1 + i ||
+        m.boundary_tails[i].file.empty()) {
+      return Malformed(path, "boundary tail entry out of order");
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
 std::string ShardSnapshotFileName(std::size_t shard) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "shard-%zu.snapshot", shard);
+  return buf;
+}
+
+std::string ShardSnapshotFileName(std::size_t shard, std::uint64_t epoch) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "shard-%zu.snapshot-%" PRIu64, shard,
+                epoch);
+  return buf;
+}
+
+std::string BoundaryIndexFileName(std::uint64_t epoch) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "boundary.index-%" PRIu64, epoch);
+  return buf;
+}
+
+std::string ShardDeltaFileName(std::size_t shard, std::uint64_t epoch) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "shard-%zu.delta-%" PRIu64, shard, epoch);
+  return buf;
+}
+
+std::string BoundaryTailFileName(std::uint64_t epoch) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "boundary.tail-%" PRIu64, epoch);
   return buf;
 }
 
@@ -32,58 +100,108 @@ Status WriteShardManifest(const std::string& dir,
     return Status::InvalidArgument(
         "ShardManifest: files/num_shards mismatch");
   }
+  if (manifest.base_epoch < 1) {
+    return Status::InvalidArgument("ShardManifest: base_epoch must be >= 1");
+  }
+  if (manifest.boundary_file.empty()) {
+    // Version 3 readers require the boundary line (an index that never saw
+    // a cross-shard edge still serializes, as empty buckets).
+    return Status::InvalidArgument("ShardManifest: boundary_file is required");
+  }
+  {
+    const Status chain = ValidateChain(manifest, "(in memory)");
+    if (!chain.ok()) {
+      return Status::InvalidArgument("ShardManifest: " + chain.message());
+    }
+  }
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::IOError("cannot create snapshot directory " + dir + ": " +
                            ec.message());
   }
-  const std::string path = ShardManifestPath(dir);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return Status::IOError("cannot open " + tmp);
-    out << kMagic << ' ' << kVersion << '\n';
-    out << "shards " << manifest.num_shards << '\n';
-    out << "semantics "
-        << (manifest.semantics.empty() ? "unknown" : manifest.semantics)
+  std::ostringstream out;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "shards " << manifest.num_shards << '\n';
+  out << "semantics "
+      << (manifest.semantics.empty() ? "unknown" : manifest.semantics)
+      << '\n';
+  out << "epoch " << manifest.epoch << '\n';
+  out << "base-epoch " << manifest.base_epoch << '\n';
+  for (std::size_t i = 0; i < manifest.files.size(); ++i) {
+    out << "file " << i << ' ' << manifest.files[i] << '\n';
+  }
+  for (const DeltaSegmentRef& ref : manifest.deltas) {
+    out << "delta " << ref.epoch << ' ' << ref.shard << ' ' << ref.file
         << '\n';
-    for (std::size_t i = 0; i < manifest.files.size(); ++i) {
-      out << "file " << i << ' ' << manifest.files[i] << '\n';
-    }
-    if (!manifest.boundary_file.empty()) {
-      out << "boundary " << manifest.boundary_file << '\n';
-    }
-    out.flush();
-    if (!out) return Status::IOError("write failed: " + tmp);
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::IOError("cannot rename " + tmp + ": " + ec.message());
+  if (!manifest.boundary_file.empty()) {
+    out << "boundary " << manifest.boundary_file << '\n';
+    for (const BoundaryTailRef& ref : manifest.boundary_tails) {
+      out << "boundary-delta " << ref.epoch << ' ' << ref.file << '\n';
+    }
   }
-  return Status::OK();
+  std::string content = out.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %016" PRIx64 "\n",
+                Crc64(content.data(), content.size()));
+  content += crc_line;
+  return storage::WriteFileAtomic(ShardManifestPath(dir), content);
 }
 
 Status ReadShardManifest(const std::string& dir, ShardManifest* manifest) {
   const std::string path = ShardManifestPath(dir);
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("no shard manifest at " + path);
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::NotFound("no shard manifest at " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    content = buffer.str();
+  }
 
+  std::istringstream in(content);
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != kMagic) {
-    return Status::IOError("bad manifest magic in " + path);
+    return Malformed(path, "has bad magic");
   }
   if (version < kMinVersion || version > kVersion) {
-    return Status::IOError("unsupported manifest version in " + path);
+    return Malformed(path, "has unsupported version");
   }
   std::string key;
   ShardManifest m;
   if (!(in >> key >> m.num_shards) || key != "shards") {
-    return Status::IOError("manifest missing shard count: " + path);
+    return Malformed(path, "missing shard count");
+  }
+  // Plausibility gate before any allocation sized by manifest-declared
+  // counts (same hazard as the binary headers, checked_io.h): every shard
+  // costs at least one "file ..." line, so a count beyond the manifest's
+  // own size is corrupt — reject it instead of letting reserve() abort.
+  if (m.num_shards > content.size()) {
+    return Malformed(path, "shard count exceeds the manifest size");
   }
   if (!(in >> key >> m.semantics) || key != "semantics") {
-    return Status::IOError("manifest missing semantics: " + path);
+    return Malformed(path, "missing semantics");
+  }
+  if (version >= 3) {
+    if (!(in >> key >> m.epoch) || key != "epoch") {
+      return Malformed(path, "missing epoch");
+    }
+    if (!(in >> key >> m.base_epoch) || key != "base-epoch") {
+      return Malformed(path, "missing base-epoch");
+    }
+    if (m.base_epoch < 1 || m.epoch < m.base_epoch) {
+      return Malformed(path, "has an invalid epoch range");
+    }
+    // Same gate for the chain: every delta epoch costs at least one
+    // "delta ..." line per shard (divide rather than multiply, so a
+    // crafted epoch cannot overflow the product).
+    const std::uint64_t max_chain =
+        content.size() / std::max<std::uint32_t>(1, m.num_shards);
+    if (m.epoch - m.base_epoch > max_chain) {
+      return Malformed(path, "chain length exceeds the manifest size");
+    }
   }
   m.files.assign(m.num_shards, "");
   for (std::uint32_t i = 0; i < m.num_shards; ++i) {
@@ -91,18 +209,72 @@ Status ReadShardManifest(const std::string& dir, ShardManifest* manifest) {
     std::string name;
     if (!(in >> key >> index >> name) || key != "file" || index != i ||
         name.empty()) {
-      return Status::IOError("manifest shard entry " + std::to_string(i) +
-                             " malformed: " + path);
+      return Malformed(path,
+                       "shard entry " + std::to_string(i) + " malformed");
     }
     m.files[i] = name;
   }
-  if (version >= 2) {
+  if (version >= 3) {
+    const std::uint64_t chain = m.epoch - m.base_epoch;
+    m.deltas.reserve(chain * m.num_shards);
+    for (std::uint64_t e = m.base_epoch + 1; e <= m.epoch; ++e) {
+      for (std::uint32_t s = 0; s < m.num_shards; ++s) {
+        DeltaSegmentRef ref;
+        if (!(in >> key >> ref.epoch >> ref.shard >> ref.file) ||
+            key != "delta" || ref.epoch != e || ref.shard != s ||
+            ref.file.empty()) {
+          return Malformed(path, "delta entry malformed");
+        }
+        m.deltas.push_back(std::move(ref));
+      }
+    }
+    if (!(in >> key >> m.boundary_file) || key != "boundary" ||
+        m.boundary_file.empty()) {
+      return Malformed(path, "missing boundary entry");
+    }
+    m.boundary_tails.reserve(chain);
+    for (std::uint64_t e = m.base_epoch + 1; e <= m.epoch; ++e) {
+      BoundaryTailRef ref;
+      if (!(in >> key >> ref.epoch >> ref.file) || key != "boundary-delta" ||
+          ref.epoch != e || ref.file.empty()) {
+        return Malformed(path, "boundary-delta entry malformed");
+      }
+      m.boundary_tails.push_back(std::move(ref));
+    }
+    // The crc line covers every byte above it — locate it in the raw
+    // content (the last line) and recompute.
+    std::uint64_t stored = 0;
+    if (!(in >> key) || key != "crc" || !(in >> std::hex >> stored)) {
+      return Malformed(path, "missing crc line");
+    }
+    const std::size_t crc_pos = content.rfind("crc ");
+    if (crc_pos == std::string::npos || crc_pos == 0 ||
+        content[crc_pos - 1] != '\n') {
+      return Malformed(path, "crc line misplaced");
+    }
+    // The crc line must be byte-exactly `crc <16 hex>\n` and the file's
+    // final bytes. Raw-byte validation, not stream tokens: token parsing
+    // skips whitespace, silently accepting e.g. the final newline flipped
+    // to a space — and bytes inside this line are the only ones the CRC
+    // itself cannot vouch for.
+    const std::string_view crc_line(content.data() + crc_pos,
+                                    content.size() - crc_pos);
+    constexpr std::size_t kCrcLineLen = 4 + 16 + 1;  // "crc " + hex + '\n'
+    if (crc_line.size() != kCrcLineLen || crc_line.back() != '\n' ||
+        crc_line.substr(4, 16).find_first_not_of("0123456789abcdef") !=
+            std::string_view::npos) {
+      return Malformed(path, "has a malformed or non-final crc line");
+    }
+    if (Crc64(content.data(), crc_pos) != stored) {
+      return Malformed(path, "failed its crc check (corrupt or torn)");
+    }
+  } else if (version >= 2) {
     // The boundary line is optional even in v2 (a fleet that never saw a
     // cross-shard edge may omit it).
     std::string name;
     if (in >> key) {
       if (key != "boundary" || !(in >> name) || name.empty()) {
-        return Status::IOError("manifest boundary entry malformed: " + path);
+        return Malformed(path, "boundary entry malformed");
       }
       m.boundary_file = name;
     }

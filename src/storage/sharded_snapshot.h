@@ -1,24 +1,36 @@
-// Sharded snapshot persistence: a manifest plus one binary snapshot file
-// per shard (snapshot.h format), all inside one directory.
+// Sharded snapshot persistence: a manifest plus one binary base-snapshot
+// file per shard (snapshot.h format) and, since manifest version 3, a
+// chain of per-shard delta segments (delta_segment.h) and boundary-index
+// tails — all inside one directory.
 //
 // The manifest is deliberately a small line-oriented text file — it holds
-// only topology (shard count, per-shard file names, semantics name), while
-// all bulk data stays in the CRC-protected binary per-shard files. A
-// restore validates that the manifest's shard count matches the restoring
-// service before touching any shard, so a 4-shard snapshot cannot be
-// half-loaded into an 8-shard service.
+// only topology (shard count, per-shard file names, the checkpoint-epoch
+// chain, semantics name), while all bulk data stays in the CRC-protected
+// binary files. A restore validates that the manifest's shard count
+// matches the restoring service before touching any shard, so a 4-shard
+// snapshot cannot be half-loaded into an 8-shard service.
 //
-// Format (manifest.spade):
-//   spade-shard-manifest 2
+// Format (manifest.spade, version 3 — lines in exactly this order):
+//   spade-shard-manifest 3
 //   shards <N>
 //   semantics <name>
+//   epoch <E>                                   (checkpoint epoch restored to)
+//   base-epoch <B>                              (epoch of the base snapshots)
 //   file <shard-index> <relative-file-name>     (N lines, dense 0..N-1)
-//   boundary <relative-file-name>               (optional, version >= 2)
+//   delta <epoch> <shard-index> <relative-file-name>
+//                                               (N lines per epoch B+1..E)
+//   boundary <relative-file-name>               (base boundary index)
+//   boundary-delta <epoch> <relative-file-name> (one line per epoch B+1..E)
+//   crc <16 hex digits>                         (CRC-64 of all bytes above)
 //
-// Version 2 adds the optional `boundary` line referencing the serialized
-// BoundaryEdgeIndex (service/boundary_index.h) so a restored fleet resumes
-// cross-shard stitching. Version-1 directories (written before stitching
-// existed) still load; they simply restore an empty boundary index.
+// The trailing `crc` line closes the one hole binary trailers cannot
+// cover: a single flipped byte anywhere in the manifest — including in an
+// "informational" field — fails the check instead of silently steering the
+// restore.
+//
+// Back-compat: version 1 (no boundary line, no chain) and version 2
+// (optional boundary line, no chain, no crc) directories still load; they
+// restore with an empty chain at epoch 0. The writer always emits v3.
 
 #pragma once
 
@@ -30,35 +42,88 @@
 
 namespace spade {
 
+/// One delta segment referenced by the manifest.
+struct DeltaSegmentRef {
+  std::uint64_t epoch = 0;
+  std::uint32_t shard = 0;
+  std::string file;
+};
+
+/// One boundary-index tail referenced by the manifest.
+struct BoundaryTailRef {
+  std::uint64_t epoch = 0;
+  std::string file;
+};
+
 /// Topology of one sharded snapshot directory.
 struct ShardManifest {
   std::uint32_t num_shards = 0;
   /// Semantics the shards ran under (informational; restore does not
   /// install it — the service's detectors keep their own functions).
   std::string semantics;
-  /// Per-shard snapshot file names, relative to the directory.
+  /// Per-shard base snapshot file names, relative to the directory.
   std::vector<std::string> files;
   /// Serialized boundary index, relative to the directory; empty when the
   /// snapshot predates cross-shard stitching (manifest version 1).
   std::string boundary_file;
+
+  /// Checkpoint epoch this directory restores to (0 = legacy v1/v2
+  /// directory with no epoch chain).
+  std::uint64_t epoch = 0;
+  /// Epoch of the base snapshots; deltas cover (base_epoch, epoch].
+  std::uint64_t base_epoch = 0;
+  /// Per-shard delta segments, ascending (epoch, shard) — exactly
+  /// num_shards entries per epoch in (base_epoch, epoch].
+  std::vector<DeltaSegmentRef> deltas;
+  /// Boundary-index tails, ascending epoch — one per epoch in
+  /// (base_epoch, epoch] whenever `boundary_file` is set.
+  std::vector<BoundaryTailRef> boundary_tails;
+
+  std::size_t ChainLength() const {
+    return static_cast<std::size_t>(epoch - base_epoch);
+  }
 };
 
-/// Canonical per-shard snapshot file name ("shard-<i>.snapshot").
+/// Canonical per-shard base snapshot file name ("shard-<i>.snapshot",
+/// as written by pre-chain versions; chain-era writers use the
+/// epoch-stamped variant below).
 std::string ShardSnapshotFileName(std::size_t shard);
 
-/// Canonical boundary index file name inside a snapshot directory.
+/// Epoch-stamped base snapshot name ("shard-<i>.snapshot-<epoch>"). Base
+/// files are never reused across epochs: a full save whose crash leaves
+/// the previous manifest in charge must leave that manifest's base files
+/// untouched, or a restore would silently replay the old delta chain onto
+/// a newer base (every CRC valid, state matching no checkpoint that ever
+/// existed).
+std::string ShardSnapshotFileName(std::size_t shard, std::uint64_t epoch);
+
+/// Canonical per-shard delta segment file name
+/// ("shard-<i>.delta-<epoch>").
+std::string ShardDeltaFileName(std::size_t shard, std::uint64_t epoch);
+
+/// Canonical boundary tail file name ("boundary.tail-<epoch>").
+std::string BoundaryTailFileName(std::uint64_t epoch);
+
+/// Canonical boundary index file name inside a snapshot directory (legacy
+/// unstamped name; chain-era writers use the stamped variant).
 inline constexpr char kBoundaryIndexFileName[] = "boundary.index";
+
+/// Epoch-stamped boundary index name ("boundary.index-<epoch>"); same
+/// no-reuse rationale as the base snapshots.
+std::string BoundaryIndexFileName(std::uint64_t epoch);
 
 /// Path of the manifest inside `dir`.
 std::string ShardManifestPath(const std::string& dir);
 
 /// Creates `dir` if needed and writes the manifest (atomically: temp file +
-/// rename). `manifest.files` must have exactly `num_shards` entries.
+/// rename). Validates the chain structure: `manifest.files` must have
+/// exactly `num_shards` entries, `epoch >= base_epoch >= 1`, and the
+/// delta / boundary-tail lists must cover (base_epoch, epoch] densely.
 Status WriteShardManifest(const std::string& dir,
                           const ShardManifest& manifest);
 
 /// Parses the manifest in `dir`; fails with kNotFound when absent and
-/// kIOError on any structural mismatch.
+/// kIOError on any structural mismatch or (v3) CRC failure.
 Status ReadShardManifest(const std::string& dir, ShardManifest* manifest);
 
 }  // namespace spade

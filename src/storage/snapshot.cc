@@ -1,11 +1,8 @@
 #include "storage/snapshot.h"
 
-#include <array>
 #include <cstdint>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <vector>
+
+#include "storage/checked_io.h"
 
 namespace spade {
 
@@ -14,82 +11,7 @@ namespace {
 constexpr std::uint64_t kMagic = 0x53504144455F5631ULL;  // "SPADE_V1"
 constexpr std::uint32_t kVersion = 1;
 
-/// CRC-64/XZ table, generated once.
-const std::array<std::uint64_t, 256>& CrcTable() {
-  static const std::array<std::uint64_t, 256> table = [] {
-    std::array<std::uint64_t, 256> t{};
-    constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint64_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  return table;
-}
-
-/// Streaming writer that accumulates the CRC as it goes.
-class ChecksummedWriter {
- public:
-  explicit ChecksummedWriter(std::ofstream* out) : out_(out) {}
-
-  template <typename T>
-  void Write(const T& value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    WriteBytes(&value, sizeof(value));
-  }
-
-  void WriteBytes(const void* data, std::size_t size) {
-    out_->write(static_cast<const char*>(data),
-                static_cast<std::streamsize>(size));
-    crc_ = Crc64(data, size, crc_);
-  }
-
-  std::uint64_t crc() const { return crc_; }
-
- private:
-  std::ofstream* out_;
-  std::uint64_t crc_ = 0;
-};
-
-/// Streaming reader mirroring ChecksummedWriter.
-class ChecksummedReader {
- public:
-  explicit ChecksummedReader(std::ifstream* in) : in_(in) {}
-
-  template <typename T>
-  bool Read(T* value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    return ReadBytes(value, sizeof(*value));
-  }
-
-  bool ReadBytes(void* data, std::size_t size) {
-    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-    if (!*in_) return false;
-    crc_ = Crc64(data, size, crc_);
-    return true;
-  }
-
-  std::uint64_t crc() const { return crc_; }
-
- private:
-  std::ifstream* in_;
-  std::uint64_t crc_ = 0;
-};
-
 }  // namespace
-
-std::uint64_t Crc64(const void* data, std::size_t size, std::uint64_t seed) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t crc = ~seed;
-  for (std::size_t i = 0; i < size; ++i) {
-    crc = CrcTable()[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
-  }
-  return ~crc;
-}
 
 Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
                     const PeelState* state) {
@@ -97,50 +19,37 @@ Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
     return Status::InvalidArgument(
         "SaveSnapshot: peel state does not cover the graph");
   }
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
-    ChecksummedWriter writer(&out);
+  storage::ChecksummedFileWriter writer(path);
 
-    writer.Write(kMagic);
-    writer.Write(kVersion);
-    writer.Write(static_cast<std::uint64_t>(g.NumVertices()));
-    writer.Write(static_cast<std::uint64_t>(g.NumEdges()));
-    for (std::size_t v = 0; v < g.NumVertices(); ++v) {
-      writer.Write(g.VertexWeight(static_cast<VertexId>(v)));
-    }
-    for (std::size_t v = 0; v < g.NumVertices(); ++v) {
-      for (const auto& e : g.OutNeighbors(static_cast<VertexId>(v))) {
-        writer.Write(static_cast<std::uint32_t>(v));
-        writer.Write(static_cast<std::uint32_t>(e.vertex));
-        writer.Write(e.weight);
-      }
-    }
-    const std::uint8_t has_state = state != nullptr ? 1 : 0;
-    writer.Write(has_state);
-    if (state != nullptr) {
-      for (std::size_t i = 0; i < state->size(); ++i) {
-        writer.Write(static_cast<std::uint32_t>(state->VertexAt(i)));
-        writer.Write(state->DeltaAt(i));
-      }
-    }
-    const std::uint64_t crc = writer.crc();
-    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    if (!out) return Status::IOError("write failure on " + tmp);
+  writer.Write(kMagic);
+  writer.Write(kVersion);
+  writer.Write(static_cast<std::uint64_t>(g.NumVertices()));
+  writer.Write(static_cast<std::uint64_t>(g.NumEdges()));
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    writer.Write(g.VertexWeight(static_cast<VertexId>(v)));
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path);
+  for (std::size_t v = 0; v < g.NumVertices(); ++v) {
+    for (const auto& e : g.OutNeighbors(static_cast<VertexId>(v))) {
+      writer.Write(static_cast<std::uint32_t>(v));
+      writer.Write(static_cast<std::uint32_t>(e.vertex));
+      writer.Write(e.weight);
+    }
   }
-  return Status::OK();
+  const std::uint8_t has_state = state != nullptr ? 1 : 0;
+  writer.Write(has_state);
+  if (state != nullptr) {
+    for (std::size_t i = 0; i < state->size(); ++i) {
+      writer.Write(static_cast<std::uint32_t>(state->VertexAt(i)));
+      writer.Write(state->DeltaAt(i));
+    }
+  }
+  return writer.Finish();
 }
 
 Status LoadSnapshot(const std::string& path, DynamicGraph* g,
                     PeelState* state, bool* state_present) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-  ChecksummedReader reader(&in);
+  storage::ChecksummedFileReader reader(path);
+  if (!reader.ok()) return Status::IOError("cannot open " + path);
 
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
@@ -153,6 +62,14 @@ Status LoadSnapshot(const std::string& path, DynamicGraph* g,
   std::uint64_t num_vertices = 0, num_edges = 0;
   if (!reader.Read(&num_vertices) || !reader.Read(&num_edges)) {
     return Status::IOError(path + ": truncated header");
+  }
+  // Plausibility gate before allocating: the CRC only vouches for these
+  // counts at the end of the file, and a flipped high byte here would
+  // otherwise size the graph in the terabytes. Every vertex costs >= 8
+  // payload bytes (its weight) and every edge >= 16 (src, dst, weight).
+  if (reader.CountExceedsFile(num_vertices, 8) ||
+      reader.CountExceedsFile(num_edges, 16)) {
+    return Status::IOError(path + ": header counts exceed the file size");
   }
 
   DynamicGraph graph(num_vertices);
@@ -189,12 +106,7 @@ Status LoadSnapshot(const std::string& path, DynamicGraph* g,
     }
   }
 
-  const std::uint64_t computed = reader.crc();
-  std::uint64_t stored = 0;
-  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  if (!in || stored != computed) {
-    return Status::IOError(path + ": checksum mismatch (corrupt snapshot)");
-  }
+  SPADE_RETURN_NOT_OK(reader.VerifyTrailer());
 
   *g = std::move(graph);
   if (state_present != nullptr) *state_present = has_state != 0;

@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "graph/dynamic_graph.h"
 #include "peel/peel_state.h"
+#include "storage/checked_io.h"  // Crc64 + the shared framing discipline
 
 namespace spade {
 
@@ -36,8 +37,5 @@ Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
 /// is left untouched.
 Status LoadSnapshot(const std::string& path, DynamicGraph* g,
                     PeelState* state, bool* state_present);
-
-/// CRC-64/XZ used by the snapshot trailer; exposed for tests.
-std::uint64_t Crc64(const void* data, std::size_t size, std::uint64_t seed = 0);
 
 }  // namespace spade

@@ -1,0 +1,414 @@
+// Crash-recovery harness for incremental snapshot-delta persistence
+// (ctest label `stress`).
+//
+// Fault model: rename is atomic but data pages are not fsynced, so a crash
+// during a checkpoint can leave any file of that epoch at its final path
+// with an arbitrary byte prefix ("torn"). The suite drives the
+// TruncatingWriter seam (storage::SetTruncationHookForTesting) through a
+// live save, and sweeps filesystem truncation across every framing
+// boundary and mid-record cut of the last delta epoch. The contract under
+// test (ISSUE 4 / DESIGN.md §5): restore either reconstructs EXACTLY the
+// last durable checkpoint epoch — verified by bit-level differential
+// comparison against captures of the uninterrupted fleet — or fails with a
+// clean Status; never a partial graph.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "metrics/semantics.h"
+#include "service/sharded_detection_service.h"
+#include "storage/checked_io.h"
+#include "storage/delta_segment.h"
+#include "storage/sharded_snapshot.h"
+#include "tests/test_util.h"
+
+namespace spade {
+namespace {
+
+constexpr std::size_t kShards = 2;
+constexpr std::size_t kVertices = 192;
+constexpr std::size_t kInitialEdges = 400;
+constexpr std::size_t kChunkEdges = 120;
+
+/// Parity routing: deterministic homes, ~half of all traffic cross-home,
+/// so every delta epoch also writes a non-trivial boundary tail.
+Partitioner ParityPartitioner() {
+  return Partitioner(
+      [](const Edge& e) -> std::size_t { return e.src % kShards; },
+      [](VertexId v) -> std::size_t { return v % kShards; });
+}
+
+std::vector<Edge> RandomChunk(Rng* rng, std::size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.push_back(testing::RandomEdge(rng, kVertices));
+  }
+  return edges;
+}
+
+std::unique_ptr<ShardedDetectionService> BuildService(
+    const std::vector<Edge>& initial) {
+  std::vector<std::vector<Edge>> parts(kShards);
+  for (const Edge& e : initial) parts[e.src % kShards].push_back(e);
+  std::vector<Spade> shards;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    Spade spade;
+    spade.SetSemantics(MakeDW());
+    EXPECT_TRUE(spade.BuildGraph(kVertices, parts[s]).ok());
+    shards.push_back(std::move(spade));
+  }
+  ShardedDetectionServiceOptions options;
+  options.partitioner = ParityPartitioner();
+  // Small cadence so delta logs carry flush markers between checkpoints.
+  options.shard.detect_every = 16;
+  // The harness controls full-vs-delta explicitly; keep the policy out of
+  // the way.
+  options.checkpoint.max_chain_length = 1000;
+  options.checkpoint.max_delta_base_ratio = 1e9;
+  auto service = std::make_unique<ShardedDetectionService>(
+      std::move(shards), nullptr, std::move(options));
+  service->SeedBoundaryIndex(initial);
+  return service;
+}
+
+std::vector<testing::ShardCapture> CaptureShards(
+    const ShardedDetectionService& service) {
+  std::vector<testing::ShardCapture> captures(service.num_shards());
+  for (std::size_t s = 0; s < service.num_shards(); ++s) {
+    service.InspectShard(s, [&](const Spade& spade) {
+      captures[s].state = spade.peel_state();
+      captures[s].num_edges = spade.graph().NumEdges();
+      captures[s].total_weight = spade.graph().TotalWeight();
+      captures[s].pending_benign = spade.PendingBenignEdges();
+    });
+  }
+  return captures;
+}
+
+/// One uninterrupted run checkpointing `epochs` times into `dir`, with a
+/// bit-level capture of every shard after each checkpoint. chunks[e] is
+/// the traffic applied between checkpoint e and e+1 (chunks[0] = between
+/// the initial graph and epoch 1's full save... epoch e's save covers
+/// chunks[0..e-1]).
+struct LiveRun {
+  std::vector<Edge> initial;
+  std::vector<std::vector<Edge>> chunks;               // per delta epoch
+  std::vector<std::vector<testing::ShardCapture>> at;  // at[e] = epoch e
+  std::unique_ptr<ShardedDetectionService> service;
+};
+
+LiveRun RunAndCheckpoint(const std::string& dir, std::size_t epochs,
+                         std::uint64_t seed) {
+  LiveRun run;
+  Rng rng(seed);
+  run.initial = RandomChunk(&rng, kInitialEdges);
+  run.service = BuildService(run.initial);
+  run.at.resize(epochs + 1);
+
+  ShardedDetectionService::SaveInfo info;
+  EXPECT_TRUE(run.service
+                  ->SaveState(dir, ShardedDetectionService::SaveMode::kAuto,
+                              &info)
+                  .ok());
+  EXPECT_FALSE(info.delta);
+  EXPECT_EQ(info.epoch, 1u);
+  run.at[1] = CaptureShards(*run.service);
+
+  for (std::uint64_t e = 2; e <= epochs; ++e) {
+    run.chunks.push_back(RandomChunk(&rng, kChunkEdges));
+    EXPECT_TRUE(run.service->SubmitBatch(run.chunks.back()).ok());
+    run.service->Drain();
+    EXPECT_TRUE(run.service
+                    ->SaveState(dir, ShardedDetectionService::SaveMode::kAuto,
+                                &info)
+                    .ok());
+    EXPECT_TRUE(info.delta) << "epoch " << e << " did not use the delta path";
+    EXPECT_EQ(info.epoch, e);
+    EXPECT_GT(info.delta_edges, 0u);
+    run.at[e] = CaptureShards(*run.service);
+  }
+  return run;
+}
+
+void CopyDir(const std::string& from, const std::string& to) {
+  std::filesystem::remove_all(to);
+  std::filesystem::copy(from, to,
+                        std::filesystem::copy_options::recursive);
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/spade_recovery_test";
+    work_ = dir_ + ".work";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(work_);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(work_);
+  }
+  std::string dir_;
+  std::string work_;
+};
+
+// The seam end to end: a live delta save whose shard-0 segment is torn by
+// the TruncatingWriter must restore to the previous durable epoch, equal
+// to the uninterrupted fleet's capture at that epoch, bit for bit.
+TEST_F(RecoveryTest, TruncatingWriterSeamFallsBackToDurableEpoch) {
+  LiveRun run = RunAndCheckpoint(dir_, 2, /*seed=*/101);
+
+  // Epoch 3's save runs with the seam cutting shard-0's segment mid-record.
+  Rng rng(202);
+  const std::vector<Edge> chunk = RandomChunk(&rng, kChunkEdges);
+  ASSERT_TRUE(run.service->SubmitBatch(chunk).ok());
+  run.service->Drain();
+  const std::string torn_file = ShardDeltaFileName(0, 3);
+  {
+    storage::ScopedTruncationHook hook(
+        [&torn_file](const std::string& path) -> std::int64_t {
+          return path.size() >= torn_file.size() &&
+                         path.compare(path.size() - torn_file.size(),
+                                      torn_file.size(), torn_file) == 0
+                     ? 57
+                     : -1;
+        });
+    // The save itself reports success — exactly like a crash whose rename
+    // survived but whose data pages did not.
+    ASSERT_TRUE(run.service->SaveState(dir_).ok());
+  }
+
+  LiveRun fresh = RunAndCheckpoint(work_, 1, /*seed=*/101);  // same initial
+  ShardedDetectionService::RestoreInfo info;
+  ASSERT_TRUE(fresh.service->RestoreState(dir_, &info).ok());
+  EXPECT_EQ(info.manifest_epoch, 3u);
+  EXPECT_EQ(info.restored_epoch, 2u);
+  EXPECT_TRUE(info.truncated_chain);
+  const auto restored = CaptureShards(*fresh.service);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    testing::ExpectShardEqualsCapture(run.at[2][s], restored[s]);
+  }
+}
+
+// Exhaustive torn-tail sweep: every framing boundary and a mid-record cut
+// of every record of the last epoch's segments (and a byte sweep of the
+// boundary tail) must restore to the last durable epoch — never a partial
+// graph, never an error, and bit-identical to the live fleet's capture.
+TEST_F(RecoveryTest, TruncationSweepRestoresToDurableEpoch) {
+  constexpr std::size_t kEpochs = 3;
+  LiveRun run = RunAndCheckpoint(dir_, kEpochs, /*seed=*/303);
+
+  // Collect cut points per target file. For delta segments the format is
+  // known: 40-byte header, then 1-byte (flush) or 25-byte (edge) records —
+  // cut at every record boundary and inside every edge record.
+  struct Target {
+    std::string file;
+    std::vector<std::uint64_t> cuts;
+  };
+  std::vector<Target> targets;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    Target t;
+    t.file = ShardDeltaFileName(s, kEpochs);
+    DeltaSegment segment;
+    ASSERT_TRUE(
+        ReadDeltaSegment((std::filesystem::path(dir_) / t.file).string(),
+                         &segment)
+            .ok());
+    std::uint64_t offset = 0;
+    for (const std::uint64_t header_cut : {0, 8, 12, 16, 24, 32, 40}) {
+      t.cuts.push_back(header_cut);
+      offset = header_cut;
+    }
+    for (const DeltaRecord& r : segment.records) {
+      const std::uint64_t size = r.flush ? 1 : 25;
+      if (!r.flush) t.cuts.push_back(offset + 13);  // mid-record
+      offset += size;
+      t.cuts.push_back(offset);  // framing boundary after the record
+    }
+    t.cuts.push_back(offset + 4);  // inside the CRC trailer
+    targets.push_back(std::move(t));
+  }
+  {
+    // Boundary tail: sweep every few bytes (format-agnostic), which covers
+    // header, record and trailer cuts at its small size.
+    Target t;
+    t.file = BoundaryTailFileName(kEpochs);
+    const auto size = std::filesystem::file_size(
+        std::filesystem::path(dir_) / t.file);
+    for (std::uint64_t cut = 0; cut < size; cut += 3) t.cuts.push_back(cut);
+    targets.push_back(std::move(t));
+  }
+
+  std::size_t cuts_tested = 0;
+  for (const Target& target : targets) {
+    for (const std::uint64_t cut : target.cuts) {
+      CopyDir(dir_, work_);
+      const auto path = std::filesystem::path(work_) / target.file;
+      ASSERT_LE(cut, std::filesystem::file_size(path));
+      std::filesystem::resize_file(path, cut);
+
+      auto victim = BuildService(run.initial);
+      ShardedDetectionService::RestoreInfo info;
+      const Status s = victim->RestoreState(work_, &info);
+      ASSERT_TRUE(s.ok()) << target.file << " cut at " << cut << ": "
+                          << s.ToString();
+      EXPECT_EQ(info.restored_epoch, kEpochs - 1)
+          << target.file << " cut at " << cut;
+      EXPECT_TRUE(info.truncated_chain);
+      const auto restored = CaptureShards(*victim);
+      for (std::size_t sh = 0; sh < kShards; ++sh) {
+        testing::ExpectShardEqualsCapture(run.at[kEpochs - 1][sh],
+                                          restored[sh]);
+        if (::testing::Test::HasFailure()) {
+          FAIL() << "divergence for " << target.file << " cut at " << cut;
+        }
+      }
+      ++cuts_tested;
+    }
+  }
+  // The sweep must actually have exercised a meaningful surface.
+  EXPECT_GT(cuts_tested, 100u);
+
+  // Control: the untouched directory restores the full chain.
+  auto control = BuildService(run.initial);
+  ShardedDetectionService::RestoreInfo info;
+  ASSERT_TRUE(control->RestoreState(dir_, &info).ok());
+  EXPECT_EQ(info.restored_epoch, kEpochs);
+  EXPECT_FALSE(info.truncated_chain);
+  const auto restored = CaptureShards(*control);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    testing::ExpectShardEqualsCapture(run.at[kEpochs][s], restored[s]);
+  }
+}
+
+// A torn manifest (or torn base snapshot) cannot be recovered from — but
+// the failure must be a clean Status that leaves the restoring service
+// exactly as it was: no partial graph, fully operational.
+TEST_F(RecoveryTest, TornManifestOrBaseFailsCleanlyWithoutSideEffects) {
+  LiveRun run = RunAndCheckpoint(dir_, 2, /*seed=*/404);
+
+  auto victim = BuildService(run.initial);
+  ASSERT_TRUE(victim->RestoreState(dir_).ok());
+  const auto reference = CaptureShards(*victim);
+
+  for (const std::string& file :
+       {std::string("manifest.spade"), ShardSnapshotFileName(0, 1)}) {
+    const auto size =
+        std::filesystem::file_size(std::filesystem::path(dir_) / file);
+    for (std::uint64_t cut = 0; cut < size;
+         cut += std::max<std::uint64_t>(1, size / 37)) {
+      CopyDir(dir_, work_);
+      std::filesystem::resize_file(std::filesystem::path(work_) / file, cut);
+      ShardedDetectionService::RestoreInfo info;
+      const Status s = victim->RestoreState(work_, &info);
+      ASSERT_FALSE(s.ok()) << file << " cut at " << cut
+                           << " was accepted";
+      // No side effects: the victim still equals its pre-attempt state.
+      const auto after = CaptureShards(*victim);
+      for (std::size_t sh = 0; sh < kShards; ++sh) {
+        testing::ExpectShardEqualsCapture(reference[sh], after[sh]);
+      }
+    }
+  }
+  // Still fully operational after every failed attempt.
+  Rng rng(505);
+  ASSERT_TRUE(victim->SubmitBatch(RandomChunk(&rng, 50)).ok());
+  victim->Drain();
+}
+
+// Regression (code review): a compaction (full save over an existing
+// chain) that crashes after its base files land but BEFORE the manifest
+// rename leaves the previous manifest in charge. Base files are
+// epoch-stamped precisely so that manifest's own bases are untouched —
+// without the stamp, restore silently replayed the old delta chain onto
+// the newer base (every CRC valid, duplicate edges, a state no checkpoint
+// ever held).
+TEST_F(RecoveryTest, CrashedCompactionLeavesPreviousCheckpointRestorable) {
+  LiveRun run = RunAndCheckpoint(dir_, 2, /*seed=*/808);
+
+  // Snapshot the directory as it stands at epoch 2 (the pre-crash state).
+  CopyDir(dir_, work_);
+
+  // Run the epoch-3 compaction for real, then transplant ONLY its base
+  // files into the pre-crash copy — exactly what a crash between the base
+  // renames and the manifest rename leaves behind.
+  Rng rng(809);
+  const std::vector<Edge> chunk = RandomChunk(&rng, kChunkEdges);
+  ASSERT_TRUE(run.service->SubmitBatch(chunk).ok());
+  run.service->Drain();
+  ShardedDetectionService::SaveInfo info;
+  ASSERT_TRUE(run.service
+                  ->SaveState(dir_, ShardedDetectionService::SaveMode::kFull,
+                              &info)
+                  .ok());
+  ASSERT_EQ(info.epoch, 3u);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::filesystem::copy_file(
+        std::filesystem::path(dir_) / ShardSnapshotFileName(s, 3),
+        std::filesystem::path(work_) / ShardSnapshotFileName(s, 3));
+  }
+  std::filesystem::copy_file(std::filesystem::path(dir_) / BoundaryIndexFileName(3),
+                             std::filesystem::path(work_) / BoundaryIndexFileName(3));
+
+  auto victim = BuildService(run.initial);
+  ShardedDetectionService::RestoreInfo rinfo;
+  ASSERT_TRUE(victim->RestoreState(work_, &rinfo).ok());
+  EXPECT_EQ(rinfo.restored_epoch, 2u);
+  EXPECT_FALSE(rinfo.truncated_chain);
+  const auto restored = CaptureShards(*victim);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    testing::ExpectShardEqualsCapture(run.at[2][s], restored[s]);
+  }
+}
+
+// Differential replay: a fleet recovered from a torn chain, fed the edges
+// it lost plus fresh traffic, must converge bit-for-bit with the fleet
+// that never crashed.
+TEST_F(RecoveryTest, RecoveredFleetConvergesWithUninterruptedFleet) {
+  constexpr std::size_t kEpochs = 3;
+  LiveRun run = RunAndCheckpoint(dir_, kEpochs, /*seed=*/606);
+
+  // Tear the whole last epoch (both shard segments + the boundary tail):
+  // a crash that lost every data page of the final save.
+  CopyDir(dir_, work_);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::filesystem::resize_file(
+        std::filesystem::path(work_) / ShardDeltaFileName(s, kEpochs), 16);
+  }
+  std::filesystem::resize_file(
+      std::filesystem::path(work_) / BoundaryTailFileName(kEpochs), 5);
+
+  auto recovered = BuildService(run.initial);
+  ShardedDetectionService::RestoreInfo info;
+  ASSERT_TRUE(recovered->RestoreState(work_, &info).ok());
+  ASSERT_EQ(info.restored_epoch, kEpochs - 1);
+
+  // Re-feed the lost chunk (the one that separated epoch kEpochs-1 from
+  // kEpochs), then identical fresh traffic to both fleets.
+  const std::vector<Edge>& lost = run.chunks.back();
+  ASSERT_TRUE(recovered->SubmitBatch(lost).ok());
+  recovered->Drain();
+  Rng rng(707);
+  const std::vector<Edge> fresh = RandomChunk(&rng, 2 * kChunkEdges);
+  ASSERT_TRUE(recovered->SubmitBatch(fresh).ok());
+  ASSERT_TRUE(run.service->SubmitBatch(fresh).ok());
+  recovered->Drain();
+  run.service->Drain();
+
+  const auto live = CaptureShards(*run.service);
+  const auto replayed = CaptureShards(*recovered);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    testing::ExpectShardEqualsCapture(live[s], replayed[s]);
+  }
+  EXPECT_DOUBLE_EQ(run.service->CurrentCommunity().density,
+                   recovered->CurrentCommunity().density);
+}
+
+}  // namespace
+}  // namespace spade

@@ -253,6 +253,232 @@ TEST(ShardedDetectionServiceTest, RestoreRejectsShardCountMismatch) {
   std::filesystem::remove_all(dir);
 }
 
+// Regression (ISSUE 4 satellite): RestoreState used to drop the stitched
+// snapshot but leave stats().stitch_passes / stitched_alerts counting from
+// the pre-restore run — a restored fleet reported stitch work it never
+// did. All stitch/boundary counters must describe the restored run.
+TEST(ShardedDetectionServiceTest, StitchCountersResetOnRestore) {
+  const std::string dir = ::testing::TempDir() + "/sharded_stitch_reset";
+  std::filesystem::remove_all(dir);
+  constexpr std::size_t kShards = 2;
+  Rng rng(37);
+  std::vector<Edge> initial;
+  for (int i = 0; i < 150; ++i) {
+    initial.push_back(TenantEdge(&rng, rng.NextBounded(kShards)));
+  }
+  ShardedDetectionService service(BuildShards(kShards, kShards, initial),
+                                  nullptr, TenantOptions());
+  // Cross-tenant traffic so boundary_edges is non-zero and a stitch pass
+  // has something to chew on.
+  for (int i = 0; i < 40; ++i) {
+    const auto a = static_cast<VertexId>(i % 8);
+    const auto b = static_cast<VertexId>(kVerticesPerTenant + (i + 1) % 8);
+    ASSERT_TRUE(service.Submit({a, b, 8.0, 0}).ok());
+  }
+  service.Drain();
+  service.StitchNow();
+  service.StitchNow();
+  ASSERT_TRUE(service.SaveState(dir).ok());
+  const ShardedServiceStats before = service.GetStats();
+  ASSERT_EQ(before.stitch_passes, 2u);
+  ASSERT_GT(before.boundary_edges, 0u);
+
+  ASSERT_TRUE(service.RestoreState(dir).ok());
+  const ShardedServiceStats after = service.GetStats();
+  EXPECT_EQ(after.stitch_passes, 0u);
+  EXPECT_EQ(after.stitched_alerts, 0u);
+  // boundary_edges reflects the restored index, not the old total plus it.
+  EXPECT_EQ(after.boundary_edges, before.boundary_edges);
+
+  // The restored run counts from zero.
+  service.StitchNow();
+  EXPECT_EQ(service.GetStats().stitch_passes, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// ISSUE 4 satellite: save under tenant routing, restore with a different
+// shard count — the mismatch must fire BEFORE any delta replay side
+// effects, even when the directory carries a delta chain whose segments
+// would otherwise be replayed into the wrong fleet.
+TEST(ShardedDetectionServiceTest, TenantRestoreShardCountMismatchBeforeReplay) {
+  const std::string dir = ::testing::TempDir() + "/sharded_tenant_mismatch";
+  std::filesystem::remove_all(dir);
+  Rng rng(41);
+  {
+    std::vector<Edge> initial;
+    for (int i = 0; i < 200; ++i) {
+      initial.push_back(TenantEdge(&rng, rng.NextBounded(2)));
+    }
+    ShardedDetectionService service(BuildShards(2, 2, initial), nullptr,
+                                    TenantOptions());
+    // Full save (epoch 1), more traffic, delta save (epoch 2): the dir now
+    // has a chain a replaying restore would apply.
+    ASSERT_TRUE(service.SaveState(dir).ok());
+    for (int i = 0; i < 80; ++i) {
+      ASSERT_TRUE(service.Submit(TenantEdge(&rng, rng.NextBounded(2))).ok());
+    }
+    service.Drain();
+    ShardedDetectionService::SaveInfo info;
+    ASSERT_TRUE(service
+                    .SaveState(dir, ShardedDetectionService::SaveMode::kAuto,
+                               &info)
+                    .ok());
+    ASSERT_TRUE(info.delta);
+    ASSERT_GT(info.delta_edges, 0u);
+  }
+
+  std::vector<Edge> wrong_initial;
+  for (int i = 0; i < 90; ++i) {
+    wrong_initial.push_back(TenantEdge(&rng, rng.NextBounded(3)));
+  }
+  ShardedDetectionService wrong(BuildShards(3, 3, wrong_initial), nullptr,
+                                TenantOptions());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(wrong.Submit(TenantEdge(&rng, rng.NextBounded(3))).ok());
+  }
+  wrong.Drain();
+  wrong.StitchNow();
+  const std::uint64_t edges_before = wrong.EdgesProcessed();
+  std::vector<Community> communities_before(3);
+  std::vector<std::size_t> graph_edges_before(3);
+  for (std::size_t s = 0; s < 3; ++s) {
+    communities_before[s] = wrong.ShardCommunity(s);
+    wrong.InspectShard(s, [&](const Spade& spade) {
+      graph_edges_before[s] = spade.graph().NumEdges();
+    });
+  }
+  const ShardedServiceStats stats_before = wrong.GetStats();
+
+  const Status s = wrong.RestoreState(dir);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+
+  // No side effects: detectors, snapshots, stitched state and counters are
+  // exactly as they were (no base installed, no delta edge replayed).
+  EXPECT_EQ(wrong.EdgesProcessed(), edges_before);
+  for (std::size_t sh = 0; sh < 3; ++sh) {
+    const Community after = wrong.ShardCommunity(sh);
+    EXPECT_EQ(after.members, communities_before[sh].members) << "shard " << sh;
+    EXPECT_DOUBLE_EQ(after.density, communities_before[sh].density);
+    wrong.InspectShard(sh, [&](const Spade& spade) {
+      EXPECT_EQ(spade.graph().NumEdges(), graph_edges_before[sh])
+          << "shard " << sh << " saw replay side effects";
+    });
+  }
+  const ShardedServiceStats stats_after = wrong.GetStats();
+  EXPECT_EQ(stats_after.stitch_passes, stats_before.stitch_passes);
+  EXPECT_EQ(stats_after.boundary_edges, stats_before.boundary_edges);
+  std::filesystem::remove_all(dir);
+}
+
+// Auto-mode checkpointing folds the chain back into a fresh base when the
+// policy bounds are hit.
+TEST(ShardedDetectionServiceTest, CompactionFoldsChain) {
+  const std::string dir = ::testing::TempDir() + "/sharded_compaction";
+  std::filesystem::remove_all(dir);
+  Rng rng(43);
+  ShardedDetectionServiceOptions options = TenantOptions();
+  options.checkpoint.max_chain_length = 2;
+  options.checkpoint.max_delta_base_ratio = 1e9;
+  ShardedDetectionService service(BuildShards(2, 2, {}), nullptr,
+                                  std::move(options));
+
+  ShardedDetectionService::SaveInfo info;
+  ASSERT_TRUE(service
+                  .SaveState(dir, ShardedDetectionService::SaveMode::kAuto,
+                             &info)
+                  .ok());
+  EXPECT_FALSE(info.delta);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(service.Submit(TenantEdge(&rng, rng.NextBounded(2))).ok());
+    }
+    service.Drain();
+    ASSERT_TRUE(service
+                    .SaveState(dir, ShardedDetectionService::SaveMode::kAuto,
+                               &info)
+                    .ok());
+  }
+  // Rounds: delta (chain 1), delta (chain 2), compact (full), delta.
+  EXPECT_TRUE(info.delta);
+  EXPECT_EQ(info.chain_length, 1u);
+  EXPECT_EQ(info.epoch, 5u);
+
+  // The compacted directory still restores to the latest state.
+  ShardedDetectionService restored(BuildShards(2, 2, {}), nullptr,
+                                   TenantOptions());
+  ShardedDetectionService::RestoreInfo rinfo;
+  ASSERT_TRUE(restored.RestoreState(dir, &rinfo).ok());
+  EXPECT_EQ(rinfo.restored_epoch, 5u);
+  EXPECT_EQ(restored.CurrentCommunity().members.size(),
+            service.CurrentCommunity().members.size());
+  std::filesystem::remove_all(dir);
+}
+
+// Regression (code review): a fresh service (restarted process, no
+// restore) saving into a directory that already holds a higher-epoch
+// chain must NOT restart epoch numbering at 1 — reused epochs rename new
+// base files over the ones the still-published manifest references, which
+// is exactly the crashed-compaction corruption the epoch stamping
+// prevents.
+TEST(ShardedDetectionServiceTest, FreshServiceNeverReusesEpochsInExistingDir) {
+  const std::string dir = ::testing::TempDir() + "/sharded_epoch_reuse";
+  std::filesystem::remove_all(dir);
+  Rng rng(47);
+  {
+    ShardedDetectionService service(BuildShards(2, 2, {}), nullptr,
+                                    TenantOptions());
+    ASSERT_TRUE(service.SaveState(dir).ok());  // epoch 1
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(service.Submit(TenantEdge(&rng, rng.NextBounded(2))).ok());
+    }
+    service.Drain();
+    ShardedDetectionService::SaveInfo info;
+    ASSERT_TRUE(service
+                    .SaveState(dir, ShardedDetectionService::SaveMode::kAuto,
+                               &info)
+                    .ok());  // delta epoch 2
+    ASSERT_EQ(info.epoch, 2u);
+  }
+
+  // A restarted process pointed at the same directory without restoring.
+  ShardedDetectionService fresh(BuildShards(2, 2, {}), nullptr,
+                                TenantOptions());
+  ShardedDetectionService::SaveInfo info;
+  ASSERT_TRUE(
+      fresh.SaveState(dir, ShardedDetectionService::SaveMode::kAuto, &info)
+          .ok());
+  EXPECT_FALSE(info.delta);
+  EXPECT_EQ(info.epoch, 3u) << "epoch numbering restarted and collided";
+
+  // The directory stays restorable and describes the fresh fleet.
+  ShardedDetectionService restored(BuildShards(2, 2, {}), nullptr,
+                                   TenantOptions());
+  ShardedDetectionService::RestoreInfo rinfo;
+  ASSERT_TRUE(restored.RestoreState(dir, &rinfo).ok());
+  EXPECT_EQ(rinfo.restored_epoch, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+// SaveMode::kDelta demands an active chain (bench isolation guarantee).
+TEST(ShardedDetectionServiceTest, ExplicitDeltaRequiresActiveChain) {
+  const std::string dir = ::testing::TempDir() + "/sharded_delta_requires";
+  std::filesystem::remove_all(dir);
+  ShardedDetectionService service(BuildShards(2, 2, {}), nullptr,
+                                  TenantOptions());
+  const Status s =
+      service.SaveState(dir, ShardedDetectionService::SaveMode::kDelta,
+                        nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(service.SaveState(dir).ok());
+  ASSERT_TRUE(service
+                  .SaveState(dir, ShardedDetectionService::SaveMode::kDelta,
+                             nullptr)
+                  .ok());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ShardedDetectionServiceTest, RestoreMissingManifestIsNotFound) {
   ShardedDetectionService service(BuildShards(2, 2, {}), nullptr,
                                   TenantOptions());

@@ -8,8 +8,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "storage/delta_segment.h"
 #include "storage/sharded_snapshot.h"
 
 #include "common/rng.h"
@@ -166,13 +168,21 @@ class ShardManifestTest : public ::testing::Test {
   std::string dir_;
 };
 
-TEST_F(ShardManifestTest, RoundTrip) {
+ShardManifest MakeManifest(std::uint32_t shards) {
   ShardManifest manifest;
-  manifest.num_shards = 3;
+  manifest.num_shards = shards;
   manifest.semantics = "DW";
-  for (std::size_t i = 0; i < 3; ++i) {
+  manifest.epoch = 1;
+  manifest.base_epoch = 1;
+  manifest.boundary_file = kBoundaryIndexFileName;
+  for (std::size_t i = 0; i < shards; ++i) {
     manifest.files.push_back(ShardSnapshotFileName(i));
   }
+  return manifest;
+}
+
+TEST_F(ShardManifestTest, RoundTrip) {
+  const ShardManifest manifest = MakeManifest(3);
   ASSERT_TRUE(WriteShardManifest(dir_, manifest).ok());
 
   ShardManifest read;
@@ -180,6 +190,162 @@ TEST_F(ShardManifestTest, RoundTrip) {
   EXPECT_EQ(read.num_shards, 3u);
   EXPECT_EQ(read.semantics, "DW");
   EXPECT_EQ(read.files, manifest.files);
+  EXPECT_EQ(read.epoch, 1u);
+  EXPECT_EQ(read.base_epoch, 1u);
+  EXPECT_TRUE(read.deltas.empty());
+  EXPECT_TRUE(read.boundary_tails.empty());
+}
+
+TEST_F(ShardManifestTest, ChainRoundTrip) {
+  ShardManifest manifest = MakeManifest(2);
+  manifest.epoch = 3;
+  for (std::uint64_t e = 2; e <= 3; ++e) {
+    for (std::uint32_t s = 0; s < 2; ++s) {
+      manifest.deltas.push_back({e, s, ShardDeltaFileName(s, e)});
+    }
+    manifest.boundary_tails.push_back({e, BoundaryTailFileName(e)});
+  }
+  ASSERT_TRUE(WriteShardManifest(dir_, manifest).ok());
+
+  ShardManifest read;
+  ASSERT_TRUE(ReadShardManifest(dir_, &read).ok());
+  EXPECT_EQ(read.epoch, 3u);
+  EXPECT_EQ(read.base_epoch, 1u);
+  EXPECT_EQ(read.ChainLength(), 2u);
+  ASSERT_EQ(read.deltas.size(), 4u);
+  EXPECT_EQ(read.deltas[3].file, ShardDeltaFileName(1, 3));
+  ASSERT_EQ(read.boundary_tails.size(), 2u);
+  EXPECT_EQ(read.boundary_tails[1].epoch, 3u);
+}
+
+TEST_F(ShardManifestTest, RejectsOutOfOrderChain) {
+  ShardManifest manifest = MakeManifest(2);
+  manifest.epoch = 2;
+  manifest.deltas.push_back({2, 1, ShardDeltaFileName(1, 2)});
+  manifest.deltas.push_back({2, 0, ShardDeltaFileName(0, 2)});
+  manifest.boundary_tails.push_back({2, BoundaryTailFileName(2)});
+  const Status s = WriteShardManifest(dir_, manifest);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardManifestTest, ManifestByteFlipFailsCrc) {
+  ASSERT_TRUE(WriteShardManifest(dir_, MakeManifest(2)).ok());
+  const std::string path = ShardManifestPath(dir_);
+  std::string pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    pristine = buf.str();
+  }
+  // Flip the one byte structural validation can never catch: a character
+  // of the informational semantics name.
+  std::string flipped = pristine;
+  const std::size_t pos = flipped.find("DW");
+  ASSERT_NE(pos, std::string::npos);
+  flipped[pos] = 'X';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << flipped;
+  }
+  ShardManifest read;
+  const Status s = ReadShardManifest(dir_, &read);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+// Regression (code review): the trailing-content check must work at the
+// raw-byte level — a stream-token check skips whitespace, so flipping the
+// manifest's final newline to a space was silently accepted.
+TEST_F(ShardManifestTest, RejectsWhitespaceFlippedFinalNewline) {
+  ASSERT_TRUE(WriteShardManifest(dir_, MakeManifest(2)).ok());
+  const std::string path = ShardManifestPath(dir_);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  for (const char ws : {' ', '\t', '\r', '\v', '\f'}) {
+    std::string flipped = bytes;
+    flipped.back() = ws;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << flipped;
+    }
+    ShardManifest read;
+    const Status s = ReadShardManifest(dir_, &read);
+    ASSERT_FALSE(s.ok()) << "final newline flipped to 0x" << std::hex
+                         << static_cast<int>(ws) << " was accepted";
+  }
+}
+
+// Regression (code review): manifest-declared counts size allocations
+// before the crc line can vouch for them, so implausible values must be
+// rejected by the plausibility gate — not abort the process inside
+// vector::reserve.
+TEST_F(ShardManifestTest, RejectsImplausibleCounts) {
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(ShardManifestPath(dir_), std::ios::trunc);
+    out << "spade-shard-manifest 3\n"
+        << "shards 2\n"
+        << "semantics DW\n"
+        << "epoch 1000000000000000000\n"
+        << "base-epoch 1\n";
+  }
+  ShardManifest read;
+  Status s = ReadShardManifest(dir_, &read);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+
+  {
+    std::ofstream out(ShardManifestPath(dir_), std::ios::trunc);
+    out << "spade-shard-manifest 3\n"
+        << "shards 4000000000\n"
+        << "semantics DW\n"
+        << "epoch 1\n"
+        << "base-epoch 1\n";
+  }
+  s = ReadShardManifest(dir_, &read);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+// Directories written before the chain format existed (manifest v1/v2)
+// must still parse — with an empty chain at epoch 0.
+TEST_F(ShardManifestTest, ReadsLegacyV1AndV2) {
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(ShardManifestPath(dir_), std::ios::trunc);
+    out << "spade-shard-manifest 1\n"
+        << "shards 2\n"
+        << "semantics DG\n"
+        << "file 0 shard-0.snapshot\n"
+        << "file 1 shard-1.snapshot\n";
+  }
+  ShardManifest v1;
+  ASSERT_TRUE(ReadShardManifest(dir_, &v1).ok());
+  EXPECT_EQ(v1.num_shards, 2u);
+  EXPECT_EQ(v1.epoch, 0u);
+  EXPECT_TRUE(v1.boundary_file.empty());
+  EXPECT_TRUE(v1.deltas.empty());
+
+  {
+    std::ofstream out(ShardManifestPath(dir_), std::ios::trunc);
+    out << "spade-shard-manifest 2\n"
+        << "shards 2\n"
+        << "semantics DG\n"
+        << "file 0 shard-0.snapshot\n"
+        << "file 1 shard-1.snapshot\n"
+        << "boundary boundary.index\n";
+  }
+  ShardManifest v2;
+  ASSERT_TRUE(ReadShardManifest(dir_, &v2).ok());
+  EXPECT_EQ(v2.boundary_file, "boundary.index");
+  EXPECT_EQ(v2.epoch, 0u);
 }
 
 TEST_F(ShardManifestTest, MissingDirectoryIsNotFound) {
@@ -199,11 +365,7 @@ TEST_F(ShardManifestTest, FilesCountMustMatchShards) {
 }
 
 TEST_F(ShardManifestTest, TruncatedManifestIsIOError) {
-  ShardManifest manifest;
-  manifest.num_shards = 2;
-  manifest.semantics = "DG";
-  manifest.files = {ShardSnapshotFileName(0), ShardSnapshotFileName(1)};
-  ASSERT_TRUE(WriteShardManifest(dir_, manifest).ok());
+  ASSERT_TRUE(WriteShardManifest(dir_, MakeManifest(2)).ok());
   // Chop the last line off.
   const std::string path = ShardManifestPath(dir_);
   std::string contents;
@@ -222,6 +384,109 @@ TEST_F(ShardManifestTest, TruncatedManifestIsIOError) {
   }
   ShardManifest read;
   const Status s = ReadShardManifest(dir_, &read);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+class DeltaSegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/spade_delta_segment_test.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+DeltaSegment MakeSegment() {
+  DeltaSegment segment;
+  segment.shard = 2;
+  segment.prev_epoch = 4;
+  segment.epoch = 5;
+  segment.records.push_back(DeltaRecord::Insert({1, 2, 3.5, 10}));
+  segment.records.push_back(DeltaRecord::Insert({7, 1, 0.25, 11}));
+  segment.records.push_back(DeltaRecord::Flush());
+  segment.records.push_back(DeltaRecord::Insert({2, 9, 1.0, 12}));
+  return segment;
+}
+
+TEST_F(DeltaSegmentTest, RoundTrip) {
+  const DeltaSegment segment = MakeSegment();
+  std::uint64_t bytes = 0;
+  ASSERT_TRUE(WriteDeltaSegment(path_, segment, &bytes).ok());
+  EXPECT_EQ(bytes, std::filesystem::file_size(path_));
+
+  DeltaSegment read;
+  ASSERT_TRUE(ReadDeltaSegment(path_, &read).ok());
+  EXPECT_EQ(read.shard, 2u);
+  EXPECT_EQ(read.prev_epoch, 4u);
+  EXPECT_EQ(read.epoch, 5u);
+  ASSERT_EQ(read.records.size(), 4u);
+  EXPECT_FALSE(read.records[0].flush);
+  EXPECT_EQ(read.records[0].edge, (Edge{1, 2, 3.5, 10}));
+  EXPECT_TRUE(read.records[2].flush);
+  EXPECT_EQ(read.NumEdges(), 3u);
+}
+
+TEST_F(DeltaSegmentTest, EveryTruncationIsDetected) {
+  ASSERT_TRUE(WriteDeltaSegment(path_, MakeSegment(), nullptr).ok());
+  std::string pristine;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    pristine = buf.str();
+  }
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(pristine.data(), static_cast<std::streamsize>(len));
+    }
+    DeltaSegment read;
+    const Status s = ReadDeltaSegment(path_, &read);
+    ASSERT_FALSE(s.ok()) << "truncation at byte " << len << " was accepted";
+    EXPECT_EQ(s.code(), StatusCode::kIOError);
+  }
+}
+
+TEST_F(DeltaSegmentTest, TruncationHookTearsTheWrittenFile) {
+  // The TruncatingWriter seam the crash harness uses: the save "succeeds"
+  // (rename happens, as after a real crash with a durable rename but lost
+  // data pages), yet the file at the final path is torn and the reader
+  // must reject it.
+  {
+    storage::ScopedTruncationHook hook(
+        [](const std::string&) -> std::int64_t { return 10; });
+    ASSERT_TRUE(WriteDeltaSegment(path_, MakeSegment(), nullptr).ok());
+  }
+  EXPECT_EQ(std::filesystem::file_size(path_), 10u);
+  DeltaSegment read;
+  EXPECT_FALSE(ReadDeltaSegment(path_, &read).ok());
+
+  // Hook uninstalled: the same write round-trips again.
+  ASSERT_TRUE(WriteDeltaSegment(path_, MakeSegment(), nullptr).ok());
+  EXPECT_TRUE(ReadDeltaSegment(path_, &read).ok());
+}
+
+// Regression (code review): bytes appended after a valid CRC trailer are
+// a mutation the trailer itself cannot see; the reader must reject them.
+TEST_F(DeltaSegmentTest, RejectsTrailingBytes) {
+  ASSERT_TRUE(WriteDeltaSegment(path_, MakeSegment(), nullptr).ok());
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  DeltaSegment read;
+  const Status s = ReadDeltaSegment(path_, &read);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST_F(DeltaSegmentTest, RejectsEpochDiscontinuity) {
+  DeltaSegment segment = MakeSegment();
+  segment.epoch = segment.prev_epoch + 2;
+  ASSERT_TRUE(WriteDeltaSegment(path_, segment, nullptr).ok());
+  DeltaSegment read;
+  const Status s = ReadDeltaSegment(path_, &read);
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kIOError);
 }

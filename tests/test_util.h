@@ -102,4 +102,24 @@ inline void ValidateCanonicalSequence(const DynamicGraph& g,
   }
 }
 
+/// Bit-level capture of one shard detector, taken through InspectShard.
+/// The recovery and corruption suites compare restored fleets against
+/// captures of the live fleet at each checkpoint epoch.
+struct ShardCapture {
+  PeelState state;
+  std::size_t num_edges = 0;
+  double total_weight = 0.0;
+  std::size_t pending_benign = 0;
+};
+
+/// Asserts a restored shard equals a capture exactly (same peeling
+/// sequence and deltas, same graph totals, same benign-buffer depth).
+inline void ExpectShardEqualsCapture(const ShardCapture& expected,
+                                     const ShardCapture& actual) {
+  ExpectStateEquals(expected.state, actual.state, 0.0);
+  EXPECT_EQ(expected.num_edges, actual.num_edges);
+  EXPECT_DOUBLE_EQ(expected.total_weight, actual.total_weight);
+  EXPECT_EQ(expected.pending_benign, actual.pending_benign);
+}
+
 }  // namespace spade::testing

@@ -13,9 +13,11 @@
 // shard's view. Finally the whole fleet (boundary index included) is saved
 // into one snapshot directory and restored into a fresh service.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "common/rng.h"
 #include "core/spade.h"
@@ -76,6 +78,13 @@ int main() {
   std::atomic<std::size_t> last_size[kTenants] = {};
   spade::ShardedDetectionServiceOptions options;
   options.partitioner = spade::TenantPartitioner(kVerticesPerTenant);
+  // Pin shard workers round-robin onto the machine's cores (a no-op hint
+  // on a single-core host, and on non-Linux platforms).
+  const unsigned cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned c = 0; c < cores; ++c) {
+    options.shard_cpus.push_back(static_cast<int>(c));
+  }
   options.stitch.on_stitch_alert = [](const spade::GlobalCommunity& g) {
     std::printf("  [stitched alert] %zu accounts, density %.1f, spanning"
                 " shards {", g.members.size(), g.density);
@@ -161,10 +170,12 @@ int main() {
               static_cast<unsigned long long>(stats.boundary_edges),
               static_cast<unsigned long long>(stats.stitch_passes));
   for (std::size_t s = 0; s < service.num_shards(); ++s) {
-    std::printf("shard %zu: %llu edges, %llu alerts, %llu detections\n", s,
-                static_cast<unsigned long long>(stats.shard_edges[s]),
+    std::printf("shard %zu: %llu edges, %llu alerts, %llu detections, "
+                "queue high-water %zu\n",
+                s, static_cast<unsigned long long>(stats.shard_edges[s]),
                 static_cast<unsigned long long>(stats.shard_alerts[s]),
-                static_cast<unsigned long long>(stats.shard_detections[s]));
+                static_cast<unsigned long long>(stats.shard_detections[s]),
+                stats.shard_queue_hwm[s]);
   }
 
   // Persist the fleet and restore it into a brand-new service.

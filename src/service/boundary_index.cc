@@ -69,6 +69,23 @@ void BoundaryEdgeIndex::Record(std::size_t src_home, std::size_t dst_home,
   total_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void BoundaryEdgeIndex::RecordBatch(std::span<const PairGroup> groups) {
+  std::uint64_t appended = 0;
+  for (const PairGroup& group : groups) {
+    if (group.edges.empty()) continue;
+    SPADE_DCHECK(group.src_home < num_shards_ &&
+                 group.dst_home < num_shards_);
+    Bucket& bucket = buckets_[BucketOf(group.src_home, group.dst_home)];
+    {
+      std::lock_guard<std::mutex> lock(bucket.mutex);
+      bucket.edges.insert(bucket.edges.end(), group.edges.begin(),
+                          group.edges.end());
+    }
+    appended += group.edges.size();
+  }
+  if (appended > 0) total_.fetch_add(appended, std::memory_order_relaxed);
+}
+
 bool BoundaryEdgeIndex::FoldNewEdges(
     Cursor* cursor, std::unordered_map<VertexId, double>* weight) const {
   if (cursor->epoch.size() != buckets_.size()) {

@@ -63,6 +63,24 @@ class BoundaryEdgeIndex {
   /// Thread-safe; callable from any producer.
   void Record(std::size_t src_home, std::size_t dst_home, const Edge& edge);
 
+  /// One ordered shard pair's worth of a batch: every edge in `edges` has
+  /// home shards (src_home, dst_home). Produced by RouterScratch, which
+  /// groups a whole SubmitBatch chunk by pair so RecordBatch can take each
+  /// pair's lock once per batch instead of once per edge.
+  struct PairGroup {
+    std::size_t src_home = 0;
+    std::size_t dst_home = 0;
+    std::span<const Edge> edges;
+  };
+
+  /// Appends every group's edges to its bucket — one lock acquisition and
+  /// one bulk insert per group, one counter update per call. Thread-safe
+  /// against concurrent Record/RecordBatch producers (groups from
+  /// concurrent batches interleave at bucket granularity, which is fine:
+  /// buckets are append-only sets whose order is not semantic beyond the
+  /// cursor prefix).
+  void RecordBatch(std::span<const PairGroup> groups);
+
   /// Edges recorded so far across all buckets (relaxed; never locks).
   std::uint64_t TotalEdges() const {
     return total_.load(std::memory_order_relaxed);

@@ -39,9 +39,14 @@ class DetectionService {
   /// kOutOfRange or blocks, per DetectionServiceOptions::block_when_full.
   Status Submit(const Edge& raw_edge) { return worker_.Submit(raw_edge); }
 
-  /// Bulk enqueue: one lock acquisition + one worker wakeup for the chunk.
-  Status SubmitBatch(std::span<const Edge> raw_edges) {
-    return worker_.SubmitBatch(raw_edges);
+  /// Bulk enqueue through the lock-free chunk handoff: one budget claim,
+  /// one ring cell, at most one worker wakeup for the whole chunk. Without
+  /// `accepted` the call is all-or-nothing; with it, `*accepted` reports
+  /// the exact enqueued prefix even when backpressure splits or truncates
+  /// the chunk (see ShardWorker::SubmitBatch).
+  Status SubmitBatch(std::span<const Edge> raw_edges,
+                     std::size_t* accepted = nullptr) {
+    return worker_.SubmitBatch(raw_edges, accepted);
   }
 
   /// Blocks until every edge submitted before this call has been applied

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/logging.h"
 
 namespace spade {
@@ -15,13 +20,40 @@ std::vector<VertexId> SortedMembers(const Community& c) {
   return sorted;
 }
 
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Ring cell count for a given edge budget: enough cells that slab
+/// exhaustion can only precede budget exhaustion when tens of thousands of
+/// single-edge chunks pile up against a stalled worker (each cell holds at
+/// least one edge, so with cells >= max_queue the budget always binds
+/// first; above the cap, a cell costs ~72 bytes, so 65536 cells keep a
+/// shard's ring under ~5 MB).
+std::size_t RingCellsFor(std::size_t max_queue) {
+  return RoundUpPow2(std::clamp<std::size_t>(max_queue, 2, 65536));
+}
+
+/// Cap on how many edges one gather round merges before applying: keeps
+/// space-freed notifications and Drain progress timely when producers
+/// outrun the worker (the ring itself bounds a single round anyway; this
+/// bounds it tighter).
+constexpr std::size_t kGatherCap = 4096;
+
 }  // namespace
 
 ShardWorker::ShardWorker(Spade spade, FraudAlertFn on_alert,
                          DetectionServiceOptions options)
     : options_(options),
       on_alert_(std::move(on_alert)),
+      ring_(RingCellsFor(options.max_queue)),
+      ring_mask_(ring_.size() - 1),
       spade_(std::move(spade)) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    ring_[i].seq.store(i, std::memory_order_relaxed);
+  }
   spade_.TurnOnEdgeGrouping();
   // Publish the initial community before the worker exists, so readers
   // always observe a valid snapshot and the first alert fires only when the
@@ -36,70 +68,254 @@ ShardWorker::ShardWorker(Spade spade, FraudAlertFn on_alert,
   snapshot_ = std::move(snap);
 #endif
   worker_ = std::thread([this] { WorkerLoop(); });
+#if defined(__linux__)
+  if (options_.cpu >= 0) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(options_.cpu), &set);
+    const int rc =
+        pthread_setaffinity_np(worker_.native_handle(), sizeof(cpu_set_t),
+                               &set);
+    if (rc != 0) {
+      SPADE_LOG_WARNING() << "ShardWorker: cannot pin worker to CPU "
+                          << options_.cpu << " (error " << rc
+                          << "); running unpinned";
+    }
+  }
+#else
+  if (options_.cpu >= 0) {
+    SPADE_LOG_WARNING()
+        << "ShardWorker: CPU pinning is unsupported on this platform; "
+           "running unpinned";
+  }
+#endif
 }
 
 ShardWorker::~ShardWorker() { Stop(); }
 
-Status ShardWorker::Submit(const Edge& raw_edge) {
-  {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    if (stopping_) {
-      return Status::FailedPrecondition("ShardWorker is stopped");
-    }
-    if (producer_buffer_.size() >= options_.max_queue) {
-      if (!options_.block_when_full) {
-        return Status::OutOfRange("ShardWorker queue full");
-      }
-      space_cv_.wait(lock, [this] {
-        return stopping_ || producer_buffer_.size() < options_.max_queue;
-      });
-      if (stopping_) {
-        return Status::FailedPrecondition("ShardWorker is stopped");
-      }
-    }
-    producer_buffer_.push_back(raw_edge);
-    queue_depth_.store(producer_buffer_.size(), std::memory_order_relaxed);
-    ++submitted_;
+// ---------------------------------------------------------------------------
+// Chunk-handoff ring primitives.
+
+std::size_t ShardWorker::ClaimBudget(std::size_t k, bool allow_partial) {
+  std::size_t cur = queued_edges_.load(std::memory_order_relaxed);
+  std::size_t take = 0;
+  do {
+    const std::size_t free =
+        options_.max_queue - std::min(cur, options_.max_queue);
+    take = allow_partial ? std::min(k, free) : (k <= free ? k : 0);
+    if (take == 0) return 0;
+  } while (!queued_edges_.compare_exchange_weak(
+      cur, cur + take, std::memory_order_seq_cst,
+      std::memory_order_relaxed));
+  const std::size_t depth = cur + take;
+  std::size_t hwm = queue_hwm_.load(std::memory_order_relaxed);
+  while (depth > hwm &&
+         !queue_hwm_.compare_exchange_weak(hwm, depth,
+                                           std::memory_order_relaxed)) {
   }
-  work_cv_.notify_one();
-  return Status::OK();
+  return take;
 }
 
-Status ShardWorker::SubmitBatch(std::span<const Edge> raw_edges) {
-  if (raw_edges.empty()) return Status::OK();
-  if (raw_edges.size() > options_.max_queue) {
+bool ShardWorker::TryClaimBudget(std::size_t k) {
+  return ClaimBudget(k, /*allow_partial=*/false) == k;
+}
+
+std::size_t ShardWorker::TryClaimUpTo(std::size_t k) {
+  return ClaimBudget(k, /*allow_partial=*/true);
+}
+
+void ShardWorker::ReleaseBudget(std::size_t k) {
+  queued_edges_.fetch_sub(k, std::memory_order_seq_cst);
+}
+
+bool ShardWorker::TryPushChunk(Chunk&& chunk) {
+  std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = ring_[pos & ring_mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto dif =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.chunk = std::move(chunk);
+        // seq_cst publish: pairs with the worker's park-protocol RingReady
+        // load (Dekker — see PublishAccepted).
+        cell.seq.store(pos + 1, std::memory_order_seq_cst);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // ring out of cells
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ShardWorker::TryPopChunk(Chunk* out) {
+  Cell& cell = ring_[dequeue_pos_ & ring_mask_];
+  if (cell.seq.load(std::memory_order_acquire) != dequeue_pos_ + 1) {
+    return false;
+  }
+  *out = std::move(cell.chunk);
+  cell.chunk = Chunk{};
+  cell.seq.store(dequeue_pos_ + ring_.size(), std::memory_order_release);
+  ++dequeue_pos_;
+  // The handoff is complete: these edges no longer count against the
+  // producer budget (matching the old swap semantics, where the whole
+  // buffer left the depth gauge before it was applied).
+  ReleaseBudget(out->size());
+  return true;
+}
+
+bool ShardWorker::RingReady() const {
+  const Cell& cell = ring_[dequeue_pos_ & ring_mask_];
+  return cell.seq.load(std::memory_order_seq_cst) == dequeue_pos_ + 1;
+}
+
+void ShardWorker::PublishAccepted(std::size_t k) {
+  submitted_.fetch_add(k, std::memory_order_seq_cst);
+  // Wakeup coalescing (Dekker): the producer published its cell seq
+  // (seq_cst) before this load; the worker sets parked_ (seq_cst) before
+  // its RingReady check. Whichever ran second sees the other's write, so
+  // either the worker finds the chunk on its own or we find parked_ set
+  // and wake it — never both asleep.
+  if (parked_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    work_cv_.notify_one();
+  }
+}
+
+void ShardWorker::NotifySpaceFreed() {
+  // Same Dekker shape as PublishAccepted: producers register in
+  // space_waiters_ (seq_cst) before re-checking the budget; the worker
+  // released budget (seq_cst) before this load.
+  if (space_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    space_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Producer paths.
+
+Status ShardWorker::Submit(const Edge& raw_edge) {
+  return EnqueueImpl(std::span<const Edge>(&raw_edge, 1), nullptr);
+}
+
+Status ShardWorker::SubmitBatch(std::span<const Edge> raw_edges,
+                                std::size_t* accepted) {
+  return EnqueueImpl(raw_edges, accepted);
+}
+
+Status ShardWorker::SubmitBatch(std::vector<Edge>&& chunk,
+                                std::size_t* accepted) {
+  return EnqueueImpl(std::span<const Edge>(chunk.data(), chunk.size()),
+                     accepted, &chunk);
+}
+
+Status ShardWorker::EnqueueImpl(std::span<const Edge> edges,
+                                std::size_t* accepted,
+                                std::vector<Edge>* owned) {
+  if (accepted != nullptr) *accepted = 0;
+  if (edges.empty()) return Status::OK();
+  if (stopping_flag_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("ShardWorker is stopped");
+  }
+  const bool allow_partial = accepted != nullptr;
+  if (!allow_partial && edges.size() > options_.max_queue) {
     return Status::InvalidArgument(
         "ShardWorker::SubmitBatch: chunk exceeds max_queue");
   }
+
+  std::size_t done = 0;
+  // Lock-free fast path: claim budget, claim a cell, publish.
   {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    if (stopping_) {
-      return Status::FailedPrecondition("ShardWorker is stopped");
-    }
-    if (producer_buffer_.size() + raw_edges.size() > options_.max_queue) {
-      if (!options_.block_when_full) {
-        return Status::OutOfRange("ShardWorker queue full");
-      }
-      space_cv_.wait(lock, [this, &raw_edges] {
-        return stopping_ || producer_buffer_.size() + raw_edges.size() <=
-                                options_.max_queue;
-      });
-      if (stopping_) {
+    const std::size_t want = edges.size();
+    const std::size_t take =
+        allow_partial ? TryClaimUpTo(want)
+                      : (TryClaimBudget(want) ? want : 0);
+    if (take > 0) {
+      // Re-check the stop flag AFTER the claim (seq_cst on both sides):
+      // either this load sees the flag and we release + fail, or the
+      // claim precedes the flag store in the seq_cst order — and then the
+      // exiting worker's queued_edges_==0 check (which runs after the
+      // flag store) must observe the claim and keep draining. Without
+      // this, a producer that read the flag as false before Stop() could
+      // publish into a ring nobody will ever pop: accepted, then lost.
+      if (stopping_flag_.load(std::memory_order_seq_cst)) {
+        ReleaseBudget(take);
         return Status::FailedPrecondition("ShardWorker is stopped");
       }
+      const bool moved_owned =
+          owned != nullptr && take == edges.size() && take > 1;
+      Chunk chunk = moved_owned ? Chunk(std::move(*owned))
+                                : Chunk(edges.subspan(0, take));
+      if (TryPushChunk(std::move(chunk))) {
+        PublishAccepted(take);
+        done = take;
+        if (accepted != nullptr) *accepted = done;
+        if (done == edges.size()) return Status::OK();
+      } else {
+        ReleaseBudget(take);
+        if (moved_owned) {
+          // TryPushChunk does not consume on failure; hand the storage
+          // back so `edges` (a span over it) stays valid for the slow
+          // path and the caller keeps its intact chunk on error.
+          *owned = std::move(chunk.many);
+        }
+      }
     }
-    producer_buffer_.insert(producer_buffer_.end(), raw_edges.begin(),
-                            raw_edges.end());
-    queue_depth_.store(producer_buffer_.size(), std::memory_order_relaxed);
-    submitted_ += raw_edges.size();
   }
-  work_cv_.notify_one();
+  if (!options_.block_when_full) {
+    // Fail fast. With `accepted`, the prefix that fit stays enqueued and
+    // is reported exactly; without it, nothing was enqueued.
+    return Status::OutOfRange("ShardWorker queue full");
+  }
+
+  // Blocking slow path: register as a space waiter and hand the remainder
+  // over (in one piece, or — with `accepted` — in pieces) as the worker
+  // frees space.
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  space_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  bool stopped = false;
+  while (done < edges.size()) {
+    if (stopping_) {
+      stopped = true;
+      break;
+    }
+    const std::size_t want = edges.size() - done;
+    const std::size_t take =
+        allow_partial ? TryClaimUpTo(want)
+                      : (TryClaimBudget(want) ? want : 0);
+    if (take > 0) {
+      Chunk chunk(edges.subspan(done, take));
+      if (TryPushChunk(std::move(chunk))) {
+        // Already under queue_mutex_ — notify the worker directly instead
+        // of PublishAccepted's lock-taking coalesced wakeup.
+        submitted_.fetch_add(take, std::memory_order_seq_cst);
+        work_cv_.notify_one();
+        done += take;
+        if (accepted != nullptr) *accepted = done;
+        continue;
+      }
+      ReleaseBudget(take);
+    }
+    space_cv_.wait(lock);
+  }
+  space_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  if (stopped) {
+    return Status::FailedPrecondition("ShardWorker is stopped");
+  }
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Drain / Stop.
+
 void ShardWorker::Drain() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
-  const std::uint64_t target = submitted_;
+  const std::uint64_t target = submitted_.load(std::memory_order_seq_cst);
   if (exact_through_ >= target || worker_exited_) return;
   // The worker flushes the benign buffer and republishes only while a
   // drain waiter is registered (exactness on demand keeps edge-grouping
@@ -117,6 +333,9 @@ void ShardWorker::Stop() {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_ && !worker_.joinable()) return;
     stopping_ = true;
+    // seq_cst: pairs with the producers' post-claim re-check (EnqueueImpl)
+    // and the worker's exit-time queued_edges_ check.
+    stopping_flag_.store(true, std::memory_order_seq_cst);
   }
   work_cv_.notify_all();
   space_cv_.notify_all();
@@ -322,51 +541,93 @@ void ShardWorker::DetectAndPublish() {
   }
 }
 
+void ShardWorker::MakeExact() {
+  std::shared_ptr<const Community> alert;
+  {
+    std::lock_guard<std::mutex> apply_lock(detector_mutex_);
+    if (since_detect_ > 0 || spade_.PendingBenignEdges() > 0) {
+      DetectAndPublish();
+      alert = std::move(pending_alert_);
+    }
+  }
+  if (alert) on_alert_(*alert);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    // Only an empty ring makes the snapshot exact; a racing Submit defers
+    // exactness to the next round.
+    if (queued_edges_.load(std::memory_order_seq_cst) == 0) {
+      exact_through_ = consumed_q_;
+    }
+  }
+  drain_cv_.notify_all();
+}
+
 void ShardWorker::WorkerLoop() {
   std::vector<Edge> batch;
   while (true) {
-    bool make_exact = false;
+    // Gather every ready chunk (up to the gather cap) into one application
+    // batch — the same amortization the old whole-buffer swap provided.
+    batch.clear();
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      work_cv_.wait(lock, [this] {
-        return stopping_ || !producer_buffer_.empty() ||
-               (drain_waiters_ > 0 && exact_through_ < consumed_q_);
-      });
-      if (producer_buffer_.empty()) {
-        if (stopping_) break;
-        // A Drain() waiter needs the snapshot brought up to date (flush
-        // buffered benign edges, republish); no new edges to apply.
-        make_exact = drain_waiters_ > 0 && exact_through_ < consumed_q_;
-        if (!make_exact) continue;  // spurious wakeup
-      } else {
-        batch.clear();
-        std::swap(batch, producer_buffer_);
-        queue_depth_.store(0, std::memory_order_relaxed);
+      Chunk chunk;
+      while (batch.size() < kGatherCap && TryPopChunk(&chunk)) {
+        if (chunk.is_one) {
+          batch.push_back(chunk.one);
+        } else if (batch.empty()) {
+          batch = std::move(chunk.many);
+        } else {
+          batch.insert(batch.end(), chunk.many.begin(), chunk.many.end());
+        }
       }
     }
 
-    if (make_exact) {
-      std::shared_ptr<const Community> alert;
+    if (batch.empty()) {
+      bool make_exact = false;
+      bool inflight_claim = false;
+      bool exit_loop = false;
       {
-        std::lock_guard<std::mutex> apply_lock(detector_mutex_);
-        if (since_detect_ > 0 || spade_.PendingBenignEdges() > 0) {
-          DetectAndPublish();
-          alert = std::move(pending_alert_);
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        // Park protocol (Dekker with PublishAccepted): set parked_ first,
+        // then let the wait predicate re-check the ring. A producer that
+        // published before the flag was set is seen by the predicate; one
+        // that published after it sees the flag and notifies under the
+        // mutex.
+        parked_.store(true, std::memory_order_seq_cst);
+        work_cv_.wait(lock, [this] {
+          return stopping_ || RingReady() ||
+                 (drain_waiters_ > 0 && exact_through_ < consumed_q_);
+        });
+        parked_.store(false, std::memory_order_relaxed);
+        if (RingReady()) continue;  // new work: loop around and pop it
+        if (stopping_) {
+          // Exit only when no producer holds a claimed-but-unpublished
+          // chunk (claims raise queued_edges_ before the cell publish):
+          // a Submit that raced Stop() and was accepted must still be
+          // applied, or "Stop drains queued edges first" silently drops
+          // it. The producer publishes or releases momentarily.
+          if (queued_edges_.load(std::memory_order_seq_cst) == 0) {
+            exit_loop = true;
+          } else {
+            inflight_claim = true;
+          }
+        } else {
+          // A Drain() waiter needs the snapshot brought up to date (flush
+          // buffered benign edges, republish); no new edges to apply.
+          make_exact = drain_waiters_ > 0 && exact_through_ < consumed_q_;
         }
       }
-      if (alert) on_alert_(*alert);
-      {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
-        // Only an empty buffer makes the snapshot exact; a racing Submit
-        // defers exactness to the next round.
-        if (producer_buffer_.empty()) exact_through_ = consumed_q_;
+      if (exit_loop) break;
+      if (inflight_claim) {
+        std::this_thread::yield();
+        continue;
       }
-      drain_cv_.notify_all();
+      if (make_exact) MakeExact();
       continue;
     }
 
-    // The whole buffer moved out at once; wake every blocked producer.
-    space_cv_.notify_all();
+    // The popped chunks already left the budget gauge; wake any blocked
+    // producers (only when some are registered — coalesced like wakeups).
+    NotifySpaceFreed();
 
     bool exact_after_batch = false;
     for (const Edge& edge : batch) {
@@ -406,8 +667,9 @@ void ShardWorker::WorkerLoop() {
       // Cheap advance: if the batch happened to end on a fresh detection,
       // the published snapshot is already exact and a later Drain() needs
       // no worker round-trip. Otherwise exactness is produced on demand by
-      // the make_exact branch above.
-      if (exact_after_batch && producer_buffer_.empty()) {
+      // the MakeExact branch above.
+      if (exact_after_batch &&
+          queued_edges_.load(std::memory_order_seq_cst) == 0) {
         exact_through_ = consumed_q_;
       }
     }

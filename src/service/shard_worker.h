@@ -1,18 +1,27 @@
-// ShardWorker: one detector shard with a lock-split update pipeline.
+// ShardWorker: one detector shard behind a lock-light chunk-handoff queue.
 //
 // The worker owns a Spade instance exclusively; no other thread ever calls
 // into the detector while the worker runs. The three client-visible paths
 // are decoupled so none of them serializes on an in-flight reorder:
 //
-//   * Submit: producers append to a small swap buffer under `queue_mutex_`,
-//     which is held only for the push itself. The worker swaps the whole
-//     buffer out under the same mutex and applies it with no lock held, so
-//     producer latency is one uncontended push regardless of how expensive
-//     the current batch reorder is.
+//   * Submit / SubmitBatch: producers hand whole chunks of edges to the
+//     worker through a bounded MPSC ring of edge slabs (Vyukov-style
+//     sequence-stamped cells). The hot path is entirely lock-free: claim
+//     queue budget with one CAS, claim a ring cell with one CAS, publish
+//     the cell's sequence word. A mutex is touched only on the slow paths
+//     (full queue in blocking mode, parking, Drain) — never per edge, and
+//     never per chunk while the pipeline keeps up.
 //   * CurrentCommunity / CurrentSnapshot: the worker publishes each
 //     detected community as an atomically-swapped shared_ptr snapshot.
 //     Readers load the pointer and never touch any mutex on the apply path.
-//   * EdgesProcessed / AlertsDelivered: relaxed atomics.
+//   * EdgesProcessed / AlertsDelivered / QueueDepth: relaxed atomics.
+//
+// Wakeup coalescing: producers notify the worker only when it is actually
+// parked (`parked_` is set, seq_cst, before the worker re-checks the ring
+// and waits; producers publish, then load `parked_` — the classic Dekker
+// handshake, so either the worker sees the new slab or the producer sees
+// the parked flag and wakes it). A producer feeding a busy worker performs
+// zero syscalls and zero lock acquisitions per chunk.
 //
 // Alerts are delivered from the worker thread with no service lock held
 // (the snapshot is taken first), so a slow moderator callback can delay the
@@ -78,8 +87,12 @@ struct DetectionServiceOptions {
   /// Detect (and possibly alert) after at most this many applied edges even
   /// if no urgent edge forced a flush.
   std::size_t detect_every = 256;
-  /// Bound on the submission buffer (edges accepted but not yet swapped
-  /// into the worker).
+  /// Bound on edges accepted but not yet taken off the handoff ring by the
+  /// worker. The ring also has a bounded number of slabs
+  /// (min(max_queue, 65536), rounded up to a power of two): a queue that is
+  /// out of slabs but not out of edge budget — only possible when tens of
+  /// thousands of single-edge Submits pile up against a stalled worker —
+  /// counts as full as well.
   std::size_t max_queue = 1 << 20;
   /// When the buffer is full: false = Submit fails fast with kOutOfRange;
   /// true = Submit blocks until the worker frees space (backpressure
@@ -90,9 +103,13 @@ struct DetectionServiceOptions {
   /// checkpointing must not grow without bound: at the cap the log is
   /// dropped and the next checkpoint falls back to a full snapshot.
   std::size_t max_delta_log = 1 << 20;
+  /// CPU to pin the worker thread to (-1 = unpinned). Linux-only
+  /// (pthread_setaffinity_np); elsewhere, and for CPUs that do not exist,
+  /// the worker logs a warning and runs unpinned.
+  int cpu = -1;
 };
 
-/// One shard: a background worker draining a swap-buffer queue through an
+/// One shard: a background worker draining a chunk-handoff ring through an
 /// exclusively-owned Spade detector.
 class ShardWorker {
  public:
@@ -109,15 +126,36 @@ class ShardWorker {
 
   /// Enqueues one transaction; callable from any thread. Fails with
   /// kFailedPrecondition after Stop(); when the buffer is full it either
-  /// fails with kOutOfRange or blocks, per `block_when_full`.
+  /// fails with kOutOfRange or blocks, per `block_when_full`. Lock-free
+  /// unless the queue is full.
   Status Submit(const Edge& raw_edge);
 
-  /// Bulk enqueue: one lock acquisition and one worker wakeup for the whole
-  /// chunk — the high-throughput producer path (a per-edge Submit against a
-  /// fast worker degenerates into one futex round-trip per edge). All-or-
-  /// nothing: fails with kOutOfRange (or blocks) if the chunk does not fit,
-  /// and with kInvalidArgument if it can never fit (chunk > max_queue).
-  Status SubmitBatch(std::span<const Edge> raw_edges);
+  /// Bulk enqueue: one budget claim, one ring cell and (at most) one worker
+  /// wakeup for the whole chunk — the high-throughput producer path.
+  ///
+  /// Without `accepted` the call is all-or-nothing: it fails with
+  /// kOutOfRange (or blocks until the whole chunk fits) when the chunk does
+  /// not fit, and with kInvalidArgument when it can never fit
+  /// (chunk > max_queue); on failure nothing was enqueued.
+  ///
+  /// With `accepted` the call is best-effort and `*accepted` is always the
+  /// exact number of edges enqueued (a prefix of the chunk): in fail-fast
+  /// mode a full queue accepts the prefix that fits and returns
+  /// kOutOfRange; in blocking mode the chunk may be handed over in pieces
+  /// as space frees up (pieces from concurrent producers can interleave
+  /// between them), and a Stop() arriving mid-wait returns
+  /// kFailedPrecondition with the already-handed-over prefix counted.
+  Status SubmitBatch(std::span<const Edge> raw_edges,
+                     std::size_t* accepted = nullptr);
+
+  /// Move-through variant: when the whole chunk is accepted in one piece
+  /// (the common case), the vector becomes the ring slab directly — zero
+  /// edge copies on this call. Falls back to copying (leaving `chunk`
+  /// intact for the unaccepted suffix accounting) when backpressure splits
+  /// or truncates the handoff; same contract as the span overload
+  /// otherwise.
+  Status SubmitBatch(std::vector<Edge>&& chunk,
+                     std::size_t* accepted = nullptr);
 
   /// Blocks until every edge submitted before this call has been applied
   /// AND the published snapshot reflects them. Returns immediately once the
@@ -152,10 +190,17 @@ class ShardWorker {
     return detections_.load(std::memory_order_relaxed);
   }
 
-  /// Edges accepted but not yet swapped into the worker (relaxed atomic;
-  /// never takes a lock, may trail the queue by an in-flight push).
+  /// Edges accepted but not yet taken off the ring by the worker (relaxed
+  /// atomic; never takes a lock, may trail an in-flight handoff).
   std::size_t QueueDepth() const {
-    return queue_depth_.load(std::memory_order_relaxed);
+    return queued_edges_.load(std::memory_order_relaxed);
+  }
+
+  /// Highest queue depth ever observed at a successful enqueue (relaxed;
+  /// never resets). The bench uses it to report handoff pressure: a
+  /// high-water mark near max_queue means producers outran this shard.
+  std::size_t QueueDepthHighWater() const {
+    return queue_hwm_.load(std::memory_order_relaxed);
   }
 
   /// Copies the induced subgraph over `vertices` out of this shard's
@@ -220,6 +265,9 @@ class ShardWorker {
   /// re-makes exactly the decisions the live one made (DESIGN.md §5), so
   /// the result is bit-identical to the detector that wrote the chain.
   /// Leaves delta tracking armed for the next incremental checkpoint.
+  /// Safe to run concurrently with other workers' RestoreChain calls (each
+  /// worker only touches its own detector), which is how the sharded
+  /// service parallelizes restore-side replay.
   Status RestoreChain(RestorePlan&& plan);
 
   /// Runs `fn` on the detector under the detector mutex (tests and
@@ -228,7 +276,77 @@ class ShardWorker {
   void InspectDetector(const std::function<void(const Spade&)>& fn) const;
 
  private:
+  /// One handoff unit: either a single inline edge (per-edge Submit pays no
+  /// allocation) or an owned slab of edges (SubmitBatch copies the caller's
+  /// span once).
+  struct Chunk {
+    Chunk() = default;
+    explicit Chunk(std::span<const Edge> edges) {
+      if (edges.size() == 1) {
+        one = edges[0];
+        is_one = true;
+      } else {
+        many.assign(edges.begin(), edges.end());
+      }
+    }
+    explicit Chunk(std::vector<Edge>&& edges) {
+      if (edges.size() == 1) {
+        one = edges[0];
+        is_one = true;
+      } else {
+        many = std::move(edges);
+      }
+    }
+    std::size_t size() const { return is_one ? 1 : many.size(); }
+    Edge one{};
+    bool is_one = false;
+    std::vector<Edge> many;
+  };
+
+  /// One ring cell: Vyukov sequence stamp + the chunk payload. `seq == pos`
+  /// means free for the producer claiming position `pos`; `seq == pos + 1`
+  /// means published and ready for the consumer.
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    Chunk chunk;
+  };
+
   void WorkerLoop();
+
+  /// Shared enqueue path for Submit and SubmitBatch (see SubmitBatch for
+  /// the partial-accept contract). `accepted` null = all-or-nothing.
+  /// `owned` (optional) is the storage behind `edges`: when the whole
+  /// chunk is accepted as one piece it is moved into the ring instead of
+  /// copied.
+  Status EnqueueImpl(std::span<const Edge> edges, std::size_t* accepted,
+                     std::vector<Edge>* owned = nullptr);
+
+  /// Shared CAS claim loop: claims up to `k` edges of budget (all-or-
+  /// nothing unless `allow_partial`), updates the high-water mark, returns
+  /// the claimed count (may be 0).
+  std::size_t ClaimBudget(std::size_t k, bool allow_partial);
+  /// Claims exactly `k` edges of queue budget; false when they do not fit.
+  bool TryClaimBudget(std::size_t k);
+  /// Claims up to `k` edges of budget; returns the claimed count (may be 0).
+  std::size_t TryClaimUpTo(std::size_t k);
+  /// Releases `k` edges of claimed budget (push failed or consumer done).
+  void ReleaseBudget(std::size_t k);
+  /// Vyukov multi-producer push; false when the ring is out of cells.
+  bool TryPushChunk(Chunk&& chunk);
+  /// Single-consumer pop (worker thread only); releases the popped edges'
+  /// budget and returns false when no published cell is ready.
+  bool TryPopChunk(Chunk* out);
+  /// Worker thread only: is the next ring cell published? (Also evaluated
+  /// inside the worker's own condvar predicate — never by other threads.)
+  bool RingReady() const;
+  /// Counts the chunk as accepted and wakes the worker iff it is parked.
+  void PublishAccepted(std::size_t k);
+  /// Wakes blocked producers iff any are registered.
+  void NotifySpaceFreed();
+
+  /// The old make-exact protocol: flush + republish for a Drain waiter,
+  /// then advance the drain cursor if the ring stayed empty.
+  void MakeExact();
 
   /// Appends one applied-history record (detector mutex held). Drops the
   /// whole log and marks overflow at the cap.
@@ -249,16 +367,34 @@ class ShardWorker {
   DetectionServiceOptions options_;
   FraudAlertFn on_alert_;
 
-  // --- producer/worker handoff (all guarded by queue_mutex_) -------------
+  // --- chunk-handoff ring (lock-free producer hot path) ------------------
+  std::vector<Cell> ring_;    // power-of-two cells, fixed at construction
+  std::uint64_t ring_mask_ = 0;
+  std::atomic<std::uint64_t> enqueue_pos_{0};
+  std::uint64_t dequeue_pos_ = 0;  // worker thread only
+  /// Edges resident in the ring (claimed budget). seq_cst where it pairs
+  /// with the park/space Dekker handshakes.
+  std::atomic<std::size_t> queued_edges_{0};
+  std::atomic<std::size_t> queue_hwm_{0};
+  /// Edges accepted (published) by Submit/SubmitBatch — the Drain target.
+  std::atomic<std::uint64_t> submitted_{0};
+  /// Worker is (about to be) asleep on work_cv_; producers notify only
+  /// when set (wakeup coalescing).
+  std::atomic<bool> parked_{false};
+  /// Producers blocked on space_cv_; the worker locks + notifies only when
+  /// nonzero.
+  std::atomic<std::size_t> space_waiters_{0};
+  /// Lock-free mirror of stopping_ for the producer fast path.
+  std::atomic<bool> stopping_flag_{false};
+
+  // --- slow-path coordination (guarded by queue_mutex_) ------------------
   mutable std::mutex queue_mutex_;
-  std::condition_variable work_cv_;   // signals the worker
+  std::condition_variable work_cv_;   // signals the (parked) worker
   std::condition_variable drain_cv_;  // signals Drain() waiters
   std::condition_variable space_cv_;  // signals blocked producers
-  std::vector<Edge> producer_buffer_;
   bool stopping_ = false;
   bool worker_exited_ = false;
   std::size_t drain_waiters_ = 0;    // threads parked in Drain()
-  std::uint64_t submitted_ = 0;      // edges accepted by Submit
   std::uint64_t consumed_q_ = 0;     // mirror of consumed_ for predicates
   std::uint64_t exact_through_ = 0;  // edges reflected in an exact snapshot
 
@@ -294,9 +430,6 @@ class ShardWorker {
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> alerts_{0};
   std::atomic<std::uint64_t> detections_{0};
-  // Mirror of producer_buffer_.size(), updated under queue_mutex_ but read
-  // lock-free by QueueDepth()/GetStats().
-  std::atomic<std::size_t> queue_depth_{0};
 
   std::thread worker_;
 };

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "graph/dynamic_graph.h"
 #include "peel/static_peeler.h"
+#include "service/router_scratch.h"
 #include "storage/delta_segment.h"
 #include "storage/sharded_snapshot.h"
 #include "storage/snapshot.h"
@@ -30,21 +31,37 @@ std::size_t SplitMix(std::uint64_t x) {
 }  // namespace
 
 Partitioner HashOfSourcePartitioner() {
-  return Partitioner(
+  Partitioner p(
       [](const Edge& e) { return SplitMix(e.src); },
       [](VertexId v) { return SplitMix(v); });
+  p.routes_by_src_home = true;  // edge_key(e) == home(e.src) by definition
+  return p;
 }
 
 Partitioner TenantPartitioner(VertexId vertices_per_tenant) {
   SPADE_CHECK(vertices_per_tenant > 0);
-  return Partitioner(
+  Partitioner p(
       [vertices_per_tenant](const Edge& e) -> std::size_t {
         return e.src / vertices_per_tenant;
       },
       [vertices_per_tenant](VertexId v) -> std::size_t {
         return v / vertices_per_tenant;
       });
+  p.routes_by_src_home = true;  // edge_key(e) == home(e.src) by definition
+  return p;
 }
+
+namespace {
+
+/// One partition scratch per producer thread, shared across services: a
+/// chunk is partitioned and handed over within one SubmitBatch call, so
+/// nothing aliases, and the arenas amortize to zero allocations per batch.
+RouterScratch& TlsRouterScratch() {
+  thread_local RouterScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 ShardedDetectionService::ShardedDetectionService(
     std::vector<Spade> shards, ShardAlertFn on_alert,
@@ -70,8 +87,13 @@ ShardedDetectionService::ShardedDetectionService(
     if (on_alert_) {
       shard_alert = [this, i](const Community& c) { on_alert_(i, c); };
     }
+    DetectionServiceOptions worker_options = options_.shard;
+    if (!options_.shard_cpus.empty()) {
+      worker_options.cpu =
+          options_.shard_cpus[i % options_.shard_cpus.size()];
+    }
     workers_.push_back(std::make_unique<ShardWorker>(
-        std::move(shards[i]), std::move(shard_alert), options_.shard));
+        std::move(shards[i]), std::move(shard_alert), worker_options));
   }
   if (options_.stitch.interval_ms > 0 && workers_.size() > 1) {
     stitcher_ = std::thread([this] { StitcherLoop(); });
@@ -101,37 +123,56 @@ void ShardedDetectionService::SeedBoundaryIndex(
 }
 
 Status ShardedDetectionService::Submit(const Edge& raw_edge) {
+  const std::size_t n = workers_.size();
+  if (n == 1) return workers_[0]->Submit(raw_edge);
+  // One partitioner pass: the homes computed for the boundary decision are
+  // reused for routing whenever the partitioner promises the identity.
+  const std::size_t src_home = options_.partitioner.home(raw_edge.src) % n;
+  const std::size_t dst_home = options_.partitioner.home(raw_edge.dst) % n;
+  const std::size_t shard =
+      options_.partitioner.routes_by_src_home
+          ? src_home
+          : options_.partitioner.edge_key(raw_edge) % n;
   // Record BEFORE the enqueue: once an edge can be inside a shard detector
   // (and thus inside a SaveState snapshot), its boundary record must
   // already exist, or a concurrent save could persist the edge without its
   // seam and a restored fleet would never rediscover it. The cost of this
   // ordering is a record for an edge the worker then rejects — harmless,
   // because the index is discovery-only and never summed into a density.
-  MaybeRecordBoundary(raw_edge);
-  return workers_[ShardOf(raw_edge)]->Submit(raw_edge);
+  if (src_home != dst_home) boundary_.Record(src_home, dst_home, raw_edge);
+  return workers_[shard]->Submit(raw_edge);
 }
 
 Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
                                             std::size_t* enqueued) {
   if (enqueued != nullptr) *enqueued = 0;
+  if (raw_edges.empty()) return Status::OK();
   if (workers_.size() == 1) {
-    const Status s = workers_[0]->SubmitBatch(raw_edges);
-    if (s.ok() && enqueued != nullptr) *enqueued = raw_edges.size();
+    // Single-shard fast path: no partitioning, no boundary edges — the
+    // chunk hands over as-is (accepted accounting included when asked).
+    std::size_t accepted = 0;
+    const Status s = workers_[0]->SubmitBatch(
+        raw_edges, enqueued != nullptr ? &accepted : nullptr);
+    if (enqueued != nullptr) *enqueued = accepted;
     return s;
   }
-  std::vector<std::vector<Edge>> parts(workers_.size());
-  for (const Edge& e : raw_edges) parts[ShardOf(e)].push_back(e);
+  RouterScratch& scratch = TlsRouterScratch();
+  scratch.Partition(options_.partitioner, workers_.size(), raw_edges);
+  // Record the whole chunk's boundary edges BEFORE any part is enqueued
+  // (same invariant as Submit — recording earlier than the per-part
+  // ordering PR 3 used is strictly safe), one pair lock per pair per
+  // batch instead of per edge.
+  boundary_.RecordBatch(scratch.boundary_groups());
   Status first_error = Status::OK();
   for (std::size_t s = 0; s < workers_.size(); ++s) {
-    if (parts[s].empty()) continue;
-    // Same record-before-enqueue ordering as Submit (see there).
-    for (const Edge& e : parts[s]) MaybeRecordBoundary(e);
-    const Status status = workers_[s]->SubmitBatch(parts[s]);
-    if (status.ok()) {
-      if (enqueued != nullptr) *enqueued += parts[s].size();
-    } else if (first_error.ok()) {
-      first_error = status;
-    }
+    if (scratch.Part(s).empty()) continue;
+    std::size_t accepted = 0;
+    // Move-through: the scratch-built slab becomes the ring slab, so the
+    // whole batched path copies each edge exactly once.
+    const Status status = workers_[s]->SubmitBatch(
+        scratch.TakePart(s), enqueued != nullptr ? &accepted : nullptr);
+    if (enqueued != nullptr) *enqueued += accepted;
+    if (!status.ok() && first_error.ok()) first_error = status;
   }
   return first_error;
 }
@@ -408,6 +449,7 @@ ShardedServiceStats ShardedDetectionService::GetStats() const {
     stats.shard_alerts.push_back(alerts);
     stats.shard_detections.push_back(w->DetectionsRun());
     stats.shard_queue_depth.push_back(w->QueueDepth());
+    stats.shard_queue_hwm.push_back(w->QueueDepthHighWater());
   }
   stats.boundary_edges = boundary_.TotalEdges();
   stats.stitch_passes = stitch_passes_.load(std::memory_order_relaxed);
@@ -668,6 +710,7 @@ Status ShardedDetectionService::SaveState(const std::string& dir,
 Status ShardedDetectionService::RestoreState(const std::string& dir,
                                              RestoreInfo* info) {
   std::lock_guard<std::mutex> save_lock(save_mutex_);
+  const auto restore_start = std::chrono::steady_clock::now();
   ShardManifest manifest;
   SPADE_RETURN_NOT_OK(ReadShardManifest(dir, &manifest));
   if (manifest.num_shards != workers_.size()) {
@@ -748,8 +791,38 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
     stitch_passes_.store(0, std::memory_order_relaxed);
     stitched_alerts_.store(0, std::memory_order_relaxed);
   }
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    SPADE_RETURN_NOT_OK(workers_[i]->RestoreChain(std::move(plans[i])));
+  // Chain replay is the dominant restore cost (it re-applies every delta
+  // edge through the full reorder path), and each shard's plan touches
+  // only that shard's detector — so replay shard chains in parallel, one
+  // thread per shard by default. The result is bit-identical to a serial
+  // replay (restore_threads = 1): nothing is shared between the replays.
+  {
+    const std::size_t pool =
+        options_.restore_threads == 0
+            ? workers_.size()
+            : std::min(options_.restore_threads, workers_.size());
+    std::vector<Status> statuses(workers_.size(), Status::OK());
+    if (pool <= 1) {
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        statuses[i] = workers_[i]->RestoreChain(std::move(plans[i]));
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::thread> threads;
+      threads.reserve(pool);
+      for (std::size_t t = 0; t < pool; ++t) {
+        threads.emplace_back([this, &next, &plans, &statuses] {
+          for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= workers_.size()) break;
+            statuses[i] = workers_[i]->RestoreChain(std::move(plans[i]));
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    for (const Status& s : statuses) SPADE_RETURN_NOT_OK(s);
   }
   {
     std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);
@@ -808,6 +881,10 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
     info->restored_epoch = restored_epoch;
     info->delta_edges_replayed = delta_edges;
     info->truncated_chain = restored_epoch < manifest_epoch;
+    info->restore_millis = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() -
+                               restore_start)
+                               .count();
   }
   return Status::OK();
 }

@@ -72,6 +72,14 @@ struct Partitioner {
 
   PartitionFn edge_key;
   VertexHomeFn home;
+  /// Promise that edge_key(e) % n == home(e.src) % n for every edge and
+  /// every shard count n. When set, the batched router skips the edge_key
+  /// evaluation entirely and routes by the source home it already computed
+  /// for the boundary decision — one partitioner-function evaluation saved
+  /// per edge. Both built-in partitioners satisfy (and set) it; leave it
+  /// false for a custom edge_key unless the identity genuinely holds, or
+  /// batched and per-edge routing will disagree.
+  bool routes_by_src_home = false;
 
   explicit operator bool() const { return static_cast<bool>(edge_key); }
 };
@@ -152,6 +160,16 @@ struct ShardedDetectionServiceOptions {
   StitchOptions stitch;
   /// Delta-chain compaction triggers for auto-mode SaveState.
   CheckpointPolicy checkpoint;
+  /// CPU pinning for the shard workers: shard i pins to
+  /// shard_cpus[i % shard_cpus.size()] (empty = every worker inherits
+  /// shard.cpu, default unpinned). Linux-only; nonexistent CPUs degrade to
+  /// a logged warning, never an error — see DetectionServiceOptions::cpu.
+  std::vector<int> shard_cpus;
+  /// Threads used by RestoreState's chain replay: 0 = one per shard (the
+  /// default — each shard's chain replays only into its own detector, so
+  /// the replays are independent and bit-identical to a serial restore),
+  /// 1 = serial, n = capped worker pool.
+  std::size_t restore_threads = 0;
 };
 
 /// Merged + per-shard service counters. All reads are lock-free (queue
@@ -166,6 +184,10 @@ struct ShardedServiceStats {
   std::vector<std::uint64_t> shard_alerts;
   std::vector<std::uint64_t> shard_detections;
   std::vector<std::size_t> shard_queue_depth;
+  /// Highest queue depth each shard ever reached (never resets): the
+  /// handoff-pressure gauge — a high-water mark near max_queue means
+  /// producers outran that shard.
+  std::vector<std::size_t> shard_queue_hwm;
 };
 
 /// Partition-parallel streaming front-end over N Spade detectors.
@@ -201,14 +223,18 @@ class ShardedDetectionService {
   /// harmless discovery-only hint.
   Status Submit(const Edge& raw_edge);
 
-  /// Bulk submit: partitions the chunk once and hands each shard its part
-  /// under a single lock acquisition + wakeup (the multi-producer
-  /// throughput path). Order within the chunk is preserved per shard.
-  /// Best-effort across shards: every shard's part is attempted, the first
-  /// failure is returned, and `*enqueued` (when non-null) receives the
-  /// number of edges actually accepted, so callers can reconcile partial
-  /// chunks. Cross-home edges land in the boundary index (recorded before
-  /// each part's enqueue, as with Submit).
+  /// Bulk submit, the multi-producer throughput path: a thread-local
+  /// RouterScratch partitions the chunk with one partitioner pass (flat
+  /// reusable arenas, no per-call vector-of-vectors), the chunk's boundary
+  /// edges are recorded pair-grouped in one RecordBatch (each pair lock
+  /// taken once per batch, still strictly before any enqueue), and each
+  /// shard receives its contiguous part through the lock-free chunk
+  /// handoff. Order within the chunk is preserved per shard. Best-effort
+  /// across shards: every shard's part is attempted and the first failure
+  /// is returned. With `enqueued` non-null, `*enqueued` is the exact
+  /// number of edges accepted — including prefixes a shard partially
+  /// accepted under backpressure (see ShardWorker::SubmitBatch); with it
+  /// null, each shard's part is all-or-nothing.
   Status SubmitBatch(std::span<const Edge> raw_edges,
                      std::size_t* enqueued = nullptr);
 
@@ -304,6 +330,9 @@ class ShardedDetectionService {
     /// True when a torn/corrupt chain tail forced recovery to an earlier
     /// durable epoch (restored_epoch < manifest_epoch).
     bool truncated_chain = false;
+    /// Wall-clock duration of the whole restore (validation + parallel
+    /// chain replay; see ShardedDetectionServiceOptions::restore_threads).
+    double restore_millis = 0.0;
   };
 
   /// Checkpoints all shards into `dir` (created if needed). The first save
@@ -328,7 +357,11 @@ class ShardedDetectionService {
   /// to the last epoch whose files are all intact; a torn base or manifest
   /// fails cleanly. Delta chains replay through the normal ApplyEdge path,
   /// so restored detectors are bit-identical to the ones that wrote the
-  /// chain. Detectors keep their installed semantics. The boundary index
+  /// chain. Delta chains replay in parallel, one thread per shard by
+  /// default (each chain replays only into its own detector, so the result
+  /// is bit-identical to a serial restore; `restore_threads` caps or
+  /// serializes the pool). Detectors keep their installed semantics. The
+  /// boundary index
   /// is restored too (snapshots from before the index existed restore it
   /// empty), and the stitched snapshot *and* the stitch/boundary counters
   /// are reset — stats() afterwards describes the restored run, not the

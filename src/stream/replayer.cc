@@ -280,6 +280,14 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
             first_submit[gid].compare_exchange_strong(expected, now_micros());
           }
         }
+        if (options.per_edge_submit) {
+          for (std::size_t i = start; i < end; ++i) {
+            if (!service.Submit(stream.edges[i]).ok()) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          continue;
+        }
         const std::span<const Edge> chunk(stream.edges.data() + start,
                                           end - start);
         std::size_t enqueued = 0;
@@ -291,6 +299,7 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
     });
   }
   for (auto& t : producers) t.join();
+  report.submit_seconds = now_micros() * 1e-6;
   service.Drain();
   report.wall_seconds = now_micros() * 1e-6;
 
@@ -331,6 +340,9 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
       report.detections += d;
     }
     report.boundary_edges = stats.boundary_edges;
+    for (const std::size_t hwm : stats.shard_queue_hwm) {
+      report.queue_hwm = std::max(report.queue_hwm, hwm);
+    }
   }
   for (std::size_t gid = 0; gid < groups; ++gid) {
     const double submitted = first_submit[gid].load();

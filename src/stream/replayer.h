@@ -86,11 +86,16 @@ struct ServiceReplayOptions {
   /// arrival order (cross-chunk per-shard order is then
   /// scheduling-dependent, as with any concurrent ingest tier).
   std::size_t num_producers = 4;
-  /// Edges buffered per producer before a SubmitBatch flush (1 = per-edge
-  /// Submit). Chunking amortizes the queue lock and the worker wakeup —
-  /// per-edge submission against a keeping-up worker costs one futex
-  /// round-trip per edge.
+  /// Edges buffered per producer before a SubmitBatch flush. Chunking
+  /// amortizes the routing pass, the queue-budget claim and the worker
+  /// wakeup; per-edge submission pays all three per edge.
   std::size_t producer_batch = 64;
+  /// Submit each edge individually through Service::Submit instead of
+  /// SubmitBatch (the pre-batching ingest baseline the ingest bench
+  /// compares against). Producers still claim `producer_batch`-sized
+  /// slices off the shared cursor so the interleaving matches the batched
+  /// run; only the handoff differs.
+  bool per_edge_submit = false;
   /// Run one cross-shard stitch pass after the drain and report its result
   /// (final_stitched / final_argmax / stitch_millis). Groups only reachable
   /// through stitching are credited as detected from the stitched snapshot.
@@ -117,14 +122,26 @@ struct ServiceReplayReport {
   std::size_t submit_failures = 0;
   /// Submit start to Drain() return (every edge applied and republished).
   double wall_seconds = 0.0;
+  /// Submit start to the last producer's return — the admission phase.
+  /// With ample queue budget this isolates the router+handoff cost from
+  /// the apply cost; when backpressure throttles producers to the workers'
+  /// pace it converges toward wall_seconds.
+  double submit_seconds = 0.0;
   std::uint64_t edges_processed = 0;
   std::uint64_t alerts = 0;
   std::uint64_t detections = 0;
 
-  /// Aggregate ingest throughput, edges per second.
+  /// Aggregate end-to-end throughput (submit start → drained), edges/s.
   double SubmitThroughputEps() const {
     return wall_seconds > 0.0
                ? static_cast<double>(edges_submitted) / wall_seconds
+               : 0.0;
+  }
+
+  /// Admission throughput (submit start → producers done), edges/s.
+  double AdmissionThroughputEps() const {
+    return submit_seconds > 0.0
+               ? static_cast<double>(edges_submitted) / submit_seconds
                : 0.0;
   }
 
@@ -142,6 +159,11 @@ struct ServiceReplayReport {
   Community final_argmax;
   double stitch_millis = 0.0;
   std::uint64_t boundary_edges = 0;
+
+  /// Highest queue depth any shard reached during the replay (handoff
+  /// pressure: near the configured max_queue means producers outran a
+  /// shard worker).
+  std::size_t queue_hwm = 0;
 
   /// Filled when ServiceReplayOptions::checkpoint_every_edges > 0.
   std::size_t checkpoints = 0;        // saves taken (incl. the final one)

@@ -53,7 +53,7 @@ std::vector<Edge> RandomChunk(Rng* rng, std::size_t n) {
 }
 
 std::unique_ptr<ShardedDetectionService> BuildService(
-    const std::vector<Edge>& initial) {
+    const std::vector<Edge>& initial, std::size_t restore_threads = 0) {
   std::vector<std::vector<Edge>> parts(kShards);
   for (const Edge& e : initial) parts[e.src % kShards].push_back(e);
   std::vector<Spade> shards;
@@ -71,6 +71,7 @@ std::unique_ptr<ShardedDetectionService> BuildService(
   // the way.
   options.checkpoint.max_chain_length = 1000;
   options.checkpoint.max_delta_base_ratio = 1e9;
+  options.restore_threads = restore_threads;
   auto service = std::make_unique<ShardedDetectionService>(
       std::move(shards), nullptr, std::move(options));
   service->SeedBoundaryIndex(initial);
@@ -157,6 +158,34 @@ class RecoveryTest : public ::testing::Test {
   std::string dir_;
   std::string work_;
 };
+
+// Restore-side parallel replay (one thread per shard, the default) must be
+// bit-identical to a serial restore (restore_threads = 1) AND to the live
+// fleet that wrote the chain — each shard's chain replays only into its
+// own detector, so thread interleaving has nothing to reorder.
+TEST_F(RecoveryTest, ParallelRestoreBitIdenticalToSerial) {
+  constexpr std::size_t kEpochs = 4;
+  LiveRun run = RunAndCheckpoint(dir_, kEpochs, /*seed=*/311);
+
+  auto parallel = BuildService(run.initial, /*restore_threads=*/0);
+  auto serial = BuildService(run.initial, /*restore_threads=*/1);
+  ShardedDetectionService::RestoreInfo parallel_info, serial_info;
+  ASSERT_TRUE(parallel->RestoreState(dir_, &parallel_info).ok());
+  ASSERT_TRUE(serial->RestoreState(dir_, &serial_info).ok());
+  EXPECT_EQ(parallel_info.restored_epoch, kEpochs);
+  EXPECT_EQ(serial_info.restored_epoch, kEpochs);
+  EXPECT_EQ(parallel_info.delta_edges_replayed,
+            serial_info.delta_edges_replayed);
+  EXPECT_GT(parallel_info.restore_millis, 0.0);
+  EXPECT_GT(serial_info.restore_millis, 0.0);
+
+  const auto from_parallel = CaptureShards(*parallel);
+  const auto from_serial = CaptureShards(*serial);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    testing::ExpectShardEqualsCapture(run.at[kEpochs][s], from_parallel[s]);
+    testing::ExpectShardEqualsCapture(from_serial[s], from_parallel[s]);
+  }
+}
 
 // The seam end to end: a live delta save whose shard-0 segment is torn by
 // the TruncatingWriter must restore to the previous durable epoch, equal

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -236,6 +238,84 @@ TEST(DetectionServiceTest, BackpressureBlocking) {
   EXPECT_EQ(ok_count.load(), 5);
   service.Drain();
   EXPECT_EQ(service.EdgesProcessed(), 6u);
+}
+
+// Fail-fast + partial accept: without `accepted`, SubmitBatch keeps its
+// all-or-nothing contract; with it, the prefix that fits is enqueued and
+// reported exactly.
+TEST(DetectionServiceTest, FailFastPartialBatchReportsAcceptedPrefix) {
+  WorkerStall stall;
+  DetectionServiceOptions options;
+  options.max_queue = 4;
+  options.block_when_full = false;
+  DetectionService service(MakeDetector(12, 30, 21), stall.Callback(),
+                           options);
+  ASSERT_TRUE(service.Submit({0, 1, 1e6, 0}).ok());
+  stall.AwaitWorkerStalled();
+
+  std::vector<Edge> chunk;
+  for (int i = 1; i <= 6; ++i) {
+    chunk.push_back({static_cast<VertexId>(i),
+                     static_cast<VertexId>(i + 1), 1.0, 0});
+  }
+  // All-or-nothing: a chunk that can never fit is rejected outright and
+  // nothing is enqueued.
+  Status s = service.SubmitBatch(chunk);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  // Best-effort: exactly the free budget (4) is accepted as a prefix.
+  std::size_t accepted = 0;
+  s = service.SubmitBatch(chunk, &accepted);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(accepted, 4u);
+
+  // Queue now full: the next best-effort call accepts exactly nothing.
+  std::size_t more = 0;
+  s = service.SubmitBatch(chunk, &more);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(more, 0u);
+
+  stall.Release();
+  service.Drain();
+  EXPECT_EQ(service.EdgesProcessed(), 1u + 4u);
+}
+
+// Blocking + Stop mid-wait: the already-handed-over prefix is counted
+// exactly — the "shard partially accepts under backpressure" accounting
+// the sharded service's `enqueued` sums rely on.
+TEST(ShardWorkerTest, BlockingStopReportsExactAcceptedPrefix) {
+  WorkerStall stall;
+  DetectionServiceOptions options;
+  options.max_queue = 2;
+  options.block_when_full = true;
+  ShardWorker worker(MakeDetector(12, 30, 22), stall.Callback(), options);
+  ASSERT_TRUE(worker.Submit({0, 1, 1e6, 0}).ok());
+  stall.AwaitWorkerStalled();
+  ASSERT_TRUE(worker.Submit({1, 2, 1.0, 0}).ok());  // queue: 1/2
+
+  const std::vector<Edge> chunk = {{2, 3, 1.0, 0}, {3, 4, 1.0, 0},
+                                   {4, 5, 1.0, 0}};
+  std::size_t accepted = 0;
+  Status result;
+  std::thread producer([&] {
+    result = worker.SubmitBatch(std::span<const Edge>(chunk), &accepted);
+  });
+  // The first piece (1 edge, the free budget) lands; the producer then
+  // blocks for the remainder.
+  while (worker.QueueDepth() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Stop() unblocks the producer with the prefix counted; the worker is
+  // still parked in the stalled alert, so run Stop from its own thread
+  // and release the stall for the shutdown drain.
+  std::thread stopper([&] { worker.Stop(); });
+  producer.join();
+  EXPECT_EQ(result.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(accepted, 1u);
+  stall.Release();
+  stopper.join();
+  // Stop drains queued edges first: heavy + pre-fill + the accepted piece.
+  EXPECT_EQ(worker.EdgesProcessed(), 3u);
 }
 
 // The satellite concurrency stress: multiple producers while readers poll

@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "metrics/semantics.h"
+#include "service/router_scratch.h"
 #include "storage/sharded_snapshot.h"
 #include "tests/test_util.h"
 
@@ -192,6 +193,152 @@ TEST(ShardedDetectionServiceTest, SubmitBatchRoutesAcrossShards) {
   for (const std::uint64_t per_shard : stats.shard_edges) {
     EXPECT_EQ(per_shard, 30u);
   }
+}
+
+// RouterScratch property: the batched partition must agree exactly with
+// per-edge routing — same shard per edge, chunk order preserved within a
+// shard, and every cross-home edge in exactly one pair-homogeneous
+// boundary group.
+TEST(RouterScratchTest, MatchesPerEdgeRoutingAndGroupsBoundaryPairs) {
+  constexpr std::size_t kShards = 4;
+  const Partitioner p = HashOfSourcePartitioner();
+  Rng rng(41);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 500; ++i) {
+    edges.push_back(testing::RandomEdge(&rng, 256));
+  }
+
+  RouterScratch scratch;
+  scratch.Partition(p, kShards, edges);
+
+  std::vector<std::vector<Edge>> expected(kShards);
+  std::vector<std::pair<std::size_t, std::size_t>> expected_boundary;
+  for (const Edge& e : edges) {
+    const std::size_t shard = p.edge_key(e) % kShards;
+    EXPECT_EQ(shard, p.home(e.src) % kShards);  // routes_by_src_home holds
+    expected[shard].push_back(e);
+    const std::size_t dst_home = p.home(e.dst) % kShards;
+    if (shard != dst_home) expected_boundary.push_back({shard, dst_home});
+  }
+  const auto edge_eq = [](const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst && a.weight == b.weight &&
+           a.ts == b.ts;
+  };
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::span<const Edge> part = scratch.Part(s);
+    ASSERT_EQ(part.size(), expected[s].size()) << "shard " << s;
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      EXPECT_TRUE(edge_eq(part[i], expected[s][i]))
+          << "shard " << s << " order diverges at " << i;
+    }
+  }
+  std::size_t boundary_total = 0;
+  for (const BoundaryEdgeIndex::PairGroup& g : scratch.boundary_groups()) {
+    EXPECT_NE(g.src_home, g.dst_home);
+    for (const Edge& e : g.edges) {
+      EXPECT_EQ(p.home(e.src) % kShards, g.src_home);
+      EXPECT_EQ(p.home(e.dst) % kShards, g.dst_home);
+    }
+    boundary_total += g.edges.size();
+  }
+  EXPECT_EQ(boundary_total, expected_boundary.size());
+  EXPECT_EQ(scratch.num_boundary_edges(), expected_boundary.size());
+}
+
+/// Parks one shard's worker inside its first alert so a test can fill that
+/// shard's queue deterministically (the single-shard WorkerStall, keyed by
+/// shard id).
+class ShardStall {
+ public:
+  explicit ShardStall(std::size_t shard) : shard_(shard) {}
+  ShardAlertFn Callback() {
+    return [this](std::size_t shard, const Community&) {
+      if (shard != shard_) return;
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stalled_once_) return;
+      stalled_once_ = true;
+      entered_ = true;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    };
+  }
+  void AwaitStalled() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [this] { return entered_; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::size_t shard_;
+  std::mutex mutex_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  bool stalled_once_ = false;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+// `enqueued` must be exact when one shard partially accepts its part under
+// fail-fast backpressure, and the queue high-water mark must surface the
+// pressure in GetStats.
+TEST(ShardedDetectionServiceTest, EnqueuedExactUnderPartialShardAccept) {
+  ShardStall stall(/*shard=*/1);
+  ShardedDetectionServiceOptions options = TenantOptions();
+  options.shard.max_queue = 2;
+  options.shard.block_when_full = false;
+  ShardedDetectionService service(BuildShards(2, 2, {}), stall.Callback(),
+                                  options);
+
+  // Park shard 1 behind a community-changing burst.
+  const auto base1 = static_cast<VertexId>(1 * kVerticesPerTenant);
+  ASSERT_TRUE(
+      service.Submit({base1, static_cast<VertexId>(base1 + 1), 1e6, 0}).ok());
+  stall.AwaitStalled();
+
+  // 2 edges for (running) shard 0 — within its budget, so they are always
+  // fully accepted — and 5 for the parked shard 1, whose free budget is 2.
+  std::vector<Edge> chunk;
+  Rng rng(47);
+  for (int i = 0; i < 2; ++i) chunk.push_back(TenantEdge(&rng, 0));
+  for (int i = 0; i < 5; ++i) chunk.push_back(TenantEdge(&rng, 1));
+
+  std::size_t enqueued = 0;
+  const Status s = service.SubmitBatch(chunk, &enqueued);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(enqueued, 2u + 2u);  // shard 0 whole part + shard 1's prefix
+
+  stall.Release();
+  service.Drain();
+  EXPECT_EQ(service.EdgesProcessed(), 1u + 4u);
+  const ShardedServiceStats stats = service.GetStats();
+  ASSERT_EQ(stats.shard_queue_hwm.size(), 2u);
+  // Shard 1's queue reached its full budget while its worker was parked.
+  EXPECT_GE(stats.shard_queue_hwm[1], 2u);
+  for (std::size_t sh = 0; sh < 2; ++sh) {
+    EXPECT_GE(stats.shard_queue_hwm[sh], 0u);
+    EXPECT_EQ(stats.shard_queue_depth[sh], 0u);  // drained
+  }
+}
+
+// CPU pinning smoke: a valid CPU pins (or warns and runs unpinned on
+// non-Linux), an out-of-range CPU must degrade to a logged warning — never
+// an error, never a lost edge.
+TEST(ShardedDetectionServiceTest, ShardCpuPinningIsBestEffort) {
+  ShardedDetectionServiceOptions options = TenantOptions();
+  options.shard_cpus = {0, 1 << 20};  // shard 0 -> cpu 0, shard 1 -> bogus
+  ShardedDetectionService service(BuildShards(2, 2, {}), nullptr, options);
+  Rng rng(53);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(service.Submit(TenantEdge(&rng, i % 2)).ok());
+  }
+  service.Drain();
+  EXPECT_EQ(service.EdgesProcessed(), 40u);
 }
 
 TEST(ShardedDetectionServiceTest, SaveRestoreRoundTrip) {

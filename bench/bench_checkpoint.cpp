@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "bench/bench_meta.h"
 #include "common/timer.h"
 #include "core/spade.h"
 #include "metrics/semantics.h"
@@ -232,8 +233,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  {
+    char cfg[128];
+    std::snprintf(cfg, sizeof(cfg),
+                  "{\"shards\": %zu, \"chain_vertices\": %zu}",
+                  spade::bench::kShards, spade::bench::kChainVertices);
+    spade::bench::WriteBenchMeta(f, cfg);
+  }
   std::fprintf(f,
-               "{\n  \"workload\": {\"shards\": %zu, "
+               "  \"workload\": {\"shards\": %zu, "
                "\"traffic_edges_per_checkpoint\": %zu, "
                "\"initial_edges_per_vertex\": 5, \"semantics\": \"DW\"},\n",
                spade::bench::kShards, spade::bench::kTrafficEdges);

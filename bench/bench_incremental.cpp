@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/bench_meta.h"
 #include "common/rng.h"
 #include "core/incremental_engine.h"
 #include "peel/peel_state.h"
@@ -257,7 +258,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  std::fprintf(f, "{\n");
+  spade::bench::WriteBenchMeta(f, "{\"semantics\": \"DW\"}");
+  std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     std::fprintf(f,

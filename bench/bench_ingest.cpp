@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "bench/bench_meta.h"
 #include "core/spade.h"
 #include "metrics/semantics.h"
 #include "service/sharded_detection_service.h"
@@ -364,8 +365,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  {
+    char cfgjson[160];
+    std::snprintf(cfgjson, sizeof(cfgjson),
+                  "{\"reps\": %d, \"batch_chunk\": 1024, "
+                  "\"semantics\": \"DW\"}",
+                  kReps);
+    spade::bench::WriteBenchMeta(f, cfgjson);
+  }
   std::fprintf(f,
-               "{\n  \"workload\": {\"tenants\": %zu, \"vertices\": %zu, "
+               "  \"workload\": {\"tenants\": %zu, \"vertices\": %zu, "
                "\"initial_edges\": %zu, \"stream_edges\": %zu, "
                "\"cross_per_mille\": %zu, \"detect_every\": %zu},\n",
                cfg.tenants, w.num_vertices, w.initial.size(), w.stream.size(),

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "bench/bench_meta.h"
 #include "core/spade.h"
 #include "metrics/semantics.h"
 #include "stream/labeled_stream.h"
@@ -421,7 +422,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"workload\": {\"tenants\": %zu, \"vertices\": %zu, "
+  std::fprintf(f, "{\n");
+  {
+    char cfgjson[128];
+    std::snprintf(cfgjson, sizeof(cfgjson),
+                  "{\"tenants\": %zu, \"semantics\": \"DW\"}",
+                  cfg.tenants);
+    spade::bench::WriteBenchMeta(f, cfgjson);
+  }
+  std::fprintf(f, "  \"workload\": {\"tenants\": %zu, \"vertices\": %zu, "
                "\"initial_edges\": %zu, \"stream_edges\": %zu},\n",
                cfg.tenants, w.num_vertices, w.initial.size(),
                w.stream.size());
@@ -476,8 +485,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", spath.c_str());
     return 1;
   }
+  std::fprintf(sf, "{\n");
+  {
+    char cfgjson[128];
+    std::snprintf(cfgjson, sizeof(cfgjson),
+                  "{\"ring_size\": %zu, \"semantics\": \"DW\"}",
+                  scfg.ring_size);
+    spade::bench::WriteBenchMeta(sf, cfgjson);
+  }
   std::fprintf(sf,
-               "{\n  \"workload\": {\"vertices\": %zu, \"stream_edges\": %zu, "
+               "  \"workload\": {\"vertices\": %zu, \"stream_edges\": %zu, "
                "\"ring_size\": %zu, \"ring_edges\": %zu},\n",
                sw.num_vertices, sw.stream.size(), scfg.ring_size,
                scfg.ring_edges);

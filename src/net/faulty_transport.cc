@@ -1,0 +1,96 @@
+#include "net/faulty_transport.h"
+
+#include <chrono>
+#include <thread>
+
+namespace spade::net {
+
+FaultyConnection::FaultyConnection(std::unique_ptr<Connection> inner,
+                                   FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan), rng_(plan.seed) {}
+
+FaultyConnection::~FaultyConnection() { Close(); }
+
+Status FaultyConnection::Emit(const std::string& frame) {
+  if (holding_) {
+    // A reordered predecessor is waiting: send the new frame first, then
+    // the held one — the swap a multi-path network produces.
+    holding_ = false;
+    SPADE_RETURN_NOT_OK(inner_->SendAll(frame.data(), frame.size()));
+    return inner_->SendAll(held_.data(), held_.size());
+  }
+  return inner_->SendAll(frame.data(), frame.size());
+}
+
+Status FaultyConnection::SendAll(const void* data, std::size_t size) {
+  ++stats_.frames;
+  std::string frame(static_cast<const char*>(data), size);
+  const bool armed = plan_.max_faults < 0 || faults_ < plan_.max_faults;
+  if (armed) {
+    // One draw decides which fault (if any) fires; declared order.
+    const double u = rng_.NextDouble();
+    double edge = plan_.p_drop;
+    if (u < edge) {
+      ++faults_;
+      ++stats_.dropped;
+      return Status::OK();  // torn: the bytes never leave
+    }
+    edge += plan_.p_truncate;
+    if (u < edge && size > 1) {
+      ++faults_;
+      ++stats_.truncated;
+      frame.resize(1 + rng_.NextBounded(size - 1));  // strict prefix
+      return Emit(frame);
+    }
+    edge += plan_.p_flip;
+    if (u < edge && size > 0) {
+      ++faults_;
+      ++stats_.flipped;
+      const std::size_t pos = rng_.NextBounded(size);
+      frame[pos] = static_cast<char>(
+          frame[pos] ^ static_cast<char>(1 + rng_.NextBounded(255)));
+      return Emit(frame);
+    }
+    edge += plan_.p_duplicate;
+    if (u < edge) {
+      ++faults_;
+      ++stats_.duplicated;
+      SPADE_RETURN_NOT_OK(Emit(frame));
+      return Emit(frame);
+    }
+    edge += plan_.p_reorder;
+    if (u < edge && !holding_) {
+      ++faults_;
+      ++stats_.reordered;
+      holding_ = true;
+      held_ = std::move(frame);
+      return Status::OK();  // leaves with the next frame, after it
+    }
+    edge += plan_.p_delay;
+    if (u < edge) {
+      ++faults_;
+      ++stats_.delayed;
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan_.delay_ms));
+      return Emit(frame);
+    }
+  }
+  return Emit(frame);
+}
+
+IoResult FaultyConnection::Recv(void* buffer, std::size_t capacity,
+                                std::size_t* received, int timeout_ms) {
+  return inner_->Recv(buffer, capacity, received, timeout_ms);
+}
+
+void FaultyConnection::Close() {
+  holding_ = false;
+  held_.clear();
+  if (inner_) inner_->Close();
+}
+
+std::unique_ptr<Connection> WrapFaulty(std::unique_ptr<Connection> inner,
+                                       const FaultPlan& plan) {
+  return std::make_unique<FaultyConnection>(std::move(inner), plan);
+}
+
+}  // namespace spade::net

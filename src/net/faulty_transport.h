@@ -1,0 +1,89 @@
+// Deterministic network fault injection: the wire analogue of the
+// TruncatingWriter hook in storage/checked_io.h.
+//
+// FaultyConnection wraps a Connection and mangles outbound traffic on a
+// seeded schedule. The ingest client and the replication sender both emit
+// exactly one frame per SendAll call, so the shim treats each SendAll as
+// one frame and can tear it (drop), truncate it, flip a byte in it,
+// duplicate it, delay it, or swap it with the following frame — the full
+// menu of failures a real network (or a dying primary's half-written
+// socket buffer) produces, replayed bit-identically from a seed.
+//
+// Faults apply to the SEND side only; receives pass through untouched.
+// That is sufficient: wrapping the client's connection fuzzes the server's
+// input, wrapping the follower's connection fuzzes its acks, and every
+// protocol participant gets exercised against corrupt input by wrapping
+// its peer.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace spade::net {
+
+/// Seeded schedule of wire faults. Probabilities are per outbound frame
+/// and evaluated in the order they are declared; at most one fault fires
+/// per frame.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double p_drop = 0.0;       // tear: the frame never leaves
+  double p_truncate = 0.0;   // a random strict prefix leaves
+  double p_flip = 0.0;       // one random byte is XOR-flipped
+  double p_duplicate = 0.0;  // the frame is sent twice
+  double p_reorder = 0.0;    // held back and sent after the next frame
+  double p_delay = 0.0;      // sent after sleeping delay_ms
+  int delay_ms = 0;
+  /// Stop injecting after this many faults (< 0 = unlimited). Lets a test
+  /// guarantee eventual delivery while still exercising the fault paths.
+  int max_faults = -1;
+};
+
+/// Counters for assertions.
+struct FaultStats {
+  std::uint64_t frames = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t flipped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+};
+
+/// A Connection decorator injecting FaultPlan on every SendAll.
+class FaultyConnection : public Connection {
+ public:
+  FaultyConnection(std::unique_ptr<Connection> inner, FaultPlan plan);
+  ~FaultyConnection() override;
+
+  Status SendAll(const void* data, std::size_t size) override;
+  IoResult Recv(void* buffer, std::size_t capacity, std::size_t* received,
+                int timeout_ms) override;
+  void Close() override;
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  /// Sends one (possibly already mangled) frame, honoring a pending
+  /// reorder hold.
+  Status Emit(const std::string& frame);
+
+  std::unique_ptr<Connection> inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  int faults_ = 0;
+  bool holding_ = false;
+  std::string held_;  // reorder buffer: one deferred frame
+};
+
+/// Convenience factory matching the `wrap_transport` hooks on the client
+/// and standby options.
+std::unique_ptr<Connection> WrapFaulty(std::unique_ptr<Connection> inner,
+                                       const FaultPlan& plan);
+
+}  // namespace spade::net

@@ -1,0 +1,209 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace spade::net {
+
+namespace {
+
+void SetNodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Waits for `events` on `fd`. Returns >0 when ready, 0 on timeout,
+/// <0 on error.
+int PollFd(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(int fd) : fd_(fd) { SetNodelay(fd); }
+
+TcpConnection::~TcpConnection() {
+  Close();
+  // By contract the owner has joined any thread that could be inside
+  // Recv/SendAll before destroying the connection, so releasing the fd
+  // number is safe here and only here.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+Status TcpConnection::SendAll(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return Status::IOError("send on closed connection");
+    }
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return Status::IOError("send on closed connection");
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR)) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (PollFd(fd, POLLOUT, 1000) <= 0) {
+        return Status::IOError("send timed out");
+      }
+      continue;
+    }
+    return Status::IOError(std::string("send failed: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+IoResult TcpConnection::Recv(void* buffer, std::size_t capacity,
+                             std::size_t* received, int timeout_ms) {
+  if (shutdown_.load(std::memory_order_acquire)) return IoResult::kClosed;
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return IoResult::kClosed;
+  const int rc = PollFd(fd, POLLIN, timeout_ms);
+  if (rc == 0) return IoResult::kTimeout;
+  if (rc < 0) return IoResult::kError;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, capacity, 0);
+    if (n > 0) {
+      *received = static_cast<std::size_t>(n);
+      return IoResult::kOk;
+    }
+    if (n == 0) return IoResult::kClosed;
+    if (errno == EINTR) continue;
+    // POLLIN with nothing readable can mean the fd was shut down by
+    // Close() from another thread.
+    return IoResult::kError;
+  }
+}
+
+void TcpConnection::Close() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  const int fd = fd_.load(std::memory_order_acquire);
+  // shutdown (not close) so a Recv blocked in poll()/recv() on another
+  // thread wakes up with EOF while the fd number stays reserved; the
+  // destructor releases it once no thread can be using it.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  ReleaseFd();
+}
+
+void TcpListener::ReleaseFd() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+Status TcpListener::Listen(int port) {
+  // Only called with no acceptor thread running (Start precondition), so
+  // reclaiming a previously Close()d fd is race-free here.
+  ReleaseFd();
+  shutdown_.store(false, std::memory_order_release);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s =
+        Status::IOError(std::string("bind: ") + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) < 0) {
+    const Status s =
+        Status::IOError(std::string("listen: ") + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  fd_.store(fd, std::memory_order_release);
+  return Status::OK();
+}
+
+std::unique_ptr<TcpConnection> TcpListener::Accept(int timeout_ms) {
+  if (shutdown_.load(std::memory_order_acquire)) return nullptr;
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return nullptr;
+  const int rc = PollFd(fd, POLLIN, timeout_ms);
+  if (rc <= 0 || shutdown_.load(std::memory_order_acquire)) return nullptr;
+  const int conn = ::accept4(fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (conn < 0) return nullptr;
+  return std::make_unique<TcpConnection>(conn);
+}
+
+void TcpListener::Close() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  // shutdown() on a listening socket is a no-op on Linux (ENOTCONN), but
+  // every Accept here polls with a bounded timeout and re-checks the
+  // shutdown flag, so a blocked acceptor still returns within one poll
+  // interval. The fd is released by the destructor or the next Listen().
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+std::unique_ptr<TcpConnection> TcpConnect(int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  // Non-blocking connect + poll gives the timeout; flip back to blocking
+  // after.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int rc =
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  if (rc < 0) {
+    if (PollFd(fd, POLLOUT, timeout_ms) <= 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return std::make_unique<TcpConnection>(fd);
+}
+
+}  // namespace spade::net

@@ -1,0 +1,116 @@
+// Minimal POSIX TCP transport for the replicated ingest tier: a blocking
+// connection abstraction with poll()-based receive timeouts, a listener
+// with ephemeral-port support, and a connect-with-timeout helper.
+//
+// The abstraction exists for exactly one reason beyond portability hygiene:
+// FaultyConnection (faulty_transport.h) wraps a Connection to inject
+// deterministic wire faults, the network analogue of the TruncatingWriter
+// hook in storage/checked_io.h. Everything above this layer — the ingest
+// server, client and replicator — talks to the interface and never to a
+// file descriptor, so the fault shim composes with all of them.
+//
+// Loopback/IPv4 only, Linux-oriented (MSG_NOSIGNAL); that matches the test
+// and bench deployments this tier targets.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace spade::net {
+
+/// Outcome of one Recv call.
+enum class IoResult {
+  kOk,       // >= 1 byte received
+  kTimeout,  // nothing arrived within the timeout
+  kClosed,   // orderly EOF from the peer
+  kError,    // socket error; the connection is dead
+};
+
+/// One byte stream between two endpoints.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Writes all `size` bytes (looping over short writes). A send to a
+  /// closed peer fails with kIOError instead of raising SIGPIPE.
+  virtual Status SendAll(const void* data, std::size_t size) = 0;
+
+  /// Reads up to `capacity` bytes, waiting at most `timeout_ms` (0 = poll,
+  /// <0 = block indefinitely). `*received` is set only on kOk.
+  virtual IoResult Recv(void* buffer, std::size_t capacity,
+                        std::size_t* received, int timeout_ms) = 0;
+
+  /// Shuts the socket down; any blocked Recv/SendAll returns promptly.
+  /// Safe to call from another thread and more than once.
+  virtual void Close() = 0;
+};
+
+/// A connected TCP socket.
+class TcpConnection : public Connection {
+ public:
+  /// Takes ownership of a connected fd.
+  explicit TcpConnection(int fd);
+  ~TcpConnection() override;
+
+  Status SendAll(const void* data, std::size_t size) override;
+  IoResult Recv(void* buffer, std::size_t capacity, std::size_t* received,
+                int timeout_ms) override;
+  void Close() override;
+
+ private:
+  // Close() only shuts the socket down; the fd itself is released in the
+  // destructor. Closing the descriptor while another thread is blocked in
+  // recv() on it would let the kernel reuse the fd number under that
+  // reader's feet; shutdown() wakes the reader while keeping the number
+  // reserved until everyone is provably done (the owner joins its handler
+  // threads before destroying the connection).
+  std::atomic<int> fd_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on `port` (0 = kernel-assigned ephemeral port;
+  /// read the result back with port()).
+  Status Listen(int port);
+
+  /// Port actually bound, 0 before Listen.
+  int port() const { return port_; }
+
+  /// Accepts one connection, waiting at most `timeout_ms` (<0 = forever).
+  /// Returns nullptr on timeout or when the listener was closed.
+  std::unique_ptr<TcpConnection> Accept(int timeout_ms);
+
+  /// Shuts the listening socket down; a blocked Accept returns nullptr.
+  /// Safe to call from another thread. The fd is released by the
+  /// destructor or the next Listen().
+  void Close();
+
+ private:
+  // Same deferred-close discipline as TcpConnection: Close() may race a
+  // blocked Accept(), so it only shuts down; the fd is reclaimed where no
+  // acceptor can be using it (destructor / single-threaded re-Listen).
+  void ReleaseFd();
+
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> shutdown_{false};
+  int port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port` within `timeout_ms`. Returns nullptr on
+/// refusal or timeout.
+std::unique_ptr<TcpConnection> TcpConnect(int port, int timeout_ms);
+
+}  // namespace spade::net

@@ -1,0 +1,183 @@
+// Binary wire format for the replicated ingest tier: length-prefixed,
+// CRC-64-framed messages carrying edge batches, acks, heartbeats and
+// epoch-replication payloads.
+//
+// Every frame follows one discipline, the wire analogue of the snapshot
+// files' trailer framing (storage/checked_io.h):
+//
+//   [magic u32 "SPDW"][type u8][flags u8][payload_len u32][seq u64]
+//   [hcrc u64]                      (CRC-64/XZ over the 18 bytes above)
+//   [payload bytes ...]
+//   [crc64 u64]                     (CRC-64/XZ over header + payload)
+//
+// Little-endian fixed-width fields throughout. The trailer CRC covers the
+// whole frame, so a flipped byte anywhere — type, length, sequence
+// number, payload — fails the check; CRC-64 detects every single-byte and
+// every burst-<64-bit error, exactly the guarantee the snapshot formats
+// rely on. The separate header CRC exists for liveness, not integrity: a
+// receiver validates the length field BEFORE trusting it, so a corrupted
+// length can never park the stream waiting for phantom payload bytes —
+// the damage from any single corrupt frame is bounded by that frame.
+//
+// Resynchronization: a receiver that hits a bad frame (wrong magic,
+// implausible length, failed CRC) advances one byte and rescans for the
+// magic. Because the CRC rejects any candidate frame that is not byte-for-
+// byte a real one, a corrupt or torn frame costs at most its own bytes:
+// the next intact frame in the stream always decodes. FrameReader
+// implements that discipline once for both the server and the follower.
+//
+// Sequence numbers: ingest BATCH frames carry a per-stream monotonic
+// sequence starting at 1. The server applies seq N+1 only when its applied
+// watermark is exactly N, acking the watermark back — so a client may
+// resend freely (timeout, reconnect, duplicate-injecting network) and
+// every batch is applied exactly once. Frames that carry no sequence use
+// seq 0.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace spade::net {
+
+/// Frame types. Values are wire-visible; never renumber.
+enum class FrameType : std::uint8_t {
+  kHello = 1,        // client -> ingest server: payload = stream id (u64)
+  kHelloAck = 2,     // server -> client: payload = {applied, durable} seqs
+  kBatch = 3,        // client -> server: payload = edge batch; seq = batch seq
+  kAck = 4,          // server -> client: payload = {applied, durable} seqs
+  kHeartbeat = 5,    // primary -> follower: payload = current epoch (u64)
+  kEpochFile = 6,    // primary -> follower: one checkpoint file
+  kEpochCommit = 7,  // primary -> follower: manifest bytes; seals the epoch
+  kEpochAck = 8,     // follower -> primary: payload = epoch (u64)
+  kReplicaHello = 9, // follower -> primary: payload = applied epoch (u64)
+};
+
+/// True for a type value a receiver accepts off the wire.
+bool IsValidFrameType(std::uint8_t type);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Header bytes before the payload (fixed fields + header CRC).
+inline constexpr std::size_t kFrameHeaderSize = 4 + 1 + 1 + 4 + 8 + 8;
+/// Header bytes covered by the header CRC (everything before it).
+inline constexpr std::size_t kFrameHeaderCrcOffset = 4 + 1 + 1 + 4 + 8;
+/// CRC trailer bytes after the payload.
+inline constexpr std::size_t kFrameTrailerSize = 8;
+/// Hard cap on payload length; a length field beyond it is treated as
+/// corruption before any allocation happens (same plausibility gate as
+/// ChecksummedFileReader::CountExceedsFile).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+/// Encodes one complete frame (header + payload + CRC trailer).
+std::string EncodeFrame(FrameType type, std::uint64_t seq,
+                        std::string_view payload);
+
+/// Incremental frame decoder with one-byte-advance resynchronization.
+/// Feed raw stream bytes with Append; pull intact frames with Next.
+class FrameReader {
+ public:
+  /// Appends raw bytes received from the transport.
+  void Append(const void* data, std::size_t size);
+
+  /// Extracts the next intact frame. Returns false when no complete valid
+  /// frame is buffered (more bytes needed). Corrupt bytes are skipped.
+  bool Next(Frame* out);
+
+  /// Frames that failed the CRC or carried an implausible header.
+  std::uint64_t corrupt_frames() const { return corrupt_frames_; }
+  /// Bytes skipped while hunting for the next magic.
+  std::uint64_t resync_bytes() const { return resync_bytes_; }
+  /// Bytes currently buffered (incomplete frame tail).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  void Compact();
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::uint64_t corrupt_frames_ = 0;
+  std::uint64_t resync_bytes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Encoders produce the payload bytes (not a full frame);
+// decoders return false on any structural mismatch — the caller treats
+// that like a corrupt frame (the CRC already passed, so a false here means
+// a protocol error, not line noise).
+
+/// BATCH payload: [count u32][count x (src u32, dst u32, weight f64, ts i64)].
+std::string EncodeBatchPayload(std::span<const Edge> edges);
+bool DecodeBatchPayload(std::string_view payload, std::vector<Edge>* edges);
+
+/// HELLO_ACK / ACK payload: [applied u64][durable u64].
+struct AckPayload {
+  std::uint64_t applied = 0;
+  std::uint64_t durable = 0;
+};
+std::string EncodeAckPayload(const AckPayload& ack);
+bool DecodeAckPayload(std::string_view payload, AckPayload* ack);
+
+/// Single-u64 payloads (HELLO stream id, HEARTBEAT epoch, EPOCH_ACK epoch,
+/// REPLICA_HELLO applied epoch).
+std::string EncodeU64Payload(std::uint64_t value);
+bool DecodeU64Payload(std::string_view payload, std::uint64_t* value);
+
+/// EPOCH_FILE payload: [epoch u64][name_len u16][name][file bytes].
+struct EpochFilePayload {
+  std::uint64_t epoch = 0;
+  std::string name;
+  std::string data;
+};
+std::string EncodeEpochFilePayload(std::uint64_t epoch, std::string_view name,
+                                   std::string_view data);
+bool DecodeEpochFilePayload(std::string_view payload, EpochFilePayload* out);
+
+/// EPOCH_COMMIT payload: [epoch u64][manifest bytes].
+struct EpochCommitPayload {
+  std::uint64_t epoch = 0;
+  std::string manifest;
+};
+std::string EncodeEpochCommitPayload(std::uint64_t epoch,
+                                     std::string_view manifest);
+bool DecodeEpochCommitPayload(std::string_view payload,
+                              EpochCommitPayload* out);
+
+// ---------------------------------------------------------------------------
+// Ingest sequence map: the per-stream applied watermarks captured
+// atomically with each sealed epoch, persisted next to the manifest and
+// replicated with the chain. A promoted follower seeds its dedup table
+// from the newest seqmap, which is what turns "client retains batches
+// until durable + resends after failover" into exactly-once (DESIGN.md
+// §7).
+//
+// File format: [magic u64 "SPADE_SQ"][version u32][epoch u64][count u64]
+// [count x (stream u64, seq u64)][crc64 trailer] — the shared
+// checked_io discipline, so replication validates it like any chain file.
+
+using SeqMap = std::map<std::uint64_t, std::uint64_t>;
+
+/// Canonical seqmap file name ("ingest.seqmap-<epoch>").
+std::string SeqMapFileName(std::uint64_t epoch);
+
+/// Atomically writes a seqmap file (temp + rename, CRC trailer).
+Status WriteSeqMapFile(const std::string& path, std::uint64_t epoch,
+                       const SeqMap& seqs);
+
+/// Reads a seqmap file back, verifying magic, version and the trailer.
+Status ReadSeqMapFile(const std::string& path, std::uint64_t* epoch,
+                      SeqMap* seqs);
+
+}  // namespace spade::net

@@ -53,6 +53,12 @@ class DetectionService {
   /// and is reflected by CurrentCommunity().
   void Drain() { worker_.Drain(); }
 
+  /// Bounded-wait Drain: true when the snapshot became exact within
+  /// `timeout`, false when the deadline passed with edges still in flight.
+  bool DrainFor(std::chrono::milliseconds timeout) {
+    return worker_.DrainFor(timeout);
+  }
+
   /// Drains, stops the worker and joins it. Idempotent.
   void Stop() { worker_.Stop(); }
 

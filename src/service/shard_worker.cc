@@ -328,6 +328,19 @@ void ShardWorker::Drain() {
   --drain_waiters_;
 }
 
+bool ShardWorker::DrainFor(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  const std::uint64_t target = submitted_.load(std::memory_order_seq_cst);
+  if (exact_through_ >= target || worker_exited_) return true;
+  ++drain_waiters_;
+  work_cv_.notify_one();
+  const bool reached = drain_cv_.wait_for(lock, timeout, [this, target] {
+    return exact_through_ >= target || worker_exited_;
+  });
+  --drain_waiters_;
+  return reached;
+}
+
 void ShardWorker::Stop() {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -488,6 +501,41 @@ Status ShardWorker::RestoreChain(RestorePlan&& plan) {
         }
       }
     }
+    delta_log_.clear();
+    delta_overflow_ = false;
+    delta_tracking_ = true;
+    snap = RebaselineLocked(/*flush=*/false);
+  }
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  snapshot_.store(std::move(snap));
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snap);
+#endif
+  return Status::OK();
+}
+
+Status ShardWorker::ReplaySegment(const DeltaSegment& segment,
+                                  std::chrono::milliseconds drain_timeout) {
+  if (!DrainFor(drain_timeout)) {
+    return Status::FailedPrecondition(
+        "ReplaySegment: shard queue did not drain within " +
+        std::to_string(drain_timeout.count()) + "ms");
+  }
+  std::shared_ptr<const Community> snap;
+  {
+    std::lock_guard<std::mutex> lock(detector_mutex_);
+    for (const DeltaRecord& record : segment.records) {
+      if (record.flush) {
+        SPADE_RETURN_NOT_OK(spade_.Flush());
+      } else {
+        SPADE_RETURN_NOT_OK(spade_.ApplyEdge(record.edge));
+      }
+    }
+    // The replayed records came from a sealed checkpoint: the detector now
+    // matches that checkpoint, so the in-memory history restarts from it
+    // (the owner invalidates its chain cache, making the next save a full
+    // base — see ShardedDetectionService::ApplyChainEpoch).
     delta_log_.clear();
     delta_overflow_ = false;
     delta_tracking_ = true;

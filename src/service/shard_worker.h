@@ -42,6 +42,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -162,6 +163,13 @@ class ShardWorker {
   /// worker has exited.
   void Drain();
 
+  /// Bounded-wait Drain: returns true when the snapshot became exact (or
+  /// the worker exited) within `timeout`, false when the deadline passed
+  /// first — the caller's edges may still be in flight. Replication and
+  /// promotion use this so a wedged shard surfaces as a status instead of
+  /// hanging the control plane (DESIGN.md §7).
+  bool DrainFor(std::chrono::milliseconds timeout);
+
   /// Drains, stops the worker and joins it. Idempotent.
   void Stop();
 
@@ -269,6 +277,17 @@ class ShardWorker {
   /// worker only touches its own detector), which is how the sharded
   /// service parallelizes restore-side replay.
   Status RestoreChain(RestorePlan&& plan);
+
+  /// Replays one already-validated delta segment on top of the current
+  /// detector state — the warm-standby increment: a follower that restored
+  /// epoch E applies the segment E -> E+1 without reloading the base.
+  /// Replays through the same ApplyEdge / Flush path as RestoreChain, so
+  /// the result stays bit-identical to the primary that wrote the segment.
+  /// Fails with kFailedPrecondition when the queue cannot be drained
+  /// within `drain_timeout` (a promoted follower must not replay into a
+  /// detector with edges still in flight).
+  Status ReplaySegment(const DeltaSegment& segment,
+                       std::chrono::milliseconds drain_timeout);
 
   /// Runs `fn` on the detector under the detector mutex (tests and
   /// diagnostics: peel-state differentials, graph audits). Blocks this

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <string_view>
 #include <unordered_set>
 #include <utility>
 
@@ -179,6 +180,20 @@ Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
 
 void ShardedDetectionService::Drain() {
   for (auto& w : workers_) w->Drain();
+}
+
+bool ShardedDetectionService::DrainFor(std::chrono::milliseconds timeout) {
+  // One shared deadline: each shard gets whatever budget remains, so the
+  // total wait is bounded by `timeout` no matter how many shards lag.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool all = true;
+  for (auto& w : workers_) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+    all &= w->DrainFor(std::max(remaining, std::chrono::milliseconds(0)));
+  }
+  return all;
 }
 
 void ShardedDetectionService::Stop() {
@@ -481,18 +496,57 @@ std::uint64_t FileSizeOrZero(const std::string& path) {
   return ec ? 0 : static_cast<std::uint64_t>(size);
 }
 
-/// True for any epoch-stamped checkpoint artifact name (base snapshots,
-/// delta segments, boundary bases and tails). Legacy unstamped names
-/// (shard-<i>.snapshot, boundary.index) never match. The single
-/// classifier serves both the GC and the epoch scanner: if they ever
-/// disagreed, NextEpochForDir could hand out an epoch whose crashed files
-/// survived GC — the stale-bytes collision the stamping exists to
-/// prevent.
-bool IsEpochStampedArtifact(const std::string& name) {
-  return name.find(".delta-") != std::string::npos ||
-         name.find(".snapshot-") != std::string::npos ||
-         name.rfind("boundary.tail-", 0) == 0 ||
-         name.rfind("boundary.index-", 0) == 0;
+bool AllDigits(std::string_view s) {
+  return !s.empty() &&
+         s.find_first_not_of("0123456789") == std::string_view::npos;
+}
+
+bool ParseEpochSuffix(std::string_view s, std::uint64_t* epoch) {
+  if (!AllDigits(s) || s.size() > 19) return false;  // u64 max is 20 digits
+  std::uint64_t value = 0;
+  for (const char c : s) value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  *epoch = value;
+  return true;
+}
+
+/// Strict parser for epoch-stamped checkpoint artifact names: matches
+/// exactly `shard-<digits>.snapshot-<digits>`, `shard-<digits>.delta-
+/// <digits>`, `boundary.tail-<digits>` and `boundary.index-<digits>`,
+/// yielding the epoch. Legacy unstamped names (shard-<i>.snapshot,
+/// boundary.index) and every foreign file — client spill buffers, ingest
+/// seqmaps, editor droppings — never match, so sharing the directory with
+/// non-checkpoint files neither perturbs epoch numbering nor gets them
+/// garbage-collected. The single classifier serves both the GC and the
+/// epoch scanner: if they ever disagreed, NextEpochForDir could hand out
+/// an epoch whose crashed files survived GC — the stale-bytes collision
+/// the stamping exists to prevent.
+bool ParseEpochStampedArtifact(const std::string& name,
+                               std::uint64_t* epoch) {
+  std::string_view v(name);
+  constexpr std::string_view kTail = "boundary.tail-";
+  constexpr std::string_view kIndex = "boundary.index-";
+  constexpr std::string_view kShard = "shard-";
+  if (v.substr(0, kTail.size()) == kTail) {
+    return ParseEpochSuffix(v.substr(kTail.size()), epoch);
+  }
+  if (v.substr(0, kIndex.size()) == kIndex) {
+    return ParseEpochSuffix(v.substr(kIndex.size()), epoch);
+  }
+  if (v.substr(0, kShard.size()) == kShard) {
+    v.remove_prefix(kShard.size());
+    const std::size_t dot = v.find('.');
+    if (dot == std::string_view::npos || !AllDigits(v.substr(0, dot))) {
+      return false;
+    }
+    v.remove_prefix(dot + 1);
+    for (const std::string_view kind : {std::string_view("snapshot-"),
+                                        std::string_view("delta-")}) {
+      if (v.substr(0, kind.size()) == kind) {
+        return ParseEpochSuffix(v.substr(kind.size()), epoch);
+      }
+    }
+  }
+  return false;
 }
 
 /// First epoch a chain-less save into `dir` may use. Epoch numbers must
@@ -512,17 +566,8 @@ std::uint64_t NextEpochForDir(const std::string& dir) {
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
-    const std::size_t dash = name.rfind('-');
-    if (!IsEpochStampedArtifact(name) || dash == std::string::npos) continue;
-    const std::string digits = name.substr(dash + 1);
-    if (digits.empty() ||
-        digits.find_first_not_of("0123456789") != std::string::npos) {
-      continue;
-    }
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long epoch = std::strtoull(digits.c_str(), &end, 10);
-    if (errno == 0 && end != nullptr && *end == '\0') {
+    std::uint64_t epoch = 0;
+    if (ParseEpochStampedArtifact(name, &epoch)) {
       next = std::max<std::uint64_t>(next, epoch + 1);
     }
   }
@@ -648,8 +693,11 @@ void ShardedDetectionService::RemoveStaleChainFiles(
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
     // Only epoch-stamped artifacts are ever collected, so legacy
-    // unstamped files survive untouched.
-    if (IsEpochStampedArtifact(name) && referenced.count(name) == 0) {
+    // unstamped files — and foreign files sharing the directory — survive
+    // untouched.
+    std::uint64_t epoch = 0;
+    if (ParseEpochStampedArtifact(name, &epoch) &&
+        referenced.count(name) == 0) {
       std::filesystem::remove(entry.path(), ec);
     }
   }
@@ -886,6 +934,75 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
                                restore_start)
                                .count();
   }
+  return Status::OK();
+}
+
+Status ShardedDetectionService::ApplyChainEpoch(
+    const std::string& dir, std::uint64_t target_epoch,
+    std::chrono::milliseconds drain_timeout,
+    std::uint64_t* edges_replayed) {
+  std::lock_guard<std::mutex> save_lock(save_mutex_);
+  ShardManifest manifest;
+  SPADE_RETURN_NOT_OK(ReadShardManifest(dir, &manifest));
+  if (manifest.num_shards != workers_.size()) {
+    return Status::FailedPrecondition(
+        "ApplyChainEpoch: snapshot has " +
+        std::to_string(manifest.num_shards) + " shards but the service has " +
+        std::to_string(workers_.size()));
+  }
+  if (target_epoch <= manifest.base_epoch || target_epoch > manifest.epoch) {
+    return Status::OutOfRange(
+        "ApplyChainEpoch: epoch " + std::to_string(target_epoch) +
+        " is not a delta epoch of " + dir + " (chain covers (" +
+        std::to_string(manifest.base_epoch) + ", " +
+        std::to_string(manifest.epoch) + "])");
+  }
+
+  // ---- Phase 1: parse + CRC-check the epoch's files, no side effects. ----
+  const std::size_t epoch_row =
+      static_cast<std::size_t>(target_epoch - manifest.base_epoch - 1);
+  std::vector<DeltaSegment> segments(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const DeltaSegmentRef& ref =
+        manifest.deltas[epoch_row * workers_.size() + i];
+    DeltaSegment segment;
+    SPADE_RETURN_NOT_OK(ReadDeltaSegment(JoinPath(dir, ref.file), &segment));
+    if (segment.shard != i || segment.epoch != target_epoch ||
+        segment.prev_epoch != target_epoch - 1) {
+      return Status::IOError("ApplyChainEpoch: segment " + ref.file +
+                             " does not advance shard " + std::to_string(i) +
+                             " from epoch " +
+                             std::to_string(target_epoch - 1));
+    }
+    segments[i] = std::move(segment);
+  }
+  const bool has_boundary = !manifest.boundary_file.empty();
+  BoundaryEdgeIndex::FileData tail;
+  if (has_boundary) {
+    const BoundaryTailRef& ref = manifest.boundary_tails[epoch_row];
+    SPADE_RETURN_NOT_OK(BoundaryEdgeIndex::ReadTailFile(
+        JoinPath(dir, ref.file), workers_.size(), target_epoch, &tail));
+  }
+
+  // ---- Phase 2: replay. Everything below passed validation. -------------
+  std::uint64_t replayed = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    replayed += segments[i].NumEdges();
+    SPADE_RETURN_NOT_OK(workers_[i]->ReplaySegment(segments[i],
+                                                   drain_timeout));
+  }
+  {
+    std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);
+    if (has_boundary) {
+      boundary_.AppendBuckets(tail, &boundary_persist_cursor_);
+    }
+  }
+  // The cached save chain no longer matches the workers' (now replayed-
+  // ahead) delta logs; drop it so the next SaveState writes a fresh full
+  // base instead of extending a chain that would silently skip the
+  // replayed epochs.
+  chain_dir_.clear();
+  if (edges_replayed != nullptr) *edges_replayed = replayed;
   return Status::OK();
 }
 

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -254,6 +255,13 @@ class ShardedDetectionService {
   /// submitted before this call.
   void Drain();
 
+  /// Bounded-wait Drain: true when every shard became exact within
+  /// `timeout` (one shared deadline, not per shard), false when the
+  /// deadline passed with at least one shard still behind. Replication
+  /// seals and follower promotion use this so a wedged shard degrades to a
+  /// reported failure instead of hanging the control plane.
+  bool DrainFor(std::chrono::milliseconds timeout);
+
   /// Drains and stops all shard workers (and the background stitcher).
   /// Idempotent.
   void Stop();
@@ -367,6 +375,25 @@ class ShardedDetectionService {
   /// are reset — stats() afterwards describes the restored run, not the
   /// one that wrote the snapshot.
   Status RestoreState(const std::string& dir, RestoreInfo* info = nullptr);
+
+  /// Warm-standby increment: applies exactly checkpoint epoch
+  /// `target_epoch` from `dir` on top of the service's current state —
+  /// the follower that already restored (or replayed up to) epoch E calls
+  /// this with E+1 as each replicated epoch commits, instead of re-running
+  /// a full RestoreState over the whole chain. Two-phase like
+  /// RestoreState: every segment and the boundary tail are parsed,
+  /// CRC-checked and chain-validated (shard index, prev_epoch contiguity
+  /// against `target_epoch - 1`) before any detector is touched, so a
+  /// corrupt replicated epoch fails cleanly with the fleet intact.
+  /// Replays through ShardWorker::ReplaySegment (bit-identity preserved).
+  /// Requires a quiesced service (the follower takes no writes); a shard
+  /// that cannot drain within `drain_timeout` fails the call. Invalidates
+  /// the cached save chain: the next SaveState into any directory writes
+  /// a full base. `edges_replayed` (optional) reports the replayed edge
+  /// records — the tail-chain replay cost bench_replication measures.
+  Status ApplyChainEpoch(const std::string& dir, std::uint64_t target_epoch,
+                         std::chrono::milliseconds drain_timeout,
+                         std::uint64_t* edges_replayed = nullptr);
 
  private:
   /// Single-pass density argmax over the shard snapshots: (shard, snapshot).

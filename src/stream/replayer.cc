@@ -300,6 +300,12 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
   }
   for (auto& t : producers) t.join();
   report.submit_seconds = now_micros() * 1e-6;
+  // Bounded drain first so a wedged shard queue surfaces as a warning
+  // instead of a silent hang; the unbounded drain then finishes the job.
+  if (!service.DrainFor(std::chrono::minutes(2))) {
+    SPADE_LOG_WARNING()
+        << "Replay: shard queues still busy after 2min; waiting unbounded";
+  }
   service.Drain();
   report.wall_seconds = now_micros() * 1e-6;
 

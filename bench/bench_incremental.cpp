@@ -64,11 +64,28 @@ DynamicGraph MakeHubGraph(std::size_t n, std::size_t m, std::size_t hub_deg,
   return g;
 }
 
+struct LatencyPercentiles {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Order statistics over one un-averaged pass: the tail (arena regrowths,
+/// long displacement merges) is exactly what the best-of means hide.
+LatencyPercentiles PercentilesFromMicros(std::vector<double> us) {
+  LatencyPercentiles r;
+  if (us.empty()) return r;
+  std::sort(us.begin(), us.end());
+  r.p50_us = us[us.size() / 2];
+  r.p99_us = us[std::min(us.size() - 1, us.size() * 99 / 100)];
+  return r;
+}
+
 struct Entry {
   std::string name;
   std::size_t n = 0;
   double before_us = 0.0;
   double after_us = 0.0;
+  LatencyPercentiles after_pct;  // per-op latencies of the optimized path
   std::string note;
   double speedup() const { return before_us / after_us; }
 };
@@ -76,11 +93,13 @@ struct Entry {
 /// Replays `stream` through `update` against fresh copies of (g0, s0),
 /// timing only the replay (the copies — megabytes of adjacency vectors —
 /// stay outside the timer). One warmup rep, then the best of `reps` timed
-/// reps, in microseconds per update.
+/// reps, in microseconds per update. When `pct` is non-null, one extra rep
+/// times every update individually and reports its p50/p99.
 template <typename UpdateFn>
 double MeasureUpdateBatchMicros(const DynamicGraph& g0, const PeelState& s0,
                                 const std::vector<Edge>& stream,
-                                UpdateFn&& update, int reps = 5) {
+                                UpdateFn&& update, int reps = 5,
+                                LatencyPercentiles* pct = nullptr) {
   double best_s = 0.0;
   for (int rep = 0; rep <= reps; ++rep) {
     DynamicGraph g = g0;
@@ -92,6 +111,20 @@ double MeasureUpdateBatchMicros(const DynamicGraph& g0, const PeelState& s0,
     (void)guard;
     if (rep == 0) continue;  // warmup
     if (best_s == 0.0 || elapsed < best_s) best_s = elapsed;
+  }
+  if (pct != nullptr) {
+    DynamicGraph g = g0;
+    PeelState state = s0;
+    volatile double guard = 0.0;
+    std::vector<double> per_op_us;
+    per_op_us.reserve(stream.size());
+    for (const Edge& e : stream) {
+      Timer timer;
+      guard = update(&g, &state, e);
+      per_op_us.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+    (void)guard;
+    *pct = PercentilesFromMicros(std::move(per_op_us));
   }
   return best_s / static_cast<double>(stream.size()) * 1e6;
 }
@@ -117,18 +150,19 @@ Entry BenchHubUpdate(std::size_t n, std::size_t hub_deg, std::size_t k,
     stream.push_back({0, d, w, 0});
   }
 
+  Entry e;
   const auto run = [&](bool optimized) {
     IncrementalEngine engine(
         IncrementalOptions{.stored_delta_recovery = optimized});
-    return MeasureUpdateBatchMicros(g0, s0, stream, [&](DynamicGraph* g,
-                                                        PeelState* state,
-                                                        const Edge& e) {
-      (void)engine.InsertEdge(g, state, e, nullptr, nullptr);
-      return optimized ? state->BestDensity() : NaiveBestDensity(*state);
-    });
+    return MeasureUpdateBatchMicros(
+        g0, s0, stream,
+        [&](DynamicGraph* g, PeelState* state, const Edge& ed) {
+          (void)engine.InsertEdge(g, state, ed, nullptr, nullptr);
+          return optimized ? state->BestDensity() : NaiveBestDensity(*state);
+        },
+        5, optimized ? &e.after_pct : nullptr);
   };
 
-  Entry e;
   e.name = heavy ? "hub_update_heavy" : "hub_update";
   e.n = n;
   e.note = std::string("insert+detect per update, hub degree ") +
@@ -156,17 +190,18 @@ Entry BenchDetectAfterEdge(std::size_t n, std::size_t k) {
     stream.push_back(e);
   }
 
+  Entry e;
   const auto run = [&](bool blocked) {
     IncrementalEngine engine;
-    return MeasureUpdateBatchMicros(g0, s0, stream, [&](DynamicGraph* g,
-                                                       PeelState* state,
-                                                       const Edge& e) {
-      (void)engine.InsertEdge(g, state, e, nullptr, nullptr);
-      return blocked ? state->BestDensity() : NaiveBestDensity(*state);
-    });
+    return MeasureUpdateBatchMicros(
+        g0, s0, stream,
+        [&](DynamicGraph* g, PeelState* state, const Edge& ed) {
+          (void)engine.InsertEdge(g, state, ed, nullptr, nullptr);
+          return blocked ? state->BestDensity() : NaiveBestDensity(*state);
+        },
+        5, blocked ? &e.after_pct : nullptr);
   };
 
-  Entry e;
   e.name = "detect_after_edge";
   e.n = n;
   e.note = "one Detect per single-edge insert";
@@ -227,6 +262,23 @@ Entry BenchVertexInsert(std::size_t n, std::size_t inserts) {
                  }
                }) /
                static_cast<double>(inserts) * 1e6;
+
+  // Per-op tail: amortized O(1) with occasional GrowFront relocations —
+  // the p99 is where those spikes show.
+  {
+    PeelState state(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      state.Append(static_cast<VertexId>(v), deltas[v]);
+    }
+    std::vector<double> per_op_us;
+    per_op_us.reserve(inserts);
+    for (std::size_t i = 0; i < inserts; ++i) {
+      Timer timer;
+      state.InsertVertexAtHead(static_cast<VertexId>(n + i), 0.0);
+      per_op_us.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+    e.after_pct = PercentilesFromMicros(std::move(per_op_us));
+  }
   return e;
 }
 
@@ -239,8 +291,9 @@ int main(int argc, char** argv) {
 
   std::vector<Entry> entries;
   std::printf("# incremental hot-path before/after microbench\n");
-  std::printf("%-18s %10s %12s %12s %9s  %s\n", "experiment", "n",
-              "before(us)", "after(us)", "speedup", "note");
+  std::printf("%-18s %10s %12s %12s %9s %10s %10s  %s\n", "experiment", "n",
+              "before(us)", "after(us)", "speedup", "p50(us)", "p99(us)",
+              "note");
 
   entries.push_back(BenchHubUpdate(1 << 16, 3000, 256, /*heavy=*/false));
   entries.push_back(BenchHubUpdate(1 << 16, 3000, 256, /*heavy=*/true));
@@ -248,8 +301,9 @@ int main(int argc, char** argv) {
   entries.push_back(BenchVertexInsert(1 << 14, 1024));
 
   for (const Entry& e : entries) {
-    std::printf("%-18s %10zu %12.3f %12.3f %8.2fx  %s\n", e.name.c_str(),
-                e.n, e.before_us, e.after_us, e.speedup(), e.note.c_str());
+    std::printf("%-18s %10zu %12.3f %12.3f %8.2fx %10.3f %10.3f  %s\n",
+                e.name.c_str(), e.n, e.before_us, e.after_us, e.speedup(),
+                e.after_pct.p50_us, e.after_pct.p99_us, e.note.c_str());
   }
 
   const std::string path = out_dir + "/BENCH_incremental.json";
@@ -265,9 +319,11 @@ int main(int argc, char** argv) {
     const Entry& e = entries[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"n\": %zu, \"before_us\": %.3f, "
-                 "\"after_us\": %.3f, \"speedup\": %.2f, \"note\": \"%s\"}%s\n",
+                 "\"after_us\": %.3f, \"speedup\": %.2f, \"p50_us\": %.3f, "
+                 "\"p99_us\": %.3f, \"note\": \"%s\"}%s\n",
                  e.name.c_str(), e.n, e.before_us, e.after_us, e.speedup(),
-                 e.note.c_str(), i + 1 == entries.size() ? "" : ",");
+                 e.after_pct.p50_us, e.after_pct.p99_us, e.note.c_str(),
+                 i + 1 == entries.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -1,0 +1,286 @@
+// Scalar-vs-SIMD sweep over the peel hot-path kernels (DESIGN.md §8):
+//
+//  1. fixed_order_sum_512 / suffix_scan_512 / iota_8192 — the raw simd.h
+//     kernels on cache-resident data, per dispatch target. The sum is
+//     16 independent lanes (throughput-bound: the vector win is the point
+//     of the exercise); the scan carries the suffix dependence through
+//     every group (latency-bound: reported honestly, near-1x is expected).
+//  2. block_sum_refresh — in-situ block-sum path: every block of a 64Ki
+//     PeelState dirtied, then one SuffixWeight(0) refreshing all 128 cached
+//     sums through FixedOrderSum.
+//  3. detect_after_edge — end to end: single-edge insert through the
+//     incremental engine plus one blocked Detect, per dispatch target via
+//     the override seam. CI gates regressions on this entry.
+//
+// Emits BENCH_peel.json (path = argv[1], default ./): one entry per
+// experiment with {name, n, scalar_us, simd_us, speedup, target}. scalar_us
+// always comes from the always-built scalar reference; simd_us from the
+// compile-time dispatch target (equal when the build is scalar-only).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_meta.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "core/incremental_engine.h"
+#include "peel/peel_state.h"
+#include "peel/static_peeler.h"
+
+namespace spade::bench {
+namespace {
+
+struct Entry {
+  std::string name;
+  std::size_t n = 0;
+  double scalar_us = 0.0;
+  double simd_us = 0.0;
+  std::string target;
+  std::string note;
+  double speedup() const { return scalar_us / simd_us; }
+};
+
+constexpr std::size_t kBlockLen = 512;  // PeelState::kBlock
+constexpr std::size_t kBlocks = 4;      // 16 KiB of doubles: L1-resident
+
+/// Per-call microseconds of `op` (which must consume its own results).
+template <typename Op>
+double MicrosPerCall(Op&& op, std::size_t calls_per_iteration) {
+  return BenchmarkSecondsPerIteration(op) /
+         static_cast<double>(calls_per_iteration) * 1e6;
+}
+
+Entry BenchFixedOrderSum(const simd::SimdTarget& scalar,
+                         const simd::SimdTarget& vec) {
+  Rng rng(101);
+  std::vector<double> data(kBlocks * kBlockLen);
+  for (auto& d : data) d = rng.NextDouble() * 4.0;
+  const auto measure = [&](const simd::SimdTarget& t) {
+    return MicrosPerCall(
+        [&] {
+          volatile double guard = 0.0;
+          for (std::size_t b = 0; b < kBlocks; ++b) {
+            guard = t.fixed_order_sum(data.data() + b * kBlockLen, kBlockLen);
+          }
+          (void)guard;
+        },
+        kBlocks);
+  };
+  Entry e;
+  e.name = "fixed_order_sum_512";
+  e.n = kBlockLen;
+  e.note = "block-sum/detect-tail microkernel, us per 512-wide reduction";
+  e.scalar_us = measure(scalar);
+  e.simd_us = measure(vec);
+  e.target = vec.name;
+  return e;
+}
+
+Entry BenchSuffixScan(const simd::SimdTarget& scalar,
+                      const simd::SimdTarget& vec) {
+  Rng rng(102);
+  std::vector<double> data(kBlocks * kBlockLen);
+  std::vector<double> out(kBlockLen);
+  for (auto& d : data) d = rng.NextDouble() * 4.0;
+  const auto measure = [&](const simd::SimdTarget& t) {
+    return MicrosPerCall(
+        [&] {
+          volatile double guard = 0.0;
+          for (std::size_t b = 0; b < kBlocks; ++b) {
+            guard = t.suffix_scan_block(data.data() + b * kBlockLen,
+                                        kBlockLen, out.data());
+          }
+          (void)guard;
+        },
+        kBlocks);
+  };
+  Entry e;
+  e.name = "suffix_scan_512";
+  e.n = kBlockLen;
+  e.note = "hull pre-pass, carry-chain latency-bound (near-1x expected)";
+  e.scalar_us = measure(scalar);
+  e.simd_us = measure(vec);
+  e.target = vec.name;
+  return e;
+}
+
+Entry BenchIota(const simd::SimdTarget& scalar, const simd::SimdTarget& vec) {
+  constexpr std::size_t kN = 8192;
+  std::vector<std::uint32_t> out(kN);
+  const auto measure = [&](const simd::SimdTarget& t) {
+    return MicrosPerCall(
+        [&] {
+          t.iota_u32(out.data(), kN, 0);
+          volatile std::uint32_t guard = out[kN - 1];
+          (void)guard;
+        },
+        1);
+  };
+  Entry e;
+  e.name = "iota_8192";
+  e.n = kN;
+  e.note = "heap AssignAll leaf fill, us per 8192-wide iota";
+  e.scalar_us = measure(scalar);
+  e.simd_us = measure(vec);
+  e.target = vec.name;
+  return e;
+}
+
+/// Every cached block sum dirtied, one SuffixWeight(0) refreshing all of
+/// them: the block-sum path exactly as Detect's tail walk consumes it.
+Entry BenchBlockSumRefresh(const simd::SimdTarget& scalar,
+                           const simd::SimdTarget& vec) {
+  constexpr std::size_t kN = std::size_t{1} << 16;
+  Rng rng(103);
+  PeelState state(kN);
+  for (std::size_t v = 0; v < kN; ++v) {
+    state.Append(static_cast<VertexId>(v), rng.NextDouble() * 4.0);
+  }
+  const auto measure = [&](const simd::SimdTarget& t) {
+    simd::SetSimdTargetForTesting(&t);
+    const double us = MicrosPerCall(
+        [&] {
+          for (std::size_t i = 0; i < kN; i += kBlockLen) {
+            state.BumpDelta(i, 0.0);  // dirties the block, keeps the bits
+          }
+          volatile double guard = state.SuffixWeight(0);
+          (void)guard;
+        },
+        1);
+    simd::SetSimdTargetForTesting(nullptr);
+    return us;
+  };
+  Entry e;
+  e.name = "block_sum_refresh";
+  e.n = kN;
+  e.note = "all 128 block sums refreshed, 512KB stream: L2-bandwidth-bound";
+  e.scalar_us = measure(scalar);
+  e.simd_us = measure(vec);
+  e.target = vec.name;
+  return e;
+}
+
+/// End to end: one single-edge insert through the incremental engine plus
+/// one blocked Detect, per dispatch target. Mirrors bench_incremental's
+/// detect_after_edge workload shape so the two JSONs stay comparable.
+Entry BenchDetectAfterEdge(const simd::SimdTarget& scalar,
+                           const simd::SimdTarget& vec) {
+  constexpr std::size_t kN = std::size_t{1} << 16;
+  constexpr std::size_t kUpdates = 256;
+  Rng graph_rng(17);
+  DynamicGraph g0(kN);
+  for (std::size_t i = 0; i < 4 * kN; ++i) {
+    auto s = static_cast<VertexId>(graph_rng.NextZipf(kN, 0.9));
+    auto d = static_cast<VertexId>(graph_rng.NextZipf(kN, 0.9));
+    while (d == s) d = static_cast<VertexId>(graph_rng.NextZipf(kN, 0.9));
+    (void)g0.AddEdge(s, d, 1.0 + 9.0 * graph_rng.NextDouble());
+  }
+  const PeelState s0 = PeelStatic(g0);
+  Rng rng(19);
+  std::vector<Edge> stream;
+  for (std::size_t i = 0; i < kUpdates; ++i) {
+    Edge e;
+    e.src = static_cast<VertexId>(rng.NextZipf(kN, 0.9));
+    e.dst = static_cast<VertexId>(rng.NextZipf(kN, 0.9));
+    while (e.dst == e.src) {
+      e.dst = static_cast<VertexId>(rng.NextZipf(kN, 0.9));
+    }
+    e.weight = 0.01 + 0.04 * rng.NextDouble();
+    stream.push_back(e);
+  }
+
+  // One timed replay under `t`, seconds. The scalar and vector passes are
+  // interleaved rep by rep below so slow host-wide drift (frequency, noisy
+  // co-tenants on a 1-core runner) hits both targets alike instead of
+  // whichever was measured second.
+  const auto replay = [&](const simd::SimdTarget& t) {
+    simd::SetSimdTargetForTesting(&t);
+    DynamicGraph g = g0;
+    PeelState state = s0;
+    IncrementalEngine engine;
+    volatile double guard = 0.0;
+    Timer timer;
+    for (const Edge& e : stream) {
+      (void)engine.InsertEdge(&g, &state, e, nullptr, nullptr);
+      guard = state.BestDensity();
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    (void)guard;
+    simd::SetSimdTargetForTesting(nullptr);
+    return elapsed;
+  };
+  double best_scalar_s = 0.0, best_vec_s = 0.0;
+  constexpr int kReps = 7;
+  for (int rep = 0; rep <= kReps; ++rep) {
+    const double s = replay(scalar);
+    const double v = replay(vec);
+    if (rep == 0) continue;  // warmup
+    if (best_scalar_s == 0.0 || s < best_scalar_s) best_scalar_s = s;
+    if (best_vec_s == 0.0 || v < best_vec_s) best_vec_s = v;
+  }
+  Entry e;
+  e.name = "detect_after_edge";
+  e.n = kN;
+  e.note = "single-edge insert + blocked Detect, us per update";
+  e.scalar_us = best_scalar_s / static_cast<double>(kUpdates) * 1e6;
+  e.simd_us = best_vec_s / static_cast<double>(kUpdates) * 1e6;
+  e.target = vec.name;
+  return e;
+}
+
+}  // namespace
+}  // namespace spade::bench
+
+int main(int argc, char** argv) {
+  using namespace spade::bench;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  const auto targets = spade::simd::CompiledSimdTargets();
+  const spade::simd::SimdTarget& scalar = targets.front();
+  const spade::simd::SimdTarget& vec = targets.back();
+
+  std::printf("# peel hot-path scalar-vs-SIMD sweep (vector target: %s)\n",
+              vec.name);
+  std::printf("%-22s %10s %12s %12s %9s  %s\n", "experiment", "n",
+              "scalar(us)", "simd(us)", "speedup", "note");
+
+  std::vector<Entry> entries;
+  entries.push_back(BenchFixedOrderSum(scalar, vec));
+  entries.push_back(BenchSuffixScan(scalar, vec));
+  entries.push_back(BenchIota(scalar, vec));
+  entries.push_back(BenchBlockSumRefresh(scalar, vec));
+  entries.push_back(BenchDetectAfterEdge(scalar, vec));
+
+  for (const Entry& e : entries) {
+    std::printf("%-22s %10zu %12.4f %12.4f %8.2fx  %s\n", e.name.c_str(),
+                e.n, e.scalar_us, e.simd_us, e.speedup(), e.note.c_str());
+  }
+
+  const std::string path = out_dir + "/BENCH_peel.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  WriteBenchMeta(
+      f, std::string("{\"active_target\": \"") + vec.name + "\"}");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"n\": %zu, \"scalar_us\": %.4f, "
+        "\"simd_us\": %.4f, \"speedup\": %.2f, \"target\": \"%s\", "
+        "\"note\": \"%s\"}%s\n",
+        e.name.c_str(), e.n, e.scalar_us, e.simd_us, e.speedup(),
+        e.target.c_str(), e.note.c_str(),
+        i + 1 == entries.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

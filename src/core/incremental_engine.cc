@@ -231,12 +231,19 @@ double IncrementalEngine::ExactPendingWeight(const DynamicGraph& g,
   // emitted by this merge are stamped; everything else (stable prefix,
   // skipped gaps) lies before k.
   double w = g.VertexWeight(u);
-  g.ForEachIncident(u, [&](VertexId v, double c) {
-    if (pending_.Contains(v) ||
-        (!IsEmitted(v) && state.PositionOf(v) >= k && v != u)) {
-      w += c;
-    }
-  });
+  ForEachIncidentPrefetched(
+      g, u,
+      [&](VertexId pv) {
+        pending_.PrefetchSlot(pv);
+        SPADE_PREFETCH(scratch_vertex_.data() + pv);
+        state.PrefetchPosition(pv);
+      },
+      [&](VertexId v, double c) {
+        if (pending_.Contains(v) ||
+            (!IsEmitted(v) && state.PositionOf(v) >= k && v != u)) {
+          w += c;
+        }
+      });
   stats->touched_edges += g.Degree(u);
   return w;
 }
@@ -296,14 +303,21 @@ void IncrementalEngine::FlushCredits(const DynamicGraph& g,
     // Crediting a neighbor that is itself pending or already emitted is
     // harmless (its accumulator is never read again this epoch), so the
     // position test is the only guard — one packed-scratch line and one
-    // position read per edge, with a branchless accumulate.
-    g.ForEachIncident(u, [&](VertexId v, double c) {
-      VertexScratch& s = Scratch(v);
-      if (s.color == static_cast<std::uint8_t>(Color::kWhite)) {
-        s.color = static_cast<std::uint8_t>(Color::kGray);
-      }
-      s.recov += state.PositionOf(v) > old_pos ? c : 0.0;
-    });
+    // position read per edge, with a branchless accumulate. Both lines are
+    // prefetched a few neighbors ahead of the visit.
+    ForEachIncidentPrefetched(
+        g, u,
+        [&](VertexId pv) {
+          SPADE_PREFETCH(scratch_vertex_.data() + pv);
+          state.PrefetchPosition(pv);
+        },
+        [&](VertexId v, double c) {
+          VertexScratch& s = Scratch(v);
+          if (s.color == static_cast<std::uint8_t>(Color::kWhite)) {
+            s.color = static_cast<std::uint8_t>(Color::kGray);
+          }
+          s.recov += state.PositionOf(v) > old_pos ? c : 0.0;
+        });
     stats->touched_edges += g.Degree(u);
   }
   uncredited_.clear();
@@ -346,17 +360,25 @@ void IncrementalEngine::EmitFromQueue(const DynamicGraph& g, PeelState* state,
   // neighbor into the queue at an exact from-graph weight below, making
   // their accumulators unread.
   if (credited && old_pos <= k) {
-    g.ForEachIncident(umin, [&](VertexId v, double c) {
-      if (pending_.Contains(v)) {
-        pending_.Decrease(v, -c);
-      } else if (options_.stored_delta_recovery) {
-        AddRecov(v, -c);
-      }
-    });
+    ForEachIncidentPrefetched(
+        g, umin,
+        [&](VertexId pv) {
+          pending_.PrefetchSlot(pv);
+          SPADE_PREFETCH(scratch_vertex_.data() + pv);
+        },
+        [&](VertexId v, double c) {
+          if (pending_.Contains(v)) {
+            pending_.Decrease(v, -c);
+          } else if (options_.stored_delta_recovery) {
+            AddRecov(v, -c);
+          }
+        });
   } else {
-    g.ForEachIncident(umin, [&](VertexId v, double c) {
-      if (pending_.Contains(v)) pending_.Decrease(v, -c);
-    });
+    ForEachIncidentPrefetched(
+        g, umin, [&](VertexId pv) { pending_.PrefetchSlot(pv); },
+        [&](VertexId v, double c) {
+          if (pending_.Contains(v)) pending_.Decrease(v, -c);
+        });
   }
   // Phase 2: if umin peels ahead of its old schedule (old position not yet
   // reached by the scan), its unscanned neighbors' dips accelerate — their
@@ -389,6 +411,7 @@ void IncrementalEngine::MergeLoop(const DynamicGraph& g, PeelState* state,
   if (blacks.empty() && pending_.empty()) return;
   const std::size_t n = state->size();
   RebaseScratch(start);
+  InvalidateLookahead();
 
   std::size_t k = start;  // scan cursor over old entries
   std::size_t w = start;  // write cursor over the rewritten sequence
@@ -402,6 +425,7 @@ void IncrementalEngine::MergeLoop(const DynamicGraph& g, PeelState* state,
       // restart the preservation window there.
       k = w = blacks[bi];
       RebaseScratch(k);
+      InvalidateLookahead();
     }
     if (k >= n) {
       // No more old entries: drain the pending queue.
@@ -412,9 +436,12 @@ void IncrementalEngine::MergeLoop(const DynamicGraph& g, PeelState* state,
       break;
     }
 
-    VertexId u_k;
-    double d_k;
-    ReadEntry(*state, k, &u_k, &d_k);
+    // Read the incumbent through the batched read-ahead window; the scan
+    // cursor only moves forward within a rebase, so a miss means the window
+    // is exhausted and the next batch starts exactly at k.
+    if (k - lookahead_base_ >= lookahead_count_) FillLookahead(*state, k, n);
+    const VertexId u_k = lookahead_vertex_[k - lookahead_base_];
+    const double d_k = lookahead_delta_[k - lookahead_base_];
 
     if (pending_.Contains(u_k) || IsEmitted(u_k)) {
       // The old slot of a vertex pulled into the queue out of schedule.
@@ -465,12 +492,18 @@ void IncrementalEngine::MergeLoop(const DynamicGraph& g, PeelState* state,
           stats->touched_edges += g.Degree(u_k);
           double add = 0.0;
           bool adjacent = false;
-          g.ForEachIncident(u_k, [&](VertexId v, double c) {
-            if (pending_.Contains(v)) {
-              adjacent = true;
-              if (state->PositionOf(v) < k) add += c;
-            }
-          });
+          ForEachIncidentPrefetched(
+              g, u_k,
+              [&](VertexId pv) {
+                pending_.PrefetchSlot(pv);
+                state->PrefetchPosition(pv);
+              },
+              [&](VertexId v, double c) {
+                if (pending_.Contains(v)) {
+                  adjacent = true;
+                  if (state->PositionOf(v) < k) add += c;
+                }
+              });
           if (adjacent) {
             affected = true;
             have_probe_weight = true;
@@ -511,14 +544,32 @@ void IncrementalEngine::MergeLoop(const DynamicGraph& g, PeelState* state,
   }
 }
 
-void IncrementalEngine::ReadEntry(const PeelState& state, std::size_t k,
-                                  VertexId* v, double* delta) const {
-  if (k >= scratch_base_ && k - scratch_base_ < scratch_seq_.size()) {
-    *v = scratch_seq_[k - scratch_base_];
-    *delta = scratch_delta_[k - scratch_base_];
-  } else {
-    *v = state.VertexAt(k);
-    *delta = state.DeltaAt(k);
+void IncrementalEngine::FillLookahead(const PeelState& state, std::size_t k,
+                                      std::size_t n) {
+  // Every position in [k, n) still holds its pre-update entry in exactly
+  // one of two places, split at a single boundary: the preservation window
+  // covers [scratch_base_, scratch_end) — every slot the write cursor has
+  // passed — and the live state holds everything beyond. Copy each side
+  // with its own tight loop; no per-slot branch.
+  const std::size_t count = std::min(kLookahead, n - k);
+  const std::size_t scratch_end = scratch_base_ + scratch_seq_.size();
+  std::size_t i = 0;
+  for (; i < count && k + i < scratch_end; ++i) {
+    lookahead_vertex_[i] = scratch_seq_[k + i - scratch_base_];
+    lookahead_delta_[i] = scratch_delta_[k + i - scratch_base_];
+  }
+  for (; i < count; ++i) {
+    lookahead_vertex_[i] = state.VertexAt(k + i);
+    lookahead_delta_[i] = state.DeltaAt(k + i);
+  }
+  lookahead_base_ = k;
+  lookahead_count_ = count;
+  // Classification of each upcoming slot opens with a stamp check on the
+  // incumbent's packed-scratch line and often a heap-membership probe; pull
+  // both lines for the whole window now, while the batch is hot.
+  for (std::size_t j = 0; j < count; ++j) {
+    SPADE_PREFETCH(scratch_vertex_.data() + lookahead_vertex_[j]);
+    pending_.PrefetchSlot(lookahead_vertex_[j]);
   }
 }
 

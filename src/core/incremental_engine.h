@@ -31,10 +31,12 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "graph/dynamic_graph.h"
 #include "graph/types.h"
@@ -228,10 +230,39 @@ class IncrementalEngine {
                          VertexId u, double stored_delta, std::size_t k,
                          ReorderStats* stats) const;
 
-  /// Reads the pre-update entry at position k (scratch if already
-  /// overwritten, live state otherwise).
-  void ReadEntry(const PeelState& state, std::size_t k, VertexId* v,
-                 double* delta) const;
+  /// Refills the merge loop's read-ahead window with the pre-update entries
+  /// at positions [k, min(k + kLookahead, n)). Pre-update values at
+  /// positions at or beyond the scan cursor are immutable for the rest of
+  /// the merge (WriteEntry preserves an old entry into the scratch window
+  /// before overwriting it), so the fill resolves the scratch-vs-live split
+  /// ONCE per window instead of branching per slot, and the classification
+  /// that follows starts from an already-prefetched packed-scratch line for
+  /// every incumbent in the window.
+  void FillLookahead(const PeelState& state, std::size_t k, std::size_t n);
+
+  /// Drops the read-ahead window (required whenever the scan cursor jumps —
+  /// gap skips rebase the scratch window underneath it).
+  void InvalidateLookahead() { lookahead_count_ = 0; }
+
+  /// ForEachIncident with a software-prefetch hook: `prefetch(v)` fires for
+  /// the neighbor kProbeDistance entries ahead of the one `fn` visits, so
+  /// the slot_/pos_/scratch indirections of the hot credit and relaxation
+  /// probes stream in behind the adjacency walk instead of stalling it (the
+  /// neighbor ids are effectively random, one demand miss per edge
+  /// otherwise).
+  template <typename Prefetch, typename Fn>
+  void ForEachIncidentPrefetched(const DynamicGraph& g, VertexId u,
+                                 Prefetch&& prefetch, Fn&& fn) const {
+    const auto walk = [&](const std::vector<NeighborEntry>& list) {
+      const std::size_t n = list.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i + kProbeDistance < n) prefetch(list[i + kProbeDistance].vertex);
+        fn(list[i].vertex, list[i].weight);
+      }
+    };
+    walk(g.OutNeighbors(u));
+    walk(g.InNeighbors(u));
+  }
 
   /// Writes the new entry at position w, preserving the old entry in the
   /// scratch window first.
@@ -272,6 +303,16 @@ class IncrementalEngine {
   std::size_t scratch_base_ = 0;
   std::vector<VertexId> scratch_seq_;
   std::vector<double> scratch_delta_;
+
+  // Batched read-ahead over the scan cursor (see FillLookahead): SoA copies
+  // of the next few pre-update entries, refilled in branch-light batches.
+  static constexpr std::size_t kLookahead = 16;
+  // Prefetch distance (in neighbor-list entries) for the adjacency probes.
+  static constexpr std::size_t kProbeDistance = 8;
+  std::array<VertexId, kLookahead> lookahead_vertex_;
+  std::array<double, kLookahead> lookahead_delta_;
+  std::size_t lookahead_base_ = 0;   // position of lookahead_*[0]
+  std::size_t lookahead_count_ = 0;  // valid entries (0 = invalid)
 };
 
 }  // namespace spade

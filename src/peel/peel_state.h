@@ -25,6 +25,18 @@
 //    binary-searching each clean hull for the best density (y + T) / x, so
 //    a detection after an update costs O(rewritten span + (n/B) log B)
 //    instead of O(n). Assign/BumpDelta dirty only the block they touch.
+//
+// SIMD & layout (DESIGN.md §8): the per-slot storage is fully SoA —
+// seq_/delta_/pos_ are parallel arrays, and the hull arena is split into
+// hull_y_/hull_x_/hull_slot_ so the hull binary search streams only the
+// 12 bytes per point it compares (y, x) and touches the slot array once,
+// at the winner. Block-sum refresh and SuffixWeight tails go through
+// simd::FixedOrderSum and the hull rebuild through a simd::SuffixScanBlock
+// pre-pass feeding the scalar monotone stack; both kernels evaluate one
+// fixed association order on every dispatch target (scalar/SSE2/NEON/
+// AVX2), so Detect is bit-identical across builds. At B = 512 a block is a
+// natural vector tile: 4 KB of deltas, refreshed without touching seq_ or
+// pos_ at all.
 
 #pragma once
 
@@ -35,6 +47,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "graph/types.h"
 
 namespace spade {
@@ -159,21 +172,28 @@ class PeelState {
   }
 
   /// f(S_k): suffix sum of delta from position k (0 => whole graph weight).
-  /// Costs O(B + n/B) via the cached block sums.
+  /// Costs O(B + n/B) via the cached block sums; the partial-block tail is
+  /// one vector kernel call.
   double SuffixWeight(std::size_t k) const {
     const std::size_t end = seq_.size();
     std::size_t p = base_ + k;
     if (p >= end) return 0.0;
-    double sum = 0.0;
-    // Tail of the block containing p, element-wise.
+    // Tail of the block containing p, via the fixed-order kernel.
     const std::size_t block_end = std::min(end, (p / kBlock + 1) * kBlock);
-    for (; p < block_end; ++p) sum += delta_[p];
+    double sum = simd::FixedOrderSum(delta_.data() + p, block_end - p);
+    p = block_end;
     // Whole blocks after it, via cached sums (hulls are left alone).
     for (std::size_t b = p / kBlock; p < end; ++b, p += kBlock) {
       RefreshBlockSum(b);
       sum += blocks_[b].sum;
     }
     return sum;
+  }
+
+  /// Prefetches the position-index line of v (engine probe loops issue this
+  /// a few neighbors ahead of the PositionOf read).
+  void PrefetchPosition(VertexId v) const {
+    if (v < pos_.size()) SPADE_PREFETCH(pos_.data() + v);
   }
 
   /// Clears all state.
@@ -183,7 +203,9 @@ class PeelState {
     base_ = 0;
     pos_.assign(pos_.size(), kNoPos);
     blocks_.clear();
-    hull_arena_.clear();
+    hull_y_.clear();
+    hull_x_.clear();
+    hull_slot_.clear();
     ++sum_version_;
     ++hull_version_;
     InvalidateBest();
@@ -197,15 +219,12 @@ class PeelState {
   // tail-to-head walk.
   static constexpr std::size_t kBlock = 512;
 
-  /// One point of a block's hull: x = physical end - slot (invariant under
-  /// head insertion), y = sum of delta over [slot, block end). 16 bytes so
-  /// a typical hull (~2 ln B points for random weights) spans 2-3 cache
-  /// lines in the flat arena.
-  struct HullPoint {
-    double y;
-    std::uint32_t x;
-    std::uint32_t slot;
-  };
+  // A hull point is (x, y, slot) with x = physical end - slot (invariant
+  // under head insertion) and y = sum of delta over [slot, block end). The
+  // three fields live in the parallel SoA arenas hull_y_/hull_x_/hull_slot_
+  // at stride kBlock: the binary search compares only (y, x), so a query
+  // streams two short arrays instead of 16-byte records, and the slot array
+  // is read exactly once per block — at the returned optimum.
 
   struct Block {
     double sum = 0.0;
@@ -222,8 +241,27 @@ class PeelState {
 
   void EnsureBlock(std::size_t b) const {
     if (b >= blocks_.size()) {
-      blocks_.resize(b + 1);
-      hull_arena_.resize((b + 1) * kBlock);
+      // Grow the block table and hull arenas geometrically: resizing to
+      // exactly (b+1)*kBlock per new block would copy every existing hull
+      // point each time a block is added — O(n²/B) hull-point copies over
+      // an n-vertex append stream. Doubling amortizes the copies to O(1)
+      // per appended slot; indexing stays by b*kBlock, the slack is simply
+      // unused until the next block arrives.
+      const std::size_t need_blocks = b + 1;
+      const std::size_t grown =
+          std::max(need_blocks, blocks_.size() + blocks_.size() / 2 + 1);
+      blocks_.reserve(grown);
+      blocks_.resize(need_blocks);
+      const std::size_t need = need_blocks * kBlock;
+      const std::size_t arena = std::max(need, hull_y_.size() * 2);
+      if (hull_y_.size() < need) {
+        hull_y_.reserve(arena);
+        hull_x_.reserve(arena);
+        hull_slot_.reserve(arena);
+        hull_y_.resize(need);
+        hull_x_.resize(need);
+        hull_slot_.resize(need);
+      }
     }
   }
 
@@ -257,11 +295,10 @@ class PeelState {
     const std::size_t end = seq_.size();
     const std::size_t lo = std::max(b * kBlock, base_);
     const std::size_t hi = std::min((b + 1) * kBlock, end);
-    // Same tail-to-head order as the full rebuild, so the cached sum is
-    // bit-identical regardless of which refresh path ran last.
-    double sum = 0.0;
-    for (std::size_t p = hi; p-- > lo;) sum += delta_[p];
-    blk.sum = sum;
+    // Same fixed-order kernel as the full rebuild, so the cached sum is
+    // bit-identical regardless of which refresh path ran last — and
+    // identical across every SIMD dispatch target.
+    blk.sum = lo < hi ? simd::FixedOrderSum(delta_.data() + lo, hi - lo) : 0.0;
     blk.sum_built = sum_version_;
     if (blk.dirty) {
       blk.dirty = false;
@@ -269,9 +306,18 @@ class PeelState {
     }
   }
 
-  /// Recomputes a block's sum and upper hull if stale. Hull points live in
-  /// the flat arena at stride kBlock — no per-block allocations, and the
-  /// walk reads them without pointer chasing.
+  /// Recomputes a block's sum and upper hull if stale. The within-block
+  /// suffix sums come from a vectorized scan pre-pass into scan_scratch_;
+  /// the monotone stack then runs scalar over precomputed (x, y) pairs —
+  /// its pops are data-dependent and branchy, but it no longer carries the
+  /// accumulation chain. Hull points land in the SoA arenas at stride
+  /// kBlock — no per-block allocations, no pointer chasing on the walk.
+  ///
+  /// Note blk.sum is refreshed with FixedOrderSum, NOT with the scan total:
+  /// the two kernels associate differently (ulp-level), and the sum cache
+  /// must stay bit-identical with RefreshBlockSum's. The hull y values are
+  /// internally consistent with each other, which is all the monotone
+  /// stack and the density query need.
   void RefreshBlock(std::size_t b) const {
     EnsureBlock(b);
     Block& blk = blocks_[b];
@@ -282,31 +328,40 @@ class PeelState {
     const std::size_t end = seq_.size();
     const std::size_t lo = std::max(b * kBlock, base_);
     const std::size_t hi = std::min((b + 1) * kBlock, end);
-    HullPoint* h = hull_arena_.data() + b * kBlock;
+    double* hy = hull_y_.data() + b * kBlock;
+    std::uint32_t* hx = hull_x_.data() + b * kBlock;
+    std::uint32_t* hs = hull_slot_.data() + b * kBlock;
     std::uint32_t hn = 0;
     blk.sum = 0.0;
     if (lo < hi) {
-      // Scan slots tail-to-head: x = end - p ascends, y accumulates the
-      // within-block suffix. Keep the upper hull (slopes strictly
+      blk.sum = simd::FixedOrderSum(delta_.data() + lo, hi - lo);
+      // Pre-pass: suf[j] = within-block suffix sum from slot lo + j.
+      scan_scratch_.resize(kBlock);
+      double* suf = scan_scratch_.data();
+      simd::SuffixScanBlock(delta_.data() + lo, hi - lo, suf);
+      // Scan slots tail-to-head: x = end - p ascends, y reads the
+      // precomputed suffix. Keep the upper hull (slopes strictly
       // decreasing); collinear middle points are dropped — the larger-x
       // endpoint of their edge always ties or beats them, and wins the
       // smallest-start tie rule anyway.
       for (std::size_t p = hi; p-- > lo;) {
-        blk.sum += delta_[p];
-        const HullPoint pt{blk.sum, static_cast<std::uint32_t>(end - p),
-                           static_cast<std::uint32_t>(p)};
+        const double py = suf[p - lo];
+        const auto px = static_cast<std::uint32_t>(end - p);
         while (hn >= 2) {
-          const HullPoint& a = h[hn - 2];
-          const HullPoint& m = h[hn - 1];
+          const double ay = hy[hn - 2], my = hy[hn - 1];
+          const std::uint32_t ax = hx[hn - 2], mx = hx[hn - 1];
           // Pop m when slope(a, m) <= slope(m, pt): m is under the chord.
-          if ((m.y - a.y) * static_cast<double>(pt.x - m.x) <=
-              (pt.y - m.y) * static_cast<double>(m.x - a.x)) {
+          if ((my - ay) * static_cast<double>(px - mx) <=
+              (py - my) * static_cast<double>(mx - ax)) {
             --hn;
           } else {
             break;
           }
         }
-        h[hn++] = pt;
+        hy[hn] = py;
+        hx[hn] = px;
+        hs[hn] = static_cast<std::uint32_t>(p);
+        ++hn;
       }
     }
     blk.hull_size = hn;
@@ -320,23 +375,26 @@ class PeelState {
   /// (y + T) / x is unimodal along the hull, so a binary search that moves
   /// right on ties lands on the rightmost peak. Comparisons are
   /// cross-multiplied ((y1+T)·x2 vs (y2+T)·x1, x > 0) so the walk performs
-  /// no divisions; the caller divides once at the very end.
-  static bool QueryHull(const HullPoint* hull, std::uint32_t size, double T,
+  /// no divisions; the caller divides once at the very end. The search
+  /// reads only the y/x arenas; the slot arena is touched once, at the
+  /// winner.
+  static bool QueryHull(const double* hy, const std::uint32_t* hx,
+                        const std::uint32_t* hs, std::uint32_t size, double T,
                         double* num, double* den, std::size_t* slot) {
     if (size == 0) return false;
     std::size_t lo = 0, hi = size - 1;
     while (lo < hi) {
       const std::size_t mid = (lo + hi) / 2;
-      if ((hull[mid + 1].y + T) * static_cast<double>(hull[mid].x) >=
-          (hull[mid].y + T) * static_cast<double>(hull[mid + 1].x)) {
+      if ((hy[mid + 1] + T) * static_cast<double>(hx[mid]) >=
+          (hy[mid] + T) * static_cast<double>(hx[mid + 1])) {
         lo = mid + 1;
       } else {
         hi = mid;
       }
     }
-    *num = hull[lo].y + T;
-    *den = static_cast<double>(hull[lo].x);
-    *slot = hull[lo].slot;
+    *num = hy[lo] + T;
+    *den = static_cast<double>(hx[lo]);
+    *slot = hs[lo];
     return true;
   }
 
@@ -358,9 +416,20 @@ class PeelState {
       const std::size_t first_block = base_ / kBlock;
       for (std::size_t b = (end - 1) / kBlock + 1; b-- > first_block;) {
         RefreshBlock(b);
+        if (b > first_block) {
+          // Pull the next (head-ward) block's metadata and arena heads in
+          // while this block's query runs; a clean walk is otherwise one
+          // demand miss per block on large states.
+          SPADE_PREFETCH(blocks_.data() + (b - 1));
+          SPADE_PREFETCH(hull_y_.data() + (b - 1) * kBlock);
+          SPADE_PREFETCH(hull_x_.data() + (b - 1) * kBlock);
+          SPADE_PREFETCH(delta_.data() + (b - 1) * kBlock);
+        }
         double num = 0.0, den = 1.0;
         std::size_t slot = 0;
-        if (QueryHull(hull_arena_.data() + b * kBlock, blocks_[b].hull_size,
+        if (QueryHull(hull_y_.data() + b * kBlock,
+                      hull_x_.data() + b * kBlock,
+                      hull_slot_.data() + b * kBlock, blocks_[b].hull_size,
                       tail, &num, &den, &slot) &&
             num * best_den >= best_num * den) {
           best_num = num;
@@ -383,7 +452,15 @@ class PeelState {
   std::vector<std::size_t> pos_;
 
   mutable std::vector<Block> blocks_;
-  mutable std::vector<HullPoint> hull_arena_;  // kBlock-stride hull storage
+  // SoA hull arenas, kBlock-stride per block: the QueryHull binary search
+  // touches only y/x, so splitting the old {y, x, slot} record keeps its
+  // probe footprint to two tightly-packed streams (slot is read once, at
+  // the winner). scan_scratch_ is the suffix-scan staging buffer reused
+  // across hull rebuilds.
+  mutable std::vector<double> hull_y_;
+  mutable std::vector<std::uint32_t> hull_x_;
+  mutable std::vector<std::uint32_t> hull_slot_;
+  mutable std::vector<double> scan_scratch_;
   std::uint64_t sum_version_ = 1;
   std::uint64_t hull_version_ = 1;
 

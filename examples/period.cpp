@@ -1,0 +1,53 @@
+// Arbitrary-period fraud detection (Appendix C.3): load a timestamped
+// transaction log once, then retarget the detector across periods — a
+// forensic sweep ("when was this ring active?") whose cost per retarget is
+// the symmetric difference between periods, not a rebuild.
+
+#include <cstdio>
+
+#include "core/period_detector.h"
+#include "datagen/workload.h"
+
+int main() {
+  spade::FraudMix mix;
+  mix.instances_per_pattern = 1;
+  mix.transactions_per_instance = 200;
+  const spade::Workload w =
+      spade::BuildWorkload("Grab1", /*scale=*/0.0008, /*seed=*/33, &mix);
+
+  const spade::Timestamp t0 = w.stream.edges.front().ts;
+  const spade::Timestamp t1 = w.stream.edges.back().ts;
+  std::printf("log: %zu edges over [%lld, %lld]\n\n", w.stream.size(),
+              static_cast<long long>(t0), static_cast<long long>(t1));
+
+  spade::PeriodDetector detector(w.num_vertices, w.stream.edges,
+                                 spade::MakeDW());
+
+  // Sweep eight half-overlapping periods across the log — each retarget
+  // reuses the previous period's state (Figure 17's slide case).
+  const spade::Timestamp width = (t1 - t0) / 5;
+  for (int step = 0; step < 8; ++step) {
+    const spade::Timestamp begin = t0 + step * (t1 - t0 - width) / 7;
+    const spade::Timestamp end = begin + width;
+    const spade::Status s = detector.SetPeriod(begin, end);
+    if (!s.ok()) {
+      std::fprintf(stderr, "SetPeriod failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const spade::Community c = detector.Detect();
+    std::printf("period [%10lld, %10lld]  %6zu edges  community: %4zu "
+                "vertices, density %8.2f\n",
+                static_cast<long long>(begin), static_cast<long long>(end),
+                detector.EdgesInPeriod(), c.members.size(), c.density);
+  }
+
+  // Zoom into the densest half of the last period (containment case).
+  const auto [begin, end] = detector.period();
+  const spade::Timestamp mid = begin + (end - begin) / 2;
+  if (!detector.SetPeriod(begin, mid).ok()) return 1;
+  const spade::Community zoom = detector.Detect();
+  std::printf("\nzoom [%lld, %lld]: %zu vertices, density %.2f\n",
+              static_cast<long long>(begin), static_cast<long long>(mid),
+              zoom.members.size(), zoom.density);
+  return 0;
+}

@@ -104,7 +104,7 @@ Status Spade::InsertWeightedBatch(std::span<const Edge> weighted) {
   return engine_.InsertBatch(&graph_, &state_, weighted, vsusp_, &stats_);
 }
 
-Status Spade::ApplyEdge(const Edge& raw_edge) {
+Status Spade::ApplyEdge(const Edge& raw_edge, double* applied_weight) {
   // Reject before growing the graph: a failed insert must not leave
   // vertices the peel state does not cover.
   if (raw_edge.src == raw_edge.dst) {
@@ -112,6 +112,10 @@ Status Spade::ApplyEdge(const Edge& raw_edge) {
   }
   EnsureEndpoints(raw_edge);
   const Edge weighted = Weight(raw_edge);
+  // The weight is fixed here, at admission — a benign-buffered edge still
+  // enters the graph with this value when the buffer flushes, so it is the
+  // weight a later RetireEdge must subtract.
+  if (applied_weight != nullptr) *applied_weight = weighted.weight;
   if (options_.enable_edge_grouping) {
     if (IsBenign(weighted) &&
         benign_buffer_.size() < options_.max_benign_buffer) {
@@ -162,6 +166,15 @@ Result<Community> Spade::InsertBatchEdges(std::span<const Edge> raw_edges) {
 Status Spade::DeleteEdge(VertexId src, VertexId dst) {
   SPADE_RETURN_NOT_OK(Flush());
   return engine_.DeleteEdge(&graph_, &state_, src, dst, &stats_);
+}
+
+Status Spade::RetireEdge(VertexId src, VertexId dst, double applied_weight) {
+  // The flush is part of the replayable history: RetireEdge at position k
+  // of the stream always flushes the same buffered prefix, live or during
+  // chain replay, so no explicit flush marker precedes retire records.
+  SPADE_RETURN_NOT_OK(Flush());
+  return engine_.DeleteEdge(&graph_, &state_, src, dst, &stats_,
+                            &applied_weight);
 }
 
 Status Spade::SaveState(const std::string& path) {

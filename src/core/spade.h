@@ -92,12 +92,22 @@ class Spade {
   /// Apply-only variants: identical reordering without materializing the
   /// community (Detect() stays O(sequence) and is paid per call, so
   /// high-throughput ingestion applies edges and detects per flush).
-  Status ApplyEdge(const Edge& raw_edge);
+  /// `applied_weight` (optional) receives the post-ESusp weight the edge
+  /// entered (or will enter, if benign-buffered) the graph with — the
+  /// weight a later RetireEdge must subtract.
+  Status ApplyEdge(const Edge& raw_edge, double* applied_weight = nullptr);
   Status ApplyBatchEdges(std::span<const Edge> raw_edges);
 
   /// Deletes one (src, dst) edge (Appendix C.1 extension). Buffered benign
   /// edges are flushed first so deletion sees a consistent state.
   Status DeleteEdge(VertexId src, VertexId dst);
+
+  /// Window expiry: removes one (src, dst) edge carrying exactly
+  /// `applied_weight` (the value ApplyEdge reported when it entered).
+  /// Flushes first — deterministically, so replaying the same
+  /// insert/retire history reproduces the same flush points and the
+  /// restore bit-identity invariant extends to windowed detectors.
+  Status RetireEdge(VertexId src, VertexId dst, double applied_weight);
 
   /// Definition 4.1 on an already-weighted edge: true iff neither endpoint
   /// can reach the current community density even with this edge added.

@@ -20,6 +20,7 @@ TimeWindowDetector::TimeWindowDetector(std::size_t num_vertices,
 }
 
 Status TimeWindowDetector::AdvanceTo(Timestamp now) {
+  if (now > high_water_ts_) high_water_ts_ = now;
   const Timestamp horizon = now - window_span_;
   while (!window_.empty() && window_.front().ts < horizon) {
     const Edge& old = window_.front();
@@ -31,16 +32,20 @@ Status TimeWindowDetector::AdvanceTo(Timestamp now) {
 }
 
 Status TimeWindowDetector::Offer(const Edge& raw_edge) {
-  if (!window_.empty() && raw_edge.ts < window_.back().ts) {
+  // Validate everything BEFORE advancing time: a rejected Offer must leave
+  // the detector untouched (no expiry side effects), and monotonicity is
+  // checked against the persistent high-water mark so an empty window does
+  // not reopen the past.
+  if (raw_edge.ts < high_water_ts_) {
     return Status::InvalidArgument(
         "TimeWindowDetector: edges must arrive in timestamp order");
   }
-  SPADE_RETURN_NOT_OK(AdvanceTo(raw_edge.ts));
-  Edge weighted = raw_edge;
-  if (weighted.src >= graph_.NumVertices() ||
-      weighted.dst >= graph_.NumVertices()) {
+  if (raw_edge.src >= graph_.NumVertices() ||
+      raw_edge.dst >= graph_.NumVertices()) {
     return Status::InvalidArgument("TimeWindowDetector: unknown endpoint");
   }
+  SPADE_RETURN_NOT_OK(AdvanceTo(raw_edge.ts));
+  Edge weighted = raw_edge;
   if (semantics_.esusp) {
     weighted.weight = semantics_.esusp(raw_edge, graph_);
   }

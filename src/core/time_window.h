@@ -6,6 +6,7 @@
 #pragma once
 
 #include <deque>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -50,6 +51,10 @@ class TimeWindowDetector {
   PeelState state_;
   IncrementalEngine engine_;
   std::deque<Edge> window_;  // weighted edges currently inside the window
+  // Highest timestamp ever observed (Offer or AdvanceTo). Monotonicity is
+  // enforced against this, not window_.back().ts, so draining the window
+  // empty cannot let time silently run backwards.
+  Timestamp high_water_ts_ = std::numeric_limits<Timestamp>::min();
 };
 
 }  // namespace spade

@@ -1,5 +1,8 @@
 #include "service/boundary_index.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.h"
 #include "storage/checked_io.h"
 
@@ -114,17 +117,66 @@ bool BoundaryEdgeIndex::FoldNewEdges(
   // Pass 2: fold only the suffix appended since the cursor's last visit.
   // Edges recorded between the passes are picked up here or next time;
   // either way exactly once, because buckets are append-only within an
-  // epoch.
+  // epoch. Positions are logical (append-history) indices: an evicted-
+  // before-fold prefix (consumed < start) was never folded and never will
+  // be — it expired unseen, which is exactly the eviction contract.
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     std::lock_guard<std::mutex> lock(buckets_[b].mutex);
-    const std::vector<Edge>& edges = buckets_[b].edges;
-    for (std::size_t i = cursor->consumed[b]; i < edges.size(); ++i) {
+    const Bucket& bucket = buckets_[b];
+    const std::vector<Edge>& edges = bucket.edges;
+    const std::size_t from_logical =
+        std::max(cursor->consumed[b], bucket.start);
+    for (std::size_t i = from_logical - bucket.start; i < edges.size(); ++i) {
       (*weight)[edges[i].src] += edges[i].weight;
       (*weight)[edges[i].dst] += edges[i].weight;
     }
-    cursor->consumed[b] = edges.size();
+    cursor->consumed[b] = bucket.start + edges.size();
   }
   return rebuilt;
+}
+
+std::size_t BoundaryEdgeIndex::EvictOlderThan(
+    Timestamp horizon, const Cursor& fold_cursor,
+    std::unordered_map<VertexId, double>* weight) {
+  std::size_t evicted = 0;
+  const bool cursor_sized = fold_cursor.epoch.size() == buckets_.size();
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    Bucket& bucket = buckets_[b];
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    std::size_t k = 0;
+    while (k < bucket.edges.size() && bucket.edges[k].ts < horizon) ++k;
+    if (k == 0) continue;
+    // Subtract only contributions the fold cursor has actually consumed
+    // (logical position < consumed); an epoch mismatch means the aggregate
+    // is about to be rebuilt from scratch anyway, so nothing to subtract.
+    if (weight != nullptr && cursor_sized &&
+        fold_cursor.epoch[b] == bucket.epoch) {
+      for (std::size_t i = 0; i < k; ++i) {
+        if (bucket.start + i >= fold_cursor.consumed[b]) break;
+        (*weight)[bucket.edges[i].src] -= bucket.edges[i].weight;
+        (*weight)[bucket.edges[i].dst] -= bucket.edges[i].weight;
+      }
+    }
+    bucket.edges.erase(bucket.edges.begin(),
+                       bucket.edges.begin() + static_cast<std::ptrdiff_t>(k));
+    bucket.start += k;
+    evicted += k;
+  }
+  if (evicted > 0) {
+    total_.fetch_sub(evicted, std::memory_order_relaxed);
+    if (weight != nullptr) {
+      // Prune near-zero residue so the aggregate's footprint follows the
+      // window too (subtraction leaves float dust, never exact zeros).
+      for (auto it = weight->begin(); it != weight->end();) {
+        if (std::abs(it->second) < 1e-9) {
+          it = weight->erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return evicted;
 }
 
 std::vector<Edge> BoundaryEdgeIndex::SnapshotEdges() const {
@@ -148,6 +200,7 @@ void BoundaryEdgeIndex::Clear(Cursor* sync) {
     std::lock_guard<std::mutex> lock(bucket.mutex);
     dropped += bucket.edges.size();
     bucket.edges.clear();
+    bucket.start = 0;
     ++bucket.epoch;
     if (sync != nullptr) {
       sync->epoch[b] = bucket.epoch;
@@ -174,9 +227,11 @@ Status BoundaryEdgeIndex::Save(const std::string& path, Cursor* sync) const {
     for (const Edge& e : bucket.edges) WriteEdge(&writer, e);
     // Captured under the same lock as the write — the durable prefix is
     // exactly what the file holds; an edge recorded after this point
-    // lands in the next tail, never in limbo.
+    // lands in the next tail, never in limbo. Logical position: a base
+    // file holds only the resident (un-evicted) edges, and the cursor
+    // anchors past everything ever appended before it.
     staged_epoch[b] = bucket.epoch;
-    staged_consumed[b] = bucket.edges.size();
+    staged_consumed[b] = bucket.start + bucket.edges.size();
   }
   SPADE_RETURN_NOT_OK(writer.Finish());
   if (sync != nullptr) {
@@ -223,11 +278,17 @@ Status BoundaryEdgeIndex::SaveTail(const std::string& path,
       return Status::FailedPrecondition(
           "boundary index epoch changed under the persist cursor");
     }
-    const std::size_t from = cursor->consumed[b];
+    // Logical -> physical: an evicted-but-never-persisted prefix
+    // (consumed < start) is skipped on purpose — those edges expired
+    // before any checkpoint needed them, and a restore must not resurrect
+    // an edge the live index no longer holds.
+    const std::size_t from_logical =
+        std::max(cursor->consumed[b], bucket.start);
+    const std::size_t from = from_logical - bucket.start;
     const std::size_t to = bucket.edges.size();
     writer.Write(static_cast<std::uint64_t>(to - from));
     for (std::size_t i = from; i < to; ++i) WriteEdge(&writer, bucket.edges[i]);
-    staged_consumed[b] = to;
+    staged_consumed[b] = bucket.start + to;
   }
   const std::uint64_t payload = writer.bytes_written();
   SPADE_RETURN_NOT_OK(writer.Finish());
@@ -309,6 +370,7 @@ void BoundaryEdgeIndex::AdoptBuckets(FileData&& data, Cursor* sync) {
     previous += buckets_[b].edges.size();
     loaded_total += data.buckets[b].size();
     buckets_[b].edges = std::move(data.buckets[b]);
+    buckets_[b].start = 0;
     ++buckets_[b].epoch;
     if (sync != nullptr) {
       sync->epoch[b] = buckets_[b].epoch;

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -81,13 +82,18 @@ class BoundaryEdgeIndex {
   /// cursor prefix).
   void RecordBatch(std::span<const PairGroup> groups);
 
-  /// Edges recorded so far across all buckets (relaxed; never locks).
+  /// Edges currently resident across all buckets (relaxed; never locks).
+  /// Eviction subtracts, so this tracks the live window, not all history.
   std::uint64_t TotalEdges() const {
     return total_.load(std::memory_order_relaxed);
   }
 
   /// A consumer's incremental position: per-bucket (epoch, consumed-prefix).
-  /// Value-initialized cursors start before everything.
+  /// Value-initialized cursors start before everything. `consumed` counts
+  /// LOGICAL positions — the index of an edge in the bucket's full append
+  /// history, which EvictOlderThan never renumbers (each bucket tracks the
+  /// logical offset of its first resident edge) — so eviction invalidates
+  /// no cursor.
   struct Cursor {
     std::vector<std::uint64_t> epoch;
     std::vector<std::size_t> consumed;
@@ -105,6 +111,20 @@ class BoundaryEdgeIndex {
 
   /// Copies out every indexed edge (save path and tests; O(total edges)).
   std::vector<Edge> SnapshotEdges() const;
+
+  /// Window expiry: drops each bucket's prefix of edges with ts <
+  /// `horizon`, keeping the index O(window) instead of O(history). Only a
+  /// PREFIX is scanned — buckets are arrival-ordered, so like the shard
+  /// window log an out-of-timestamp-order edge shields entries behind it
+  /// (conservative: a live edge is never evicted). Evicted edges the fold
+  /// cursor had already consumed are subtracted from `weight` so the seam
+  /// aggregate stays the live window's mass; near-zero residue is pruned.
+  /// No epoch bump and no cursor invalidation (logical positions survive).
+  /// Concurrent Record/RecordBatch are safe; callers serialize against
+  /// Clear/Load/FoldNewEdges via the stitch lock, as those share
+  /// `fold_cursor`/`weight`. Returns the number of edges evicted.
+  std::size_t EvictOlderThan(Timestamp horizon, const Cursor& fold_cursor,
+                             std::unordered_map<VertexId, double>* weight);
 
   /// Drops every edge and bumps every bucket epoch. When `sync` is
   /// non-null it is positioned at the now-empty buckets, so a following
@@ -166,6 +186,10 @@ class BoundaryEdgeIndex {
     mutable std::mutex mutex;
     std::vector<Edge> edges;
     std::uint64_t epoch = 1;
+    // Logical append-history index of edges[0]: EvictOlderThan erases a
+    // prefix and advances this, so cursor positions (logical) stay valid.
+    // physical index = logical - start.
+    std::size_t start = 0;
   };
 
   std::size_t BucketOf(std::size_t src_home, std::size_t dst_home) const {

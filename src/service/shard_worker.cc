@@ -9,6 +9,7 @@
 #endif
 
 #include "common/logging.h"
+#include "storage/snapshot.h"
 
 namespace spade {
 
@@ -45,12 +46,14 @@ constexpr std::size_t kGatherCap = 4096;
 }  // namespace
 
 ShardWorker::ShardWorker(Spade spade, FraudAlertFn on_alert,
-                         DetectionServiceOptions options)
+                         DetectionServiceOptions options,
+                         RetireNotifyFn on_retire)
     : options_(options),
       on_alert_(std::move(on_alert)),
       ring_(RingCellsFor(options.max_queue)),
       ring_mask_(ring_.size() - 1),
-      spade_(std::move(spade)) {
+      spade_(std::move(spade)),
+      on_retire_(std::move(on_retire)) {
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     ring_[i].seq.store(i, std::memory_order_relaxed);
   }
@@ -212,6 +215,59 @@ Status ShardWorker::SubmitBatch(std::vector<Edge>&& chunk,
                                 std::size_t* accepted) {
   return EnqueueImpl(std::span<const Edge>(chunk.data(), chunk.size()),
                      accepted, &chunk);
+}
+
+Status ShardWorker::SubmitRetire(Timestamp horizon) {
+  if (!options_.track_window) {
+    return Status::FailedPrecondition(
+        "ShardWorker::SubmitRetire: worker was built without track_window");
+  }
+  if (stopping_flag_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("ShardWorker is stopped");
+  }
+  // Same lock-free fast path as EnqueueImpl, claiming one edge of budget
+  // for the marker (including the post-claim stop re-check — see
+  // EnqueueImpl for why it must follow the claim).
+  if (TryClaimBudget(1)) {
+    if (stopping_flag_.load(std::memory_order_seq_cst)) {
+      ReleaseBudget(1);
+      return Status::FailedPrecondition("ShardWorker is stopped");
+    }
+    Chunk chunk;
+    chunk.is_retire = true;
+    chunk.retire_horizon = horizon;
+    if (TryPushChunk(std::move(chunk))) {
+      PublishAccepted(1);
+      return Status::OK();
+    }
+    ReleaseBudget(1);
+  }
+  if (!options_.block_when_full) {
+    return Status::OutOfRange("ShardWorker queue full");
+  }
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  space_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  Status result = Status::OK();
+  for (;;) {
+    if (stopping_) {
+      result = Status::FailedPrecondition("ShardWorker is stopped");
+      break;
+    }
+    if (TryClaimBudget(1)) {
+      Chunk chunk;
+      chunk.is_retire = true;
+      chunk.retire_horizon = horizon;
+      if (TryPushChunk(std::move(chunk))) {
+        submitted_.fetch_add(1, std::memory_order_seq_cst);
+        work_cv_.notify_one();
+        break;
+      }
+      ReleaseBudget(1);
+    }
+    space_cv_.wait(lock);
+  }
+  space_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  return result;
 }
 
 Status ShardWorker::EnqueueImpl(std::span<const Edge> edges,
@@ -389,10 +445,15 @@ Status ShardWorker::SaveState(const std::string& path,
   Drain();
   std::lock_guard<std::mutex> lock(detector_mutex_);
   // A full save is a checkpoint: whatever history the log held is now
-  // covered by the base snapshot. (Spade::SaveState flushes the benign
-  // buffer first; replay of a later chain starts from that flushed state,
-  // which is why no marker needs to survive the reset.)
-  SPADE_RETURN_NOT_OK(spade_.SaveState(path));
+  // covered by the base snapshot. (The flush below mirrors what
+  // Spade::SaveState did; replay of a later chain starts from that flushed
+  // state, which is why no marker needs to survive the reset.) The window
+  // log rides in the snapshot's v2 section — an empty window (every
+  // non-windowed worker) writes the same v1 bytes as before.
+  SPADE_RETURN_NOT_OK(spade_.Flush());
+  const std::vector<Edge> window(window_log_.begin(), window_log_.end());
+  SPADE_RETURN_NOT_OK(
+      SaveSnapshot(path, spade_.graph(), &spade_.peel_state(), window));
   delta_log_.clear();
   delta_overflow_ = false;
   if (start_delta_tracking) delta_tracking_ = true;
@@ -467,7 +528,15 @@ Status ShardWorker::RestoreState(const std::string& path) {
   std::shared_ptr<const Community> snap;
   {
     std::lock_guard<std::mutex> lock(detector_mutex_);
-    SPADE_RETURN_NOT_OK(spade_.RestoreState(path));
+    DynamicGraph graph;
+    PeelState state;
+    bool state_present = false;
+    std::vector<Edge> window;
+    SPADE_RETURN_NOT_OK(
+        LoadSnapshot(path, &graph, &state, &state_present, &window));
+    spade_.RestoreFromParts(std::move(graph), std::move(state),
+                            state_present);
+    window_log_.assign(window.begin(), window.end());
     delta_log_.clear();
     delta_overflow_ = false;
     snap = RebaselineLocked(/*flush=*/true);
@@ -488,6 +557,7 @@ Status ShardWorker::RestoreChain(RestorePlan&& plan) {
     std::lock_guard<std::mutex> lock(detector_mutex_);
     spade_.RestoreFromParts(std::move(plan.graph), std::move(plan.state),
                             plan.state_present);
+    window_log_.assign(plan.window.begin(), plan.window.end());
     // Replay the applied history through the same entry points the live
     // worker used. Every record passed CRC validation and came from a
     // successfully applied edge, so a failure here is a logic error — but
@@ -496,8 +566,15 @@ Status ShardWorker::RestoreChain(RestorePlan&& plan) {
       for (const DeltaRecord& record : segment.records) {
         if (record.flush) {
           SPADE_RETURN_NOT_OK(spade_.Flush());
+        } else if (record.retire) {
+          SPADE_RETURN_NOT_OK(ReplayRetireLocked(record.edge));
         } else {
-          SPADE_RETURN_NOT_OK(spade_.ApplyEdge(record.edge));
+          double applied = 0;
+          SPADE_RETURN_NOT_OK(spade_.ApplyEdge(record.edge, &applied));
+          if (options_.track_window) {
+            window_log_.push_back(Edge{record.edge.src, record.edge.dst,
+                                       applied, record.edge.ts});
+          }
         }
       }
     }
@@ -528,8 +605,15 @@ Status ShardWorker::ReplaySegment(const DeltaSegment& segment,
     for (const DeltaRecord& record : segment.records) {
       if (record.flush) {
         SPADE_RETURN_NOT_OK(spade_.Flush());
+      } else if (record.retire) {
+        SPADE_RETURN_NOT_OK(ReplayRetireLocked(record.edge));
       } else {
-        SPADE_RETURN_NOT_OK(spade_.ApplyEdge(record.edge));
+        double applied = 0;
+        SPADE_RETURN_NOT_OK(spade_.ApplyEdge(record.edge, &applied));
+        if (options_.track_window) {
+          window_log_.push_back(Edge{record.edge.src, record.edge.dst,
+                                     applied, record.edge.ts});
+        }
       }
     }
     // The replayed records came from a sealed checkpoint: the detector now
@@ -554,6 +638,38 @@ void ShardWorker::InspectDetector(
     const std::function<void(const Spade&)>& fn) const {
   std::lock_guard<std::mutex> lock(detector_mutex_);
   fn(spade_);
+}
+
+std::vector<Edge> ShardWorker::WindowEdges() const {
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  return std::vector<Edge>(window_log_.begin(), window_log_.end());
+}
+
+Status ShardWorker::ReplayRetireLocked(const Edge& record) {
+  SPADE_RETURN_NOT_OK(
+      spade_.RetireEdge(record.src, record.dst, record.weight));
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  // The live pass popped this entry off its window log; mirror it. The
+  // record is almost always the log front (oldest-first expiry); the
+  // fallback search only runs in the degenerate case where a live retire
+  // failed and its entry was dropped without a record.
+  const auto matches = [&record](const Edge& e) {
+    return e.src == record.src && e.dst == record.dst &&
+           e.weight == record.weight && e.ts == record.ts;
+  };
+  if (!window_log_.empty() && matches(window_log_.front())) {
+    window_log_.pop_front();
+    return Status::OK();
+  }
+  const auto it =
+      std::find_if(window_log_.begin(), window_log_.end(), matches);
+  if (it != window_log_.end()) {
+    window_log_.erase(it);
+  } else if (options_.track_window) {
+    SPADE_LOG_WARNING()
+        << "ShardWorker replay: retire record not found in window log";
+  }
+  return Status::OK();
 }
 
 void ShardWorker::DetectAndPublish() {
@@ -614,12 +730,20 @@ void ShardWorker::WorkerLoop() {
   std::vector<Edge> batch;
   while (true) {
     // Gather every ready chunk (up to the gather cap) into one application
-    // batch — the same amortization the old whole-buffer swap provided.
+    // batch — the same amortization the old whole-buffer swap provided. A
+    // retire marker ends the round: the pass must see exactly the edges
+    // submitted before it (ring order), not ones gathered after.
     batch.clear();
+    bool have_retire = false;
+    Timestamp retire_horizon = 0;
     {
       Chunk chunk;
-      while (batch.size() < kGatherCap && TryPopChunk(&chunk)) {
-        if (chunk.is_one) {
+      while (batch.size() < kGatherCap && !have_retire &&
+             TryPopChunk(&chunk)) {
+        if (chunk.is_retire) {
+          have_retire = true;
+          retire_horizon = chunk.retire_horizon;
+        } else if (chunk.is_one) {
           batch.push_back(chunk.one);
         } else if (batch.empty()) {
           batch = std::move(chunk.many);
@@ -629,7 +753,7 @@ void ShardWorker::WorkerLoop() {
       }
     }
 
-    if (batch.empty()) {
+    if (batch.empty() && !have_retire) {
       bool make_exact = false;
       bool inflight_claim = false;
       bool exit_loop = false;
@@ -683,9 +807,13 @@ void ShardWorker::WorkerLoop() {
       {
         std::lock_guard<std::mutex> apply_lock(detector_mutex_);
         ++consumed_;
-        const Status s = spade_.ApplyEdge(edge);
+        double applied = 0;
+        const Status s = spade_.ApplyEdge(edge, &applied);
         if (s.ok()) {
           AppendDeltaRecord(DeltaRecord::Insert(edge));
+          if (options_.track_window) {
+            window_log_.push_back(Edge{edge.src, edge.dst, applied, edge.ts});
+          }
           processed_.fetch_add(1, std::memory_order_relaxed);
           ++since_detect_;
           // An urgent edge flushed the benign buffer inside ApplyEdge;
@@ -707,6 +835,44 @@ void ShardWorker::WorkerLoop() {
       // on this shard but never blocks producers, readers, or Save/Restore
       // beyond this one callback.
       if (alert) on_alert_(*alert);
+    }
+
+    if (have_retire) {
+      std::shared_ptr<const Community> alert;
+      std::size_t retired_now = 0;
+      {
+        std::lock_guard<std::mutex> apply_lock(detector_mutex_);
+        ++consumed_;  // the marker's one unit of queue budget
+        // Pop the expired prefix oldest-first. The log is arrival-ordered,
+        // so an out-of-timestamp-order edge shields the entries behind it
+        // until the horizon passes it too — conservative (never retires a
+        // live edge), and deterministic: replay retires exactly the
+        // recorded set.
+        while (!window_log_.empty() &&
+               window_log_.front().ts < retire_horizon) {
+          const Edge old = window_log_.front();
+          window_log_.pop_front();
+          const Status s = spade_.RetireEdge(old.src, old.dst, old.weight);
+          if (!s.ok()) {
+            SPADE_LOG_WARNING()
+                << "ShardWorker retire failed: " << s.ToString();
+            continue;
+          }
+          AppendDeltaRecord(DeltaRecord::Retire(old));
+          ++retired_now;
+        }
+        if (retired_now > 0) {
+          retired_.fetch_add(retired_now, std::memory_order_relaxed);
+          // Deletion can shrink the community or its density — republish
+          // (and alert) right away rather than waiting out detect_every.
+          DetectAndPublish();
+          alert = std::move(pending_alert_);
+        }
+        exact_after_batch =
+            since_detect_ == 0 && spade_.PendingBenignEdges() == 0;
+      }
+      if (alert) on_alert_(*alert);
+      if (retired_now > 0 && on_retire_) on_retire_(retired_now);
     }
 
     {

@@ -45,6 +45,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,12 @@ namespace spade {
 /// from the previously reported one. No service lock is held.
 using FraudAlertFn = std::function<void(const Community&)>;
 
+/// Invoked from the worker thread after a retire pass that removed at least
+/// one edge, with the number of edges retired. No service lock is held; the
+/// sharded service uses it to invalidate a stitched snapshot whose
+/// contributing shard just shrank.
+using RetireNotifyFn = std::function<void(std::size_t)>;
+
 /// Per-shard service configuration (shared by DetectionService and every
 /// shard of a ShardedDetectionService).
 struct DetectionServiceOptions {
@@ -108,6 +115,10 @@ struct DetectionServiceOptions {
   /// (pthread_setaffinity_np); elsewhere, and for CPUs that do not exist,
   /// the worker logs a warning and runs unpinned.
   int cpu = -1;
+  /// Keep a per-edge window log (applied weight + event timestamp, arrival
+  /// order) so SubmitRetire can expire edges. Off by default: an
+  /// insert-only worker pays nothing for the window machinery.
+  bool track_window = false;
 };
 
 /// One shard: a background worker draining a chunk-handoff ring through an
@@ -116,8 +127,11 @@ class ShardWorker {
  public:
   /// Takes ownership of a fully built detector (graph loaded, semantics
   /// installed). Edge grouping is turned on; the worker starts immediately.
+  /// `on_retire` (optional) fires after every retire pass that removed at
+  /// least one edge.
   ShardWorker(Spade spade, FraudAlertFn on_alert,
-              DetectionServiceOptions options = {});
+              DetectionServiceOptions options = {},
+              RetireNotifyFn on_retire = nullptr);
 
   /// Stops the worker, draining queued edges first.
   ~ShardWorker();
@@ -158,6 +172,18 @@ class ShardWorker {
   Status SubmitBatch(std::vector<Edge>&& chunk,
                      std::size_t* accepted = nullptr);
 
+  /// Enqueues a retire marker: when the worker reaches it, every window-log
+  /// edge with ts < `horizon` is retired (deleted with its recorded applied
+  /// weight) and logged as a retire record for the delta chain. The marker
+  /// rides the same ring as edge chunks — it costs one unit of queue budget
+  /// and obeys the same drain/exactness protocol, so Drain() after a
+  /// successful SubmitRetire implies the retire pass has fully applied.
+  /// Requires `track_window`; the window log is popped oldest-first, so an
+  /// out-of-timestamp-order arrival delays expiry of the edges queued
+  /// behind it until the horizon passes it too (conservative, never
+  /// over-retires). Same full-queue behavior as Submit.
+  Status SubmitRetire(Timestamp horizon);
+
   /// Blocks until every edge submitted before this call has been applied
   /// AND the published snapshot reflects them. Returns immediately once the
   /// worker has exited.
@@ -192,6 +218,15 @@ class ShardWorker {
   std::uint64_t AlertsDelivered() const {
     return alerts_.load(std::memory_order_relaxed);
   }
+
+  /// Edges retired by window expiry so far (relaxed; never takes a lock).
+  std::uint64_t EdgesRetired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the current window log (arrival order, applied weights).
+  /// Takes the detector mutex; tests and diagnostics only.
+  std::vector<Edge> WindowEdges() const;
 
   /// Detections (Detect + snapshot publications) run so far (lock-free).
   std::uint64_t DetectionsRun() const {
@@ -242,6 +277,7 @@ class ShardWorker {
     PeelState state;
     bool state_present = false;
     std::vector<DeltaSegment> segments;  // ascending, contiguous epochs
+    std::vector<Edge> window;  // base snapshot's window log (may be empty)
   };
 
   /// Drains, then persists the full detector state under the detector
@@ -295,9 +331,11 @@ class ShardWorker {
   void InspectDetector(const std::function<void(const Spade&)>& fn) const;
 
  private:
-  /// One handoff unit: either a single inline edge (per-edge Submit pays no
-  /// allocation) or an owned slab of edges (SubmitBatch copies the caller's
-  /// span once).
+  /// One handoff unit: a single inline edge (per-edge Submit pays no
+  /// allocation), an owned slab of edges (SubmitBatch copies the caller's
+  /// span once), or a retire marker (SubmitRetire) carrying the expiry
+  /// horizon. A marker counts as one edge of queue budget so the shared
+  /// claim/release/drain accounting needs no special case.
   struct Chunk {
     Chunk() = default;
     explicit Chunk(std::span<const Edge> edges) {
@@ -316,9 +354,13 @@ class ShardWorker {
         many = std::move(edges);
       }
     }
-    std::size_t size() const { return is_one ? 1 : many.size(); }
+    std::size_t size() const {
+      return (is_one || is_retire) ? 1 : many.size();
+    }
     Edge one{};
     bool is_one = false;
+    bool is_retire = false;
+    Timestamp retire_horizon = 0;
     std::vector<Edge> many;
   };
 
@@ -370,6 +412,11 @@ class ShardWorker {
   /// Appends one applied-history record (detector mutex held). Drops the
   /// whole log and marks overflow at the cap.
   void AppendDeltaRecord(const DeltaRecord& record);
+
+  /// Chain-replay counterpart of one retire record (detector mutex held):
+  /// re-runs the deletion with the recorded applied weight and removes the
+  /// matching entry from the replayed window log.
+  Status ReplayRetireLocked(const Edge& record);
 
   /// Re-baselines the alert filter on the current community and returns
   /// the snapshot to publish (detector mutex held). `flushed` selects
@@ -435,6 +482,11 @@ class ShardWorker {
   bool delta_tracking_ = false;
   bool delta_overflow_ = false;
   std::vector<DeltaRecord> delta_log_;
+  // Window log (track_window only): every applied edge in arrival order,
+  // carrying its applied weight and event timestamp — exactly what a
+  // retire pass must subtract. Guarded by detector_mutex_. Bounded by the
+  // window: retire passes pop the expired prefix.
+  std::deque<Edge> window_log_;
 
   // --- published state (lock-free readers) -------------------------------
 #if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
@@ -449,6 +501,8 @@ class ShardWorker {
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> alerts_{0};
   std::atomic<std::uint64_t> detections_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  RetireNotifyFn on_retire_;
 
   std::thread worker_;
 };

@@ -93,8 +93,14 @@ ShardedDetectionService::ShardedDetectionService(
       worker_options.cpu =
           options_.shard_cpus[i % options_.shard_cpus.size()];
     }
+    RetireNotifyFn shard_retire;
+    if (options_.window.span > 0) {
+      worker_options.track_window = true;
+      shard_retire = [this, i](std::size_t) { OnShardRetire(i); };
+    }
     workers_.push_back(std::make_unique<ShardWorker>(
-        std::move(shards[i]), std::move(shard_alert), worker_options));
+        std::move(shards[i]), std::move(shard_alert), worker_options,
+        std::move(shard_retire)));
   }
   if (options_.stitch.interval_ms > 0 && workers_.size() > 1) {
     stitcher_ = std::thread([this] { StitcherLoop(); });
@@ -123,7 +129,107 @@ void ShardedDetectionService::SeedBoundaryIndex(
   for (const Edge& e : raw_edges) MaybeRecordBoundary(e);
 }
 
+void ShardedDetectionService::ObserveTimestamp(Timestamp ts) {
+  // CAS-max: concurrent producers race, the highest timestamp wins. This
+  // is the window policy's entire hot-path cost — one relaxed RMW per
+  // edge (per chunk on the batched path).
+  Timestamp seen = watermark_.load(std::memory_order_relaxed);
+  while (ts > seen && !watermark_.compare_exchange_weak(
+                          seen, ts, std::memory_order_relaxed)) {
+  }
+  const Timestamp mark = std::max(ts, seen);
+  if (mark <= options_.window.span) return;  // window not yet full
+  const Timestamp horizon = mark - options_.window.span;
+  Timestamp stride = options_.window.stride;
+  if (stride <= 0) {
+    stride = std::max<Timestamp>(1, options_.window.span / 8);
+  }
+  // One producer wins each stride trigger; the CAS loop keeps losers from
+  // re-firing the same horizon.
+  Timestamp last = last_horizon_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (horizon < last + stride) return;
+    if (last_horizon_.compare_exchange_weak(last, horizon,
+                                            std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  Timestamp evict = pending_evict_horizon_.load(std::memory_order_relaxed);
+  while (horizon > evict && !pending_evict_horizon_.compare_exchange_weak(
+                                evict, horizon, std::memory_order_relaxed)) {
+  }
+  for (auto& w : workers_) {
+    // A full queue in fail-fast mode can reject the marker. Dropping it is
+    // safe: a retire pass expires everything older than its horizon, so
+    // the next stride trigger covers whatever this one missed.
+    const Status s = w->SubmitRetire(horizon);
+    if (!s.ok() && s.code() != StatusCode::kOutOfRange) {
+      SPADE_LOG_WARNING() << "window retire trigger failed: " << s.ToString();
+    }
+  }
+}
+
+void ShardedDetectionService::ObserveBatchTimestamps(
+    std::span<const Edge> raw_edges) {
+  Timestamp max_ts = raw_edges.front().ts;
+  for (const Edge& e : raw_edges) max_ts = std::max(max_ts, e.ts);
+  ObserveTimestamp(max_ts);
+}
+
+Status ShardedDetectionService::RetireOlderThan(Timestamp horizon) {
+  if (options_.window.span <= 0) {
+    return Status::FailedPrecondition(
+        "RetireOlderThan: window expiry is off (WindowOptions::span == 0)");
+  }
+  Timestamp evict = pending_evict_horizon_.load(std::memory_order_relaxed);
+  while (horizon > evict && !pending_evict_horizon_.compare_exchange_weak(
+                                evict, horizon, std::memory_order_relaxed)) {
+  }
+  Status first_error = Status::OK();
+  for (auto& w : workers_) {
+    const Status s = w->SubmitRetire(horizon);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  // Boundary eviction runs here (and at stitch-pass start), never on the
+  // submit hot path: the explicit call is the "I want O(window) resident
+  // now" knob, so it does not wait for the next stitch.
+  {
+    std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);
+    boundary_.EvictOlderThan(horizon, stitch_cursor_, &boundary_weight_);
+  }
+  return first_error;
+}
+
+void ShardedDetectionService::OnShardRetire(std::size_t shard) {
+  const auto snap = LoadStitched();
+  if (!snap) return;
+  // `shards` is sorted unique (StitchNow builds it that way). An empty
+  // provenance list (empty community) is dropped too — conservative and
+  // harmless.
+  const bool contributes =
+      snap->shards.empty() ||
+      std::binary_search(snap->shards.begin(), snap->shards.end(), shard);
+  // Expiry can only shrink a fixed member set's induced density, so a
+  // stitched snapshot measured before this retire pass may now OVERSTATE.
+  // Drop it; stitched reads fall back to the live argmax until the next
+  // pass republishes an honest one.
+  if (contributes) StoreStitched(nullptr);
+}
+
+std::uint64_t ShardedDetectionService::EdgesRetired() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->EdgesRetired();
+  return total;
+}
+
+std::vector<Edge> ShardedDetectionService::ShardWindow(
+    std::size_t shard) const {
+  SPADE_CHECK(shard < workers_.size());
+  return workers_[shard]->WindowEdges();
+}
+
 Status ShardedDetectionService::Submit(const Edge& raw_edge) {
+  if (options_.window.span > 0) ObserveTimestamp(raw_edge.ts);
   const std::size_t n = workers_.size();
   if (n == 1) return workers_[0]->Submit(raw_edge);
   // One partitioner pass: the homes computed for the boundary decision are
@@ -148,6 +254,7 @@ Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
                                             std::size_t* enqueued) {
   if (enqueued != nullptr) *enqueued = 0;
   if (raw_edges.empty()) return Status::OK();
+  if (options_.window.span > 0) ObserveBatchTimestamps(raw_edges);
   if (workers_.size() == 1) {
     // Single-shard fast path: no partitioning, no boundary edges — the
     // chunk hands over as-is (accepted accounting included when asked).
@@ -260,9 +367,12 @@ GlobalCommunity ShardedDetectionService::CurrentGlobalCommunity() const {
   const auto stitched = LoadStitched();
   const auto [shard, snap] = ArgmaxSnapshot();
   const double argmax_density = snap ? snap->density : 0.0;
-  // A stale stitched snapshot never overclaims: the service is insert-only,
-  // so the global induced density of a fixed member set only grows after
-  // the pass that measured it.
+  // A PUBLISHED stale stitched snapshot never overclaims. Inserts only
+  // grow a fixed member set's induced density, and the one thing that can
+  // shrink it — a window-expiry retire pass on a contributing shard —
+  // drops the snapshot before this read can see it (OnShardRetire, plus
+  // the post-publish recheck in StitchNow). Reads between a retire pass
+  // and the next stitch fall back to the live argmax below.
   if (stitched && stitched->density >= argmax_density) return *stitched;
   GlobalCommunity g;
   if (snap) {
@@ -283,6 +393,31 @@ GlobalCommunity ShardedDetectionService::StitchNow() {
     const std::uint64_t pass =
         stitch_passes_.fetch_add(1, std::memory_order_relaxed) + 1;
     result.stitch_pass = pass;
+
+    // Retire passes that complete after this point can invalidate what
+    // this pass is about to measure; capture the per-shard retire counts
+    // so publication can detect the race.
+    std::vector<std::uint64_t> retired_before(workers_.size(), 0);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      retired_before[i] = workers_[i]->EdgesRetired();
+    }
+    const auto retire_raced = [this, &retired_before] {
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        if (workers_[i]->EdgesRetired() != retired_before[i]) return true;
+      }
+      return false;
+    };
+
+    // Evict the boundary index's expired prefix before folding: the seam
+    // aggregate must describe the live window, and doing it here (never on
+    // the submit path) is what keeps the index O(window) — each stitch
+    // pass catches up to the highest horizon any retire pass was asked
+    // to expire.
+    const Timestamp evict_to =
+        pending_evict_horizon_.load(std::memory_order_relaxed);
+    if (evict_to > 0 && workers_.size() > 1) {
+      boundary_.EvictOlderThan(evict_to, stitch_cursor_, &boundary_weight_);
+    }
 
     // One snapshot load per shard, reused for both the seam candidates and
     // the argmax fallback so the pass compares against a consistent view.
@@ -399,18 +534,33 @@ GlobalCommunity ShardedDetectionService::StitchNow() {
         member_shards.end());
     result.shards = std::move(member_shards);
 
-    if (result.stitched) {
-      std::vector<VertexId> sorted = result.members;
-      std::sort(sorted.begin(), sorted.end());
-      if (sorted != last_stitched_members_ ||
-          result.density != last_stitched_density_) {
-        last_stitched_members_ = std::move(sorted);
-        last_stitched_density_ = result.density;
-        stitched_alerts_.fetch_add(1, std::memory_order_relaxed);
-        fire_alert = true;
+    // Publication race guard: a retire pass that completed while this pass
+    // gathered may have shrunk a shard we measured, so the result could
+    // already overstate. Skip publish/alert/baseline and leave whatever
+    // OnShardRetire did (usually a dropped snapshot) in place — the next
+    // pass measures the post-expiry fleet. The caller still gets the
+    // computed result for inspection.
+    if (!retire_raced()) {
+      if (result.stitched) {
+        std::vector<VertexId> sorted = result.members;
+        std::sort(sorted.begin(), sorted.end());
+        if (sorted != last_stitched_members_ ||
+            result.density != last_stitched_density_) {
+          last_stitched_members_ = std::move(sorted);
+          last_stitched_density_ = result.density;
+          stitched_alerts_.fetch_add(1, std::memory_order_relaxed);
+          fire_alert = true;
+        }
       }
+      StoreStitched(std::make_shared<const GlobalCommunity>(result));
+      // Recheck AFTER the store: a retire pass whose count bumped between
+      // the pre-store check and the store may have nulled the OLD snapshot
+      // before our store resurrected a stale one. Any pass whose bump
+      // lands after this recheck fires OnShardRetire after our store and
+      // drops the new snapshot itself — so between the two checks and the
+      // callback, no overstating snapshot stays published.
+      if (retire_raced()) StoreStitched(nullptr);
     }
-    StoreStitched(std::make_shared<const GlobalCommunity>(result));
   }
   // Deliver outside the stitch lock, so a slow moderator (or one that calls
   // back into the service) cannot deadlock or delay the next pass.
@@ -458,10 +608,13 @@ ShardedServiceStats ShardedDetectionService::GetStats() const {
   for (const auto& w : workers_) {
     const std::uint64_t edges = w->EdgesProcessed();
     const std::uint64_t alerts = w->AlertsDelivered();
+    const std::uint64_t retired = w->EdgesRetired();
     stats.edges_processed += edges;
     stats.alerts_delivered += alerts;
+    stats.retired_edges += retired;
     stats.shard_edges.push_back(edges);
     stats.shard_alerts.push_back(alerts);
+    stats.shard_retired.push_back(retired);
     stats.shard_detections.push_back(w->DetectionsRun());
     stats.shard_queue_depth.push_back(w->QueueDepth());
     stats.shard_queue_hwm.push_back(w->QueueDepthHighWater());

@@ -140,6 +140,27 @@ struct StitchOptions {
   StitchAlertFn on_stitch_alert;
 };
 
+/// Sliding-window expiry policy. With `span > 0` every shard keeps a
+/// window log (applied weight + event timestamp per edge), the router
+/// tracks a high-water event-time watermark over submitted edges, and
+/// whenever the watermark advances a stride past the last expiry horizon
+/// the service enqueues a retire marker on every shard: edges older than
+/// `watermark - span` are deleted from the detectors with their recorded
+/// applied weights, through the same ring and drain protocol as inserts.
+/// Boundary-index eviction to the same horizon happens at the start of
+/// each stitch pass (and in explicit RetireOlderThan calls), so resident
+/// state is O(window), not O(history), as long as stitching or explicit
+/// retires run periodically. `span == 0` (default) disables everything:
+/// the service is insert-only and pays nothing.
+struct WindowOptions {
+  /// Window span in event-time units (same clock as Edge::ts); 0 = off.
+  Timestamp span = 0;
+  /// Minimum watermark advance between automatic retire passes. 0 picks
+  /// span / 8 — ~8 passes per window of traffic, amortizing the marker +
+  /// deletion cost while keeping resident overshoot under ~12% of span.
+  Timestamp stride = 0;
+};
+
 /// When an auto-mode SaveState folds the delta chain back into a fresh
 /// base instead of appending another segment. Either trigger alone forces
 /// compaction; both bound the restore-time replay work (chain length) and
@@ -161,6 +182,9 @@ struct ShardedDetectionServiceOptions {
   StitchOptions stitch;
   /// Delta-chain compaction triggers for auto-mode SaveState.
   CheckpointPolicy checkpoint;
+  /// Sliding-window expiry (span == 0 = insert-only service, no window
+  /// log, no watermark tracking).
+  WindowOptions window;
   /// CPU pinning for the shard workers: shard i pins to
   /// shard_cpus[i % shard_cpus.size()] (empty = every worker inherits
   /// shard.cpu, default unpinned). Linux-only; nonexistent CPUs degrade to
@@ -181,8 +205,11 @@ struct ShardedServiceStats {
   std::uint64_t boundary_edges = 0;
   std::uint64_t stitch_passes = 0;
   std::uint64_t stitched_alerts = 0;
+  /// Edges removed by window expiry across all shards (0 when window off).
+  std::uint64_t retired_edges = 0;
   std::vector<std::uint64_t> shard_edges;
   std::vector<std::uint64_t> shard_alerts;
+  std::vector<std::uint64_t> shard_retired;
   std::vector<std::uint64_t> shard_detections;
   std::vector<std::size_t> shard_queue_depth;
   /// Highest queue depth each shard ever reached (never resets): the
@@ -270,8 +297,13 @@ class ShardedDetectionService {
   /// snapshots (ties break toward the lower shard id; never blocks on any
   /// apply path). kStitched: the denser of the latest stitched snapshot and
   /// the live argmax — still lock-free, but only as fresh as the last
-  /// stitch pass (a stitched snapshot's density is a valid lower bound of
-  /// its member set's current density, since the service is insert-only).
+  /// stitch pass. While no retire pass has touched a contributing shard, a
+  /// stitched snapshot's density is a valid lower bound of its member set's
+  /// current density (inserts only grow a fixed set's induced density).
+  /// Window expiry breaks that bound — deletions can make a stale stitched
+  /// density OVERSTATE the live one — so every retire pass that removes
+  /// edges from a contributing shard drops the published stitched snapshot,
+  /// and stitched reads fall back to the live argmax until the next pass.
   Community CurrentCommunity(
       GlobalReadMode mode = GlobalReadMode::kArgmax) const;
 
@@ -302,6 +334,28 @@ class ShardedDetectionService {
 
   /// The router's cross-shard edge record (tests and diagnostics).
   const BoundaryEdgeIndex& boundary_index() const { return boundary_; }
+
+  /// Explicit window expiry: enqueues a retire marker on every shard
+  /// (edges with ts < `horizon` are deleted with their recorded applied
+  /// weights — same ring and drain protocol as inserts, so Drain() after
+  /// this call implies the expiry has fully applied) and evicts the
+  /// boundary index's expired prefix immediately. Requires
+  /// WindowOptions::span > 0. The first shard enqueue error is returned;
+  /// shards that accepted the marker still retire.
+  Status RetireOlderThan(Timestamp horizon);
+
+  /// High-water event timestamp over all submitted edges (relaxed; 0 until
+  /// the first submit). Only tracked when the window is on.
+  Timestamp Watermark() const {
+    return watermark_.load(std::memory_order_relaxed);
+  }
+
+  /// Edges removed by window expiry across all shards.
+  std::uint64_t EdgesRetired() const;
+
+  /// Copy of one shard's window log (tests and diagnostics; takes that
+  /// shard's detector mutex).
+  std::vector<Edge> ShardWindow(std::size_t shard) const;
 
   /// Merged counters plus per-shard breakdown.
   ShardedServiceStats GetStats() const;
@@ -405,6 +459,17 @@ class ShardedDetectionService {
   void StoreStitched(std::shared_ptr<const GlobalCommunity> snap);
   void StitcherLoop();
 
+  /// Window-mode submit hook: CAS-max the watermark over `ts` and, when it
+  /// has advanced a full stride past the last automatic horizon, enqueue a
+  /// retire pass on every shard. No-op when the window is off.
+  void ObserveTimestamp(Timestamp ts);
+  /// Highest event timestamp in `raw_edges` (one scan per batch chunk).
+  void ObserveBatchTimestamps(std::span<const Edge> raw_edges);
+  /// Fired from a shard worker's retire pass: drop the published stitched
+  /// snapshot when the shrinking shard contributed to it (a stale stitched
+  /// density can overstate under expiry — see CurrentCommunity).
+  void OnShardRetire(std::size_t shard);
+
   /// Full checkpoint: base snapshots + boundary index + chainless
   /// manifest at `epoch`. Caller holds save_mutex_.
   Status SaveFull(const std::string& dir, std::uint64_t epoch,
@@ -435,6 +500,18 @@ class ShardedDetectionService {
   /// Position in the boundary index already covered by the chain's base +
   /// tails; SaveTail persists only edges recorded past it.
   BoundaryEdgeIndex::Cursor boundary_persist_cursor_;
+
+  // --- window expiry state (lock-free; submit hot path touches only the
+  // watermark CAS-max when the window is on) ------------------------------
+  /// High-water event timestamp over all submitted edges.
+  std::atomic<Timestamp> watermark_{0};
+  /// Horizon of the last automatically triggered retire pass; the next
+  /// trigger fires when watermark - span >= last_horizon_ + stride.
+  std::atomic<Timestamp> last_horizon_{0};
+  /// Highest horizon any retire pass (automatic or explicit) has been
+  /// asked to expire; the next stitch pass evicts the boundary index to it
+  /// (boundary eviction never runs on the submit hot path).
+  std::atomic<Timestamp> pending_evict_horizon_{0};
 
   // --- stitch state (all guarded by stitch_mutex_; passes serialize) -----
   mutable std::mutex stitch_mutex_;

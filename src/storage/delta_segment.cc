@@ -8,16 +8,27 @@ namespace {
 
 constexpr std::uint64_t kDeltaMagic = 0x53504144455F4453ULL;  // "SPADE_DS"
 constexpr std::uint32_t kDeltaVersion = 1;
+// Version 2 adds the retire record kind (tag 2). Only emitted when a
+// segment actually contains one, so insert-only chains stay byte-stable.
+constexpr std::uint32_t kDeltaVersionRetire = 2;
 constexpr std::uint8_t kTagEdge = 0;
 constexpr std::uint8_t kTagFlush = 1;
+constexpr std::uint8_t kTagRetire = 2;
 
 }  // namespace
 
 Status WriteDeltaSegment(const std::string& path, const DeltaSegment& segment,
                          std::uint64_t* bytes_written) {
+  bool has_retire = false;
+  for (const DeltaRecord& r : segment.records) {
+    if (r.retire) {
+      has_retire = true;
+      break;
+    }
+  }
   storage::ChecksummedFileWriter writer(path);
   writer.Write(kDeltaMagic);
-  writer.Write(kDeltaVersion);
+  writer.Write(has_retire ? kDeltaVersionRetire : kDeltaVersion);
   writer.Write(segment.shard);
   writer.Write(segment.prev_epoch);
   writer.Write(segment.epoch);
@@ -27,7 +38,7 @@ Status WriteDeltaSegment(const std::string& path, const DeltaSegment& segment,
       writer.Write(kTagFlush);
       continue;
     }
-    writer.Write(kTagEdge);
+    writer.Write(r.retire ? kTagRetire : kTagEdge);
     writer.Write(static_cast<std::uint32_t>(r.edge.src));
     writer.Write(static_cast<std::uint32_t>(r.edge.dst));
     writer.Write(r.edge.weight);
@@ -48,7 +59,8 @@ Status ReadDeltaSegment(const std::string& path, DeltaSegment* segment) {
   if (!reader.Read(&magic) || magic != kDeltaMagic) {
     return Status::IOError(path + ": not a Spade delta segment");
   }
-  if (!reader.Read(&version) || version != kDeltaVersion) {
+  if (!reader.Read(&version) ||
+      (version != kDeltaVersion && version != kDeltaVersionRetire)) {
     return Status::IOError(path + ": unsupported delta segment version");
   }
   DeltaSegment parsed;
@@ -75,7 +87,7 @@ Status ReadDeltaSegment(const std::string& path, DeltaSegment* segment) {
       parsed.records.push_back(DeltaRecord::Flush());
       continue;
     }
-    if (tag != kTagEdge) {
+    if (tag != kTagEdge && tag != kTagRetire) {
       return Status::IOError(path + ": unknown delta record tag");
     }
     std::uint32_t src = 0, dst = 0;
@@ -89,7 +101,8 @@ Status ReadDeltaSegment(const std::string& path, DeltaSegment* segment) {
     if (e.src == e.dst) {
       return Status::IOError(path + ": delta record is a self-loop");
     }
-    parsed.records.push_back(DeltaRecord::Insert(e));
+    parsed.records.push_back(tag == kTagRetire ? DeltaRecord::Retire(e)
+                                               : DeltaRecord::Insert(e));
   }
   SPADE_RETURN_NOT_OK(reader.VerifyTrailer());
   *segment = std::move(parsed);

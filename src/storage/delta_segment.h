@@ -30,7 +30,15 @@
 //   [num_records u64]
 //   records: [tag u8 = 0][src u32][dst u32][weight f64][ts i64]  (edge)
 //          | [tag u8 = 1]                                        (flush)
+//          | [tag u8 = 2][src u32][dst u32][weight f64][ts i64]  (retire)
 //   [crc64 trailer]
+//
+// Retire records (tag 2, version 2) carry the *applied* weight the edge
+// entered the graph with — the deletion path must subtract exactly what the
+// insertion added — plus the event timestamp, so replay reproduces a
+// windowed detector's insert-then-retire history bit-for-bit. Writers emit
+// version 1 when a segment has no retire records, keeping insert-only
+// chains byte-identical to pre-window builds.
 
 #pragma once
 
@@ -43,11 +51,13 @@
 
 namespace spade {
 
-/// One entry of a shard's applied history: either an edge insertion or a
-/// benign-buffer flush boundary.
+/// One entry of a shard's applied history: an edge insertion, a benign-
+/// buffer flush boundary, or a window-expiry retirement (edge.weight is the
+/// applied weight being subtracted, edge.ts the original event time).
 struct DeltaRecord {
-  Edge edge;           // valid when !flush
-  bool flush = false;  // true: the detector flushed here; `edge` is unused
+  Edge edge;            // valid when !flush
+  bool flush = false;   // true: the detector flushed here; `edge` is unused
+  bool retire = false;  // true: the detector retired `edge` here
 
   static DeltaRecord Flush() {
     DeltaRecord r;
@@ -57,6 +67,12 @@ struct DeltaRecord {
   static DeltaRecord Insert(const Edge& e) {
     DeltaRecord r;
     r.edge = e;
+    return r;
+  }
+  static DeltaRecord Retire(const Edge& e) {
+    DeltaRecord r;
+    r.edge = e;
+    r.retire = true;
     return r;
   }
 };

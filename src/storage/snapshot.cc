@@ -10,11 +10,19 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x53504144455F5631ULL;  // "SPADE_V1"
 constexpr std::uint32_t kVersion = 1;
+// Version 2 appends the window-log section (see snapshot.h). Only emitted
+// when the window is non-empty so insert-only snapshots stay byte-stable.
+constexpr std::uint32_t kVersionWindow = 2;
 
 }  // namespace
 
 Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
                     const PeelState* state) {
+  return SaveSnapshot(path, g, state, std::span<const Edge>());
+}
+
+Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
+                    const PeelState* state, std::span<const Edge> window) {
   if (state != nullptr && state->size() != g.NumVertices()) {
     return Status::InvalidArgument(
         "SaveSnapshot: peel state does not cover the graph");
@@ -22,7 +30,7 @@ Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
   storage::ChecksummedFileWriter writer(path);
 
   writer.Write(kMagic);
-  writer.Write(kVersion);
+  writer.Write(window.empty() ? kVersion : kVersionWindow);
   writer.Write(static_cast<std::uint64_t>(g.NumVertices()));
   writer.Write(static_cast<std::uint64_t>(g.NumEdges()));
   for (std::size_t v = 0; v < g.NumVertices(); ++v) {
@@ -43,11 +51,26 @@ Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
       writer.Write(state->DeltaAt(i));
     }
   }
+  if (!window.empty()) {
+    writer.Write(static_cast<std::uint64_t>(window.size()));
+    for (const Edge& e : window) {
+      writer.Write(static_cast<std::uint32_t>(e.src));
+      writer.Write(static_cast<std::uint32_t>(e.dst));
+      writer.Write(e.weight);
+      writer.Write(static_cast<std::int64_t>(e.ts));
+    }
+  }
   return writer.Finish();
 }
 
 Status LoadSnapshot(const std::string& path, DynamicGraph* g,
                     PeelState* state, bool* state_present) {
+  return LoadSnapshot(path, g, state, state_present, nullptr);
+}
+
+Status LoadSnapshot(const std::string& path, DynamicGraph* g,
+                    PeelState* state, bool* state_present,
+                    std::vector<Edge>* window) {
   storage::ChecksummedFileReader reader(path);
   if (!reader.ok()) return Status::IOError("cannot open " + path);
 
@@ -56,7 +79,8 @@ Status LoadSnapshot(const std::string& path, DynamicGraph* g,
   if (!reader.Read(&magic) || magic != kMagic) {
     return Status::IOError(path + ": not a Spade snapshot");
   }
-  if (!reader.Read(&version) || version != kVersion) {
+  if (!reader.Read(&version) ||
+      (version != kVersion && version != kVersionWindow)) {
     return Status::IOError(path + ": unsupported snapshot version");
   }
   std::uint64_t num_vertices = 0, num_edges = 0;
@@ -106,11 +130,39 @@ Status LoadSnapshot(const std::string& path, DynamicGraph* g,
     }
   }
 
+  std::vector<Edge> loaded_window;
+  if (version >= kVersionWindow) {
+    std::uint64_t num_window = 0;
+    if (!reader.Read(&num_window)) {
+      return Status::IOError(path + ": truncated window count");
+    }
+    if (reader.CountExceedsFile(num_window, 24)) {
+      return Status::IOError(path + ": window count exceeds the file size");
+    }
+    loaded_window.reserve(num_window);
+    for (std::uint64_t i = 0; i < num_window; ++i) {
+      std::uint32_t src = 0, dst = 0;
+      double w = 0;
+      std::int64_t ts = 0;
+      if (!reader.Read(&src) || !reader.Read(&dst) || !reader.Read(&w) ||
+          !reader.Read(&ts)) {
+        return Status::IOError(path + ": truncated window log");
+      }
+      if (src >= num_vertices || dst >= num_vertices) {
+        return Status::IOError(path + ": window edge endpoint out of range");
+      }
+      loaded_window.push_back(
+          Edge{static_cast<VertexId>(src), static_cast<VertexId>(dst), w,
+               static_cast<Timestamp>(ts)});
+    }
+  }
+
   SPADE_RETURN_NOT_OK(reader.VerifyTrailer());
 
   *g = std::move(graph);
   if (state_present != nullptr) *state_present = has_state != 0;
   if (state != nullptr && has_state != 0) *state = std::move(loaded_state);
+  if (window != nullptr) *window = std::move(loaded_window);
   return Status::OK();
 }
 

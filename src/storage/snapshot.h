@@ -13,14 +13,26 @@
 //   edges: num_edges x { src u32, dst u32, weight f64 }
 //   [has_state u8]
 //   state: num_vertices x { vertex u32, delta f64 }   (peeling order)
+//   version >= 2 only:
+//     [num_window u64]
+//     window: num_window x { src u32, dst u32, weight f64, ts i64 }
 //   [crc64 of everything above]
+//
+// Version 2 exists for windowed detectors: the window log (applied weight +
+// event timestamp per live edge, oldest first) must survive a restart or
+// the restored detector cannot retire what the live one would. Writers emit
+// version 1 whenever the window is empty, so every pre-window snapshot —
+// and every insert-only deployment — stays byte-identical.
 
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/dynamic_graph.h"
+#include "graph/types.h"
 #include "peel/peel_state.h"
 #include "storage/checked_io.h"  // Crc64 + the shared framing discipline
 
@@ -32,10 +44,22 @@ namespace spade {
 Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
                     const PeelState* state);
 
+/// As above, plus a window log (live in-window edges, oldest first, each
+/// carrying its applied weight and event timestamp). An empty window writes
+/// a version-1 file, byte-identical to the overload above.
+Status SaveSnapshot(const std::string& path, const DynamicGraph& g,
+                    const PeelState* state, std::span<const Edge> window);
+
 /// Reads a snapshot back. `state` may be null to restore only the graph;
 /// if the snapshot carries no state, `*state_present` is false and `state`
 /// is left untouched.
 Status LoadSnapshot(const std::string& path, DynamicGraph* g,
                     PeelState* state, bool* state_present);
+
+/// As above, plus the window log. `window` may be null (the section is
+/// validated and skipped); a version-1 file yields an empty window.
+Status LoadSnapshot(const std::string& path, DynamicGraph* g,
+                    PeelState* state, bool* state_present,
+                    std::vector<Edge>* window);
 
 }  // namespace spade

@@ -53,7 +53,8 @@ std::vector<Edge> RandomChunk(Rng* rng, std::size_t n) {
 }
 
 std::unique_ptr<ShardedDetectionService> BuildService(
-    const std::vector<Edge>& initial, std::size_t restore_threads = 0) {
+    const std::vector<Edge>& initial, std::size_t restore_threads = 0,
+    Timestamp window_span = 0) {
   std::vector<std::vector<Edge>> parts(kShards);
   for (const Edge& e : initial) parts[e.src % kShards].push_back(e);
   std::vector<Spade> shards;
@@ -72,6 +73,7 @@ std::unique_ptr<ShardedDetectionService> BuildService(
   options.checkpoint.max_chain_length = 1000;
   options.checkpoint.max_delta_base_ratio = 1e9;
   options.restore_threads = restore_threads;
+  options.window.span = window_span;
   auto service = std::make_unique<ShardedDetectionService>(
       std::move(shards), nullptr, std::move(options));
   service->SeedBoundaryIndex(initial);
@@ -437,6 +439,98 @@ TEST_F(RecoveryTest, RecoveredFleetConvergesWithUninterruptedFleet) {
   }
   EXPECT_DOUBLE_EQ(run.service->CurrentCommunity().density,
                    recovered->CurrentCommunity().density);
+}
+
+/// Exact (bit-level) window-log comparison between two shards.
+void ExpectWindowsEqual(const std::vector<Edge>& expected,
+                        const std::vector<Edge>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].src, actual[i].src) << "window entry " << i;
+    EXPECT_EQ(expected[i].dst, actual[i].dst) << "window entry " << i;
+    EXPECT_DOUBLE_EQ(expected[i].weight, actual[i].weight)
+        << "window entry " << i;
+    EXPECT_EQ(expected[i].ts, actual[i].ts) << "window entry " << i;
+  }
+}
+
+// Retire records in the delta chain: a windowed fleet that expired edges
+// between checkpoints must restore bit-identically — graph, peel state AND
+// window log — and must keep converging with the live fleet under further
+// traffic and expiry. This pins the replay argument end to end: retire
+// records re-run the deletion with the recorded applied weight, and the
+// flush inside RetireEdge is deterministic, so no flush marker precedes a
+// retire record yet the replayed flush points match the live ones.
+TEST_F(RecoveryTest, WindowedChainWithRetiresRestoresBitIdentical) {
+  constexpr Timestamp kSpan = 2000;
+  constexpr std::uint64_t kEpochs = 4;
+  Rng rng(909);
+  const std::vector<Edge> initial = RandomChunk(&rng, kInitialEdges);
+  auto service = BuildService(initial, /*restore_threads=*/0, kSpan);
+
+  ShardedDetectionService::SaveInfo info;
+  ASSERT_TRUE(service
+                  ->SaveState(dir_, ShardedDetectionService::SaveMode::kAuto,
+                              &info)
+                  .ok());
+  ASSERT_FALSE(info.delta);
+
+  Timestamp now = 0;
+  for (std::uint64_t e = 2; e <= kEpochs; ++e) {
+    std::vector<Edge> chunk = RandomChunk(&rng, kChunkEdges);
+    for (Edge& edge : chunk) {
+      now += 10;
+      edge.ts = now;
+    }
+    ASSERT_TRUE(service->SubmitBatch(chunk).ok());
+    service->Drain();
+    if (now > kSpan) {
+      ASSERT_TRUE(service->RetireOlderThan(now - kSpan).ok());
+      service->Drain();
+    }
+    ASSERT_TRUE(service
+                    ->SaveState(dir_, ShardedDetectionService::SaveMode::kAuto,
+                                &info)
+                    .ok());
+    EXPECT_TRUE(info.delta) << "epoch " << e;
+  }
+  // The chain must actually contain retire records for the test to mean
+  // anything.
+  ASSERT_GT(service->EdgesRetired(), 0u);
+  EXPECT_EQ(service->GetStats().retired_edges, service->EdgesRetired());
+  const auto live = CaptureShards(*service);
+
+  auto victim = BuildService(initial, /*restore_threads=*/0, kSpan);
+  ShardedDetectionService::RestoreInfo rinfo;
+  ASSERT_TRUE(victim->RestoreState(dir_, &rinfo).ok());
+  EXPECT_EQ(rinfo.restored_epoch, kEpochs);
+  const auto restored = CaptureShards(*victim);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    testing::ExpectShardEqualsCapture(live[s], restored[s]);
+    ExpectWindowsEqual(service->ShardWindow(s), victim->ShardWindow(s));
+  }
+
+  // Converge after restore: identical fresh traffic and an identical
+  // expiry horizon must leave both fleets bit-identical again.
+  std::vector<Edge> fresh = RandomChunk(&rng, 2 * kChunkEdges);
+  for (Edge& edge : fresh) {
+    now += 10;
+    edge.ts = now;
+  }
+  for (ShardedDetectionService* svc : {service.get(), victim.get()}) {
+    ASSERT_TRUE(svc->SubmitBatch(fresh).ok());
+    svc->Drain();
+    ASSERT_TRUE(svc->RetireOlderThan(now - kSpan).ok());
+    svc->Drain();
+  }
+  const auto live2 = CaptureShards(*service);
+  const auto conv = CaptureShards(*victim);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    testing::ExpectShardEqualsCapture(live2[s], conv[s]);
+    ExpectWindowsEqual(service->ShardWindow(s), victim->ShardWindow(s));
+  }
+  EXPECT_DOUBLE_EQ(service->CurrentCommunity().density,
+                   victim->CurrentCommunity().density);
 }
 
 }  // namespace

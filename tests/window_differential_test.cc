@@ -1,0 +1,145 @@
+// Randomized differential suite for the window-bearing detectors:
+// TimeWindowDetector and PeriodDetector are checked step by step against a
+// from-scratch rebuild (PeelStatic over the reference window contents), so
+// the insert path, the expiry/delete path and their interleavings must all
+// agree with the definition. Also pins the two window-detector seam fixes:
+// a rejected Offer leaves the detector untouched (no expiry side effects),
+// and monotonicity survives the window draining empty.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/period_detector.h"
+#include "core/time_window.h"
+#include "graph/dynamic_graph.h"
+#include "metrics/semantics.h"
+#include "peel/static_peeler.h"
+#include "tests/test_util.h"
+
+namespace spade {
+namespace {
+
+/// Rebuilds the window's graph from the reference edge list (applied
+/// semantic weights) and peels it statically.
+PeelState ReferenceState(std::size_t n, const std::deque<Edge>& window,
+                         DynamicGraph* out) {
+  DynamicGraph g(n);
+  for (const Edge& e : window) {
+    EXPECT_TRUE(g.AddEdge(e.src, e.dst, e.weight).ok());
+  }
+  if (out != nullptr) *out = g;
+  return PeelStatic(g);
+}
+
+TEST(TimeWindowSeamTest, RejectedOfferLeavesDetectorUntouched) {
+  const std::size_t n = 6;
+  TimeWindowDetector detector(n, /*window_span=*/100, MakeDW());
+  ASSERT_TRUE(detector.Offer({0, 1, 3.0, 10}).ok());
+  ASSERT_TRUE(detector.Offer({1, 2, 2.0, 50}).ok());
+  ASSERT_TRUE(detector.Offer({2, 3, 5.0, 90}).ok());
+  const std::size_t edges_before = detector.graph().NumEdges();
+  const Community before = detector.Detect();
+
+  // Unknown endpoint at a far-future timestamp: the rejection must happen
+  // BEFORE time advances, or the failed Offer would still expire the whole
+  // window as a side effect.
+  EXPECT_FALSE(detector.Offer({99, 0, 1.0, 1000}).ok());
+  EXPECT_EQ(detector.WindowEdgeCount(), 3u);
+  EXPECT_EQ(detector.graph().NumEdges(), edges_before);
+  const Community after = detector.Detect();
+  EXPECT_EQ(after.members, before.members);
+  EXPECT_DOUBLE_EQ(after.density, before.density);
+
+  // Out-of-order timestamp: same guarantee.
+  EXPECT_FALSE(detector.Offer({0, 2, 1.0, 5}).ok());
+  EXPECT_EQ(detector.WindowEdgeCount(), 3u);
+  EXPECT_EQ(detector.graph().NumEdges(), edges_before);
+}
+
+TEST(TimeWindowSeamTest, MonotonicitySurvivesEmptyWindow) {
+  TimeWindowDetector detector(4, /*window_span=*/50, MakeDG());
+  ASSERT_TRUE(detector.Offer({0, 1, 1.0, 10}).ok());
+  // Drain the window completely, then try to reopen the past: with the
+  // monotonicity check anchored on window_.back().ts this would be
+  // accepted (the window is empty), silently running time backwards.
+  ASSERT_TRUE(detector.AdvanceTo(1000).ok());
+  ASSERT_EQ(detector.WindowEdgeCount(), 0u);
+  EXPECT_FALSE(detector.Offer({1, 2, 1.0, 500}).ok());
+  EXPECT_EQ(detector.WindowEdgeCount(), 0u);
+  // Equal-to-high-water timestamps stay allowed (ties arrive together).
+  EXPECT_TRUE(detector.Offer({1, 2, 1.0, 1000}).ok());
+  EXPECT_EQ(detector.WindowEdgeCount(), 1u);
+}
+
+TEST(TimeWindowDifferentialTest, RandomizedStreamMatchesRebuild) {
+  Rng rng(2024);
+  const std::size_t n = 16;
+  const Timestamp span = 200;
+  TimeWindowDetector detector(n, span, MakeDW());
+  std::deque<Edge> reference;
+  Timestamp now = 0;
+  for (int step = 0; step < 400; ++step) {
+    now += static_cast<Timestamp>(rng.NextBounded(30));
+    if (rng.NextBounded(10) == 0) {
+      // Idle tick: expiry with no insertion.
+      ASSERT_TRUE(detector.AdvanceTo(now).ok());
+    } else {
+      Edge e = testing::RandomEdge(&rng, n);
+      e.ts = now;
+      ASSERT_TRUE(detector.Offer(e).ok());
+      reference.push_back(e);  // DW applies the raw weight unchanged
+    }
+    while (!reference.empty() && reference.front().ts < now - span) {
+      reference.pop_front();
+    }
+    ASSERT_EQ(detector.WindowEdgeCount(), reference.size());
+    if (step % 10 == 9) {
+      DynamicGraph want_graph;
+      const PeelState want = ReferenceState(n, reference, &want_graph);
+      ASSERT_EQ(detector.graph().NumEdges(), want_graph.NumEdges());
+      testing::ExpectStateEquals(want, detector.peel_state());
+    }
+  }
+}
+
+TEST(PeriodDifferentialTest, RandomizedRetargetsMatchRebuild) {
+  // Same differential discipline for the period detector, sweeping random
+  // retargets under both built-in semantics whose weights are pure edge
+  // functions (a from-scratch rebuild is exact for those).
+  for (const auto& sem : {MakeDW(), MakeDG()}) {
+    Rng rng(sem.name == "DW" ? 7001 : 7002);
+    const std::size_t n = 14;
+    std::vector<Edge> log;
+    for (std::size_t i = 0; i < 150; ++i) {
+      Edge e = testing::RandomEdge(&rng, n);
+      e.ts = static_cast<Timestamp>(10 * (i + 1));
+      log.push_back(e);
+    }
+    PeriodDetector detector(n, log, sem);
+    DynamicGraph unused(n);
+    for (int step = 0; step < 20; ++step) {
+      const Timestamp begin =
+          static_cast<Timestamp>(rng.NextBounded(1300));
+      const Timestamp end =
+          begin + static_cast<Timestamp>(40 + rng.NextBounded(500));
+      ASSERT_TRUE(detector.SetPeriod(begin, end).ok());
+      std::deque<Edge> window;
+      for (const Edge& e : log) {
+        if (e.ts >= begin && e.ts <= end) {
+          Edge applied = e;
+          applied.weight = sem.esusp(e, unused);
+          window.push_back(applied);
+        }
+      }
+      const PeelState want = ReferenceState(n, window, nullptr);
+      testing::ExpectStateEquals(want, detector.peel_state());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spade

@@ -5,19 +5,20 @@
 // on a latch (the same consumer-parked technique the backpressure tests
 // use). With consumers parked and the queue budget sized to hold the whole
 // stream, the producers' wall time measures exactly the router→worker
-// handoff — partitioner evaluations, boundary recording, budget claims,
-// ring publishes — with no interference from apply work (which matters
-// especially when cores < shards and workers would otherwise time-share
-// the producers' CPUs). The latch then opens and Drain() completes the
-// run; end-to-end time is reported alongside.
+// handoff — partitioner evaluations, budget claims, ring publishes — with
+// no interference from apply work (which matters especially when
+// cores < shards and workers would otherwise time-share the producers'
+// CPUs). Boundary recording lives on the worker side of the handoff now —
+// inside the apply path — so neither mode pays it during admission. The
+// latch then opens and Drain() completes the run; end-to-end time is
+// reported alongside.
 //
 // Modes per configuration:
 //   * per-edge  — every edge goes through Submit(), paying the partitioner,
-//     the boundary-index lock, the queue-budget claim and the ring cell
-//     individually. This is the PR's baseline.
+//     the queue-budget claim and the ring cell individually. This is the
+//     PR's baseline.
 //   * batched   — SubmitBatch chunks of 1024 edges: one RouterScratch
-//     partition pass, one pair-grouped boundary RecordBatch, one lock-free
-//     ring handoff per shard per chunk.
+//     partition pass, one lock-free ring handoff per shard per chunk.
 //
 // A final pinned run repeats the best configuration with shard workers
 // pinned round-robin onto the available cores (ShardedDetectionService-
@@ -66,8 +67,9 @@ struct IngestConfig {
   /// not queue backpressure.
   std::size_t stream_per_tenant = 8000;
   /// Fraction (per mille) of stream edges rewired to a cross-tenant
-  /// destination, so the batched boundary RecordBatch path is exercised
-  /// under load, not just in tests.
+  /// destination, so the workers' boundary-recording hook (and the
+  /// stitch-trigger accumulators behind it) is exercised under load, not
+  /// just in tests.
   std::size_t cross_per_mille = 100;
   /// Coarse detection cadence: ingest (routing + handoff + apply) stays
   /// the dominant term, not community extraction.

@@ -26,8 +26,10 @@
 // emits BENCH_stitching.json.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -382,6 +384,149 @@ StitchEntry RunStitchConfig(const StitchWorkload& w, std::size_t num_shards) {
   return e;
 }
 
+// ------------------------------------------------------------------------
+// Message-driven stitching: freshness sweep + boundary residency A/B.
+// ------------------------------------------------------------------------
+
+/// One event-driven configuration of the cross-shard ring workload: how
+/// long until the ring is visible through CurrentGlobalCommunity with NO
+/// explicit StitchNow call, and how many recorded boundary edges the
+/// stitcher still had not folded once ingest drained (the stitched read's
+/// staleness in edges).
+struct FreshnessEntry {
+  double trigger_weight = 0.0;
+  std::uint32_t interval_ms = 0;
+  std::uint64_t stitch_triggers = 0;
+  std::uint64_t stitch_passes = 0;
+  std::uint64_t unconsumed_after_drain = 0;
+  bool stitched_visible = false;
+  double visibility_ms = 0.0;
+  double stitched_recall = 0.0;
+};
+
+FreshnessEntry RunFreshnessConfig(const StitchWorkload& w,
+                                  std::size_t num_shards,
+                                  double trigger_weight,
+                                  std::uint32_t interval_ms) {
+  ShardedDetectionServiceOptions options;
+  options.partitioner = HashOfSourcePartitioner();
+  options.shard.block_when_full = true;
+  options.shard.detect_every = 64;
+  options.stitch.interval_ms = interval_ms;
+  options.stitch.trigger_weight = trigger_weight;
+  ShardedDetectionService service(BuildHashShards(w, num_shards), nullptr,
+                                  options);
+
+  const std::vector<Edge>& edges = w.stream.edges;
+  constexpr std::size_t kChunk = 512;
+  for (std::size_t i = 0; i < edges.size(); i += kChunk) {
+    const std::size_t len = std::min(kChunk, edges.size() - i);
+    (void)service.SubmitBatch(std::span<const Edge>(edges.data() + i, len));
+  }
+  service.Drain();
+
+  FreshnessEntry e;
+  e.trigger_weight = trigger_weight;
+  e.interval_ms = interval_ms;
+  const auto drained = std::chrono::steady_clock::now();
+  for (int i = 0; i < 2000; ++i) {
+    const GlobalCommunity g = service.CurrentGlobalCommunity();
+    if (g.stitched) {
+      e.stitched_visible = true;
+      e.visibility_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - drained)
+              .count();
+      e.stitched_recall = RingRecall(w.ring, g.members);
+      break;
+    }
+    // No stitcher configured: the ring can never become visible. Bail
+    // instead of burning the full poll budget.
+    if (trigger_weight <= 0.0 && interval_ms == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ShardedServiceStats stats = service.GetStats();
+  e.stitch_triggers = stats.stitch_triggers;
+  e.stitch_passes = stats.stitch_passes;
+  e.unconsumed_after_drain = stats.boundary_unconsumed_edges;
+  service.Stop();
+  return e;
+}
+
+/// Boundary-index residency under a windowed, repeat-heavy stream holding
+/// 4 windows of history: with compaction the consumed queue prefix
+/// collapses to per-pair per-vertex weight sums, so resident bytes track
+/// the (small) hot vertex set instead of the window's edge count.
+struct ResidencyResult {
+  std::size_t window_edges = 0;
+  std::size_t resident_compacted = 0;
+  std::size_t resident_raw = 0;
+  std::uint64_t compacted_edges = 0;
+  double ratio = 1.0;
+};
+
+ResidencyResult RunResidencyAB(std::size_t num_shards) {
+  constexpr std::size_t kVertices = 1024;
+  constexpr std::size_t kHotPool = 256;   // repeat-heavy: edges recur
+  constexpr std::size_t kEdges = 65536;
+  constexpr Timestamp kSpan = 16384;      // stream holds 4 windows
+
+  std::vector<Edge> edges;
+  edges.reserve(kEdges);
+  Rng rng(777);
+  for (std::size_t i = 0; i < kEdges; ++i) {
+    auto s = static_cast<VertexId>(rng.NextBounded(kHotPool));
+    auto d = static_cast<VertexId>(rng.NextBounded(kHotPool));
+    while (d == s) d = static_cast<VertexId>(rng.NextBounded(kHotPool));
+    edges.push_back(Edge{s, d, 1.0 + 9.0 * rng.NextDouble(),
+                         static_cast<Timestamp>(i)});
+  }
+
+  ResidencyResult r;
+  r.window_edges = static_cast<std::size_t>(kSpan);
+  for (const bool compact : {true, false}) {
+    ShardedDetectionServiceOptions options;
+    options.partitioner = HashOfSourcePartitioner();
+    options.shard.block_when_full = true;
+    options.shard.detect_every = 64;
+    options.window.span = kSpan;
+    options.stitch.compact_boundary = compact;
+
+    std::vector<Spade> shards;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      Spade spade;
+      spade.SetSemantics(MakeDW());
+      if (!spade.BuildGraph(kVertices, {}).ok()) std::exit(1);
+      shards.push_back(std::move(spade));
+    }
+    ShardedDetectionService service(std::move(shards), nullptr, options);
+
+    // Stitch passes interleave with ingest (16 per stream) — each fold
+    // consumes the queues, and with compaction on, collapses them.
+    constexpr std::size_t kSlice = kEdges / 16;
+    for (std::size_t i = 0; i < kEdges; i += kSlice) {
+      (void)service.SubmitBatch(
+          std::span<const Edge>(edges.data() + i,
+                                std::min(kSlice, kEdges - i)));
+      service.Drain();
+      (void)service.StitchNow();
+    }
+    const ShardedServiceStats stats = service.GetStats();
+    if (compact) {
+      r.resident_compacted = stats.boundary_resident_bytes;
+      r.compacted_edges = stats.boundary_compacted_edges;
+    } else {
+      r.resident_raw = stats.boundary_resident_bytes;
+    }
+    service.Stop();
+  }
+  if (r.resident_raw > 0) {
+    r.ratio = static_cast<double>(r.resident_compacted) /
+              static_cast<double>(r.resident_raw);
+  }
+  return r;
+}
+
 }  // namespace
 }  // namespace spade::bench
 
@@ -479,6 +624,38 @@ int main(int argc, char** argv) {
     sentries.push_back(e);
   }
 
+  // ---- freshness sweep: how fast does the ring surface with no explicit
+  // stitch call, and how far behind do the queues sit after ingest? ----
+  std::printf("\n# freshness sweep (4 shards, event-driven stitching)\n\n");
+  std::printf("%15s %11s %9s %8s %12s %13s %8s\n", "trigger-weight",
+              "interval-ms", "triggers", "passes", "unconsumed",
+              "visible-ms", "recall");
+  std::vector<FreshnessEntry> fentries;
+  for (const auto& [tw, ims] :
+       std::vector<std::pair<double, std::uint32_t>>{
+           {0.0, 0}, {0.0, 20}, {4096.0, 0}, {256.0, 0}}) {
+    const FreshnessEntry e = RunFreshnessConfig(sw, 4, tw, ims);
+    std::printf("%15.0f %11u %9llu %8llu %12llu %13s %8.2f\n",
+                e.trigger_weight, e.interval_ms,
+                static_cast<unsigned long long>(e.stitch_triggers),
+                static_cast<unsigned long long>(e.stitch_passes),
+                static_cast<unsigned long long>(e.unconsumed_after_drain),
+                e.stitched_visible
+                    ? std::to_string(e.visibility_ms).substr(0, 6).c_str()
+                    : "never",
+                e.stitched_recall);
+    fentries.push_back(e);
+  }
+
+  // ---- boundary residency A/B: compaction on vs off, windowed stream
+  // holding 4 windows of repeat-heavy history ----
+  const ResidencyResult rr = RunResidencyAB(4);
+  std::printf("\n# boundary residency (4 shards, windowed 4x history): "
+              "compacted %zu B vs raw %zu B (ratio %.3f, %llu edges in "
+              "blocks)\n",
+              rr.resident_compacted, rr.resident_raw, rr.ratio,
+              static_cast<unsigned long long>(rr.compacted_edges));
+
   const std::string spath = out_dir + "/BENCH_stitching.json";
   std::FILE* sf = std::fopen(spath.c_str(), "w");
   if (sf == nullptr) {
@@ -519,7 +696,32 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(e.boundary_edges), e.seam_vertices,
         e.seam_edges, i + 1 == sentries.size() ? "" : ",");
   }
-  std::fprintf(sf, "  ]\n}\n");
+  std::fprintf(sf, "  ],\n");
+  std::fprintf(sf, "  \"freshness\": [\n");
+  for (std::size_t i = 0; i < fentries.size(); ++i) {
+    const FreshnessEntry& e = fentries[i];
+    std::fprintf(
+        sf,
+        "    {\"trigger_weight\": %.0f, \"interval_ms\": %u, "
+        "\"stitch_triggers\": %llu, \"stitch_passes\": %llu, "
+        "\"unconsumed_edges_after_drain\": %llu, \"stitched_visible\": %s, "
+        "\"visibility_ms\": %.2f, \"stitched_recall\": %.3f}%s\n",
+        e.trigger_weight, e.interval_ms,
+        static_cast<unsigned long long>(e.stitch_triggers),
+        static_cast<unsigned long long>(e.stitch_passes),
+        static_cast<unsigned long long>(e.unconsumed_after_drain),
+        e.stitched_visible ? "true" : "false", e.visibility_ms,
+        e.stitched_recall, i + 1 == fentries.size() ? "" : ",");
+  }
+  std::fprintf(sf, "  ],\n");
+  std::fprintf(sf,
+               "  \"residency\": {\"shards\": 4, \"window_edges\": %zu, "
+               "\"resident_bytes_compacted\": %zu, \"resident_bytes_raw\": "
+               "%zu, \"compacted_over_raw_ratio\": %.4f, "
+               "\"compacted_edges\": %llu}\n",
+               rr.window_edges, rr.resident_compacted, rr.resident_raw,
+               rr.ratio, static_cast<unsigned long long>(rr.compacted_edges));
+  std::fprintf(sf, "}\n");
   std::fclose(sf);
   std::printf("\nwrote %s\n", spath.c_str());
   return 0;

@@ -12,8 +12,16 @@ namespace {
 
 constexpr std::uint64_t kBoundaryMagic = 0x53504144455F4249ULL;  // "SPADE_BI"
 constexpr std::uint32_t kBoundaryVersion = 1;
+// v2 adds a per-bucket compacted-block section ahead of the raw edges; a
+// file with no blocks anywhere is written as v1, byte-identical to the
+// pre-compaction format.
+constexpr std::uint32_t kBoundaryVersionCompacted = 2;
 constexpr std::uint64_t kTailMagic = 0x53504144455F4254ULL;  // "SPADE_BT"
 constexpr std::uint32_t kTailVersion = 1;
+
+// Beyond this many blocks per bucket, the two oldest merge — bounds the
+// per-bucket block walk while keeping eviction granularity useful.
+constexpr std::size_t kMaxBlocksPerBucket = 16;
 
 void WriteEdge(storage::ChecksummedFileWriter* writer, const Edge& e) {
   writer->Write(e.src);
@@ -27,8 +35,8 @@ bool ReadEdge(storage::ChecksummedFileReader* reader, Edge* e) {
          reader->Read(&e->weight) && reader->Read(&e->ts);
 }
 
-/// Shared payload reader for base and tail files (they differ only in the
-/// header): per-bucket counts + edges for `num_buckets` buckets.
+/// Shared payload reader for v1 base and tail files (they differ only in
+/// the header): per-bucket counts + edges for `num_buckets` buckets.
 Status ReadBuckets(storage::ChecksummedFileReader* reader,
                    std::size_t num_buckets,
                    std::vector<std::vector<Edge>>* buckets) {
@@ -54,11 +62,112 @@ Status ReadBuckets(storage::ChecksummedFileReader* reader,
   return reader->VerifyTrailer();
 }
 
+/// v2 payload: per bucket, a block section (count; per block max_ts,
+/// edge_count, entry count, sorted (vertex, weight) entries) then the raw
+/// edges, same record shape as v1.
+Status ReadBucketsCompacted(
+    storage::ChecksummedFileReader* reader, std::size_t num_buckets,
+    std::vector<std::vector<Edge>>* buckets,
+    std::vector<std::vector<BoundaryEdgeIndex::CompactedBlock>>* blocks) {
+  buckets->assign(num_buckets, {});
+  blocks->assign(num_buckets, {});
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    std::uint64_t block_count = 0;
+    if (!reader->Read(&block_count)) {
+      return Status::IOError("truncated boundary file: " + reader->path());
+    }
+    // A block is at least 24 header bytes on disk.
+    if (reader->CountExceedsFile(block_count, 24)) {
+      return Status::IOError("boundary block count exceeds the file size: " +
+                             reader->path());
+    }
+    (*blocks)[b].resize(block_count);
+    for (std::uint64_t i = 0; i < block_count; ++i) {
+      auto& block = (*blocks)[b][i];
+      std::uint64_t entries = 0;
+      if (!reader->Read(&block.max_ts) || !reader->Read(&block.edge_count) ||
+          !reader->Read(&entries)) {
+        return Status::IOError("truncated boundary file: " + reader->path());
+      }
+      // 12 payload bytes per (vertex u32, weight f64) entry.
+      if (reader->CountExceedsFile(entries, 12)) {
+        return Status::IOError(
+            "boundary block entry count exceeds the file size: " +
+            reader->path());
+      }
+      block.weight.resize(entries);
+      for (std::uint64_t k = 0; k < entries; ++k) {
+        if (!reader->Read(&block.weight[k].first) ||
+            !reader->Read(&block.weight[k].second)) {
+          return Status::IOError("truncated boundary file: " + reader->path());
+        }
+      }
+    }
+    std::uint64_t count = 0;
+    if (!reader->Read(&count)) {
+      return Status::IOError("truncated boundary file: " + reader->path());
+    }
+    if (reader->CountExceedsFile(count, 24)) {
+      return Status::IOError("boundary bucket count exceeds the file size: " +
+                             reader->path());
+    }
+    (*buckets)[b].resize(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (!ReadEdge(reader, &(*buckets)[b][i])) {
+        return Status::IOError("truncated boundary file: " + reader->path());
+      }
+    }
+  }
+  return reader->VerifyTrailer();
+}
+
+std::size_t BlockEdgeTotal(
+    const std::vector<BoundaryEdgeIndex::CompactedBlock>& blocks) {
+  std::size_t n = 0;
+  for (const auto& block : blocks) n += block.edge_count;
+  return n;
+}
+
+std::size_t BlockEntryTotal(
+    const std::vector<BoundaryEdgeIndex::CompactedBlock>& blocks) {
+  std::size_t n = 0;
+  for (const auto& block : blocks) n += block.weight.size();
+  return n;
+}
+
+/// Merges two sorted per-vertex sum lists (block coalescing).
+std::vector<std::pair<VertexId, double>> MergeWeights(
+    const std::vector<std::pair<VertexId, double>>& a,
+    const std::vector<std::pair<VertexId, double>>& b) {
+  std::vector<std::pair<VertexId, double>> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      out.push_back(a[i++]);
+    } else if (b[j].first < a[i].first) {
+      out.push_back(b[j++]);
+    } else {
+      out.emplace_back(a[i].first, a[i].second + b[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < a.size()) out.push_back(a[i++]);
+  while (j < b.size()) out.push_back(b[j++]);
+  return out;
+}
+
 }  // namespace
 
 BoundaryEdgeIndex::BoundaryEdgeIndex(std::size_t num_shards)
     : num_shards_(num_shards), buckets_(num_shards * num_shards) {
   SPADE_CHECK(num_shards > 0);
+}
+
+std::size_t BoundaryEdgeIndex::CompactedBase(const Bucket& bucket) {
+  return bucket.start - BlockEdgeTotal(bucket.blocks);
 }
 
 void BoundaryEdgeIndex::Record(std::size_t src_home, std::size_t dst_home,
@@ -70,6 +179,7 @@ void BoundaryEdgeIndex::Record(std::size_t src_home, std::size_t dst_home,
     bucket.edges.push_back(edge);
   }
   total_.fetch_add(1, std::memory_order_relaxed);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BoundaryEdgeIndex::RecordBatch(std::span<const PairGroup> groups) {
@@ -86,7 +196,10 @@ void BoundaryEdgeIndex::RecordBatch(std::span<const PairGroup> groups) {
     }
     appended += group.edges.size();
   }
-  if (appended > 0) total_.fetch_add(appended, std::memory_order_relaxed);
+  if (appended > 0) {
+    total_.fetch_add(appended, std::memory_order_relaxed);
+    recorded_.fetch_add(appended, std::memory_order_relaxed);
+  }
 }
 
 bool BoundaryEdgeIndex::FoldNewEdges(
@@ -118,12 +231,25 @@ bool BoundaryEdgeIndex::FoldNewEdges(
   // Edges recorded between the passes are picked up here or next time;
   // either way exactly once, because buckets are append-only within an
   // epoch. Positions are logical (append-history) indices: an evicted-
-  // before-fold prefix (consumed < start) was never folded and never will
-  // be — it expired unseen, which is exactly the eviction contract.
+  // before-fold prefix was never folded and never will be — it expired
+  // unseen, which is exactly the eviction contract. A cursor behind the
+  // bucket's raw start first folds any compacted block past its position
+  // whole (blocks hold exactly the sums a fold would have produced;
+  // compaction is driven by this cursor, so a block never straddles it).
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     std::lock_guard<std::mutex> lock(buckets_[b].mutex);
     const Bucket& bucket = buckets_[b];
     const std::vector<Edge>& edges = bucket.edges;
+    if (cursor->consumed[b] < bucket.start) {
+      std::size_t base = CompactedBase(bucket);
+      for (const CompactedBlock& block : bucket.blocks) {
+        const std::size_t end = base + block.edge_count;
+        if (end > cursor->consumed[b]) {
+          for (const auto& [v, w] : block.weight) (*weight)[v] += w;
+        }
+        base = end;
+      }
+    }
     const std::size_t from_logical =
         std::max(cursor->consumed[b], bucket.start);
     for (std::size_t i = from_logical - bucket.start; i < edges.size(); ++i) {
@@ -135,22 +261,97 @@ bool BoundaryEdgeIndex::FoldNewEdges(
   return rebuilt;
 }
 
+std::size_t BoundaryEdgeIndex::CompactConsumed(const Cursor& fold_cursor,
+                                               std::size_t min_batch) {
+  if (fold_cursor.epoch.size() != buckets_.size()) return 0;
+  std::size_t compacted = 0;
+  std::uint64_t new_entries = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    Bucket& bucket = buckets_[b];
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    if (fold_cursor.epoch[b] != bucket.epoch) continue;
+    // Only the prefix the fold already consumed AND the checkpoint chain
+    // (if anchored) already persisted may leave raw form.
+    const std::size_t limit =
+        std::min(fold_cursor.consumed[b], bucket.persist_floor);
+    if (limit <= bucket.start) continue;
+    const std::size_t n =
+        std::min(limit, bucket.start + bucket.edges.size()) - bucket.start;
+    if (n < min_batch) continue;
+
+    CompactedBlock block;
+    block.edge_count = n;
+    std::unordered_map<VertexId, double> sums;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Edge& e = bucket.edges[i];
+      sums[e.src] += e.weight;
+      sums[e.dst] += e.weight;
+      block.max_ts = std::max(block.max_ts, e.ts);
+    }
+    block.weight.assign(sums.begin(), sums.end());
+    std::sort(block.weight.begin(), block.weight.end());
+    bucket.edges.erase(bucket.edges.begin(),
+                       bucket.edges.begin() + static_cast<std::ptrdiff_t>(n));
+    bucket.start += n;
+    new_entries += block.weight.size();
+    bucket.blocks.push_back(std::move(block));
+    while (bucket.blocks.size() > kMaxBlocksPerBucket) {
+      CompactedBlock merged;
+      merged.max_ts =
+          std::max(bucket.blocks[0].max_ts, bucket.blocks[1].max_ts);
+      merged.edge_count =
+          bucket.blocks[0].edge_count + bucket.blocks[1].edge_count;
+      const std::size_t before =
+          bucket.blocks[0].weight.size() + bucket.blocks[1].weight.size();
+      merged.weight =
+          MergeWeights(bucket.blocks[0].weight, bucket.blocks[1].weight);
+      new_entries -= before - merged.weight.size();
+      bucket.blocks.erase(bucket.blocks.begin());
+      bucket.blocks[0] = std::move(merged);
+    }
+    compacted += n;
+  }
+  if (compacted > 0) {
+    compacted_edges_.fetch_add(compacted, std::memory_order_relaxed);
+    block_entries_.fetch_add(new_entries, std::memory_order_relaxed);
+  }
+  return compacted;
+}
+
 std::size_t BoundaryEdgeIndex::EvictOlderThan(
     Timestamp horizon, const Cursor& fold_cursor,
     std::unordered_map<VertexId, double>* weight) {
   std::size_t evicted = 0;
+  std::uint64_t evicted_compacted = 0;
+  std::uint64_t evicted_entries = 0;
   const bool cursor_sized = fold_cursor.epoch.size() == buckets_.size();
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     Bucket& bucket = buckets_[b];
     std::lock_guard<std::mutex> lock(bucket.mutex);
+    const bool cursor_live =
+        cursor_sized && fold_cursor.epoch[b] == bucket.epoch;
+    // Compacted blocks sit in front of the raw edges; drop whole expired
+    // ones. Every compacted edge was fold-consumed by construction, so the
+    // block's stored sums are exactly its aggregate contribution. A live
+    // block shields everything behind it, raw suffix included.
+    while (!bucket.blocks.empty() && bucket.blocks.front().max_ts < horizon) {
+      const CompactedBlock& block = bucket.blocks.front();
+      if (weight != nullptr && cursor_live) {
+        for (const auto& [v, w] : block.weight) (*weight)[v] -= w;
+      }
+      evicted += block.edge_count;
+      evicted_compacted += block.edge_count;
+      evicted_entries += block.weight.size();
+      bucket.blocks.erase(bucket.blocks.begin());
+    }
+    if (!bucket.blocks.empty()) continue;
     std::size_t k = 0;
     while (k < bucket.edges.size() && bucket.edges[k].ts < horizon) ++k;
     if (k == 0) continue;
     // Subtract only contributions the fold cursor has actually consumed
     // (logical position < consumed); an epoch mismatch means the aggregate
     // is about to be rebuilt from scratch anyway, so nothing to subtract.
-    if (weight != nullptr && cursor_sized &&
-        fold_cursor.epoch[b] == bucket.epoch) {
+    if (weight != nullptr && cursor_live) {
       for (std::size_t i = 0; i < k; ++i) {
         if (bucket.start + i >= fold_cursor.consumed[b]) break;
         (*weight)[bucket.edges[i].src] -= bucket.edges[i].weight;
@@ -164,6 +365,10 @@ std::size_t BoundaryEdgeIndex::EvictOlderThan(
   }
   if (evicted > 0) {
     total_.fetch_sub(evicted, std::memory_order_relaxed);
+    if (evicted_compacted > 0) {
+      compacted_edges_.fetch_sub(evicted_compacted, std::memory_order_relaxed);
+      block_entries_.fetch_sub(evicted_entries, std::memory_order_relaxed);
+    }
     if (weight != nullptr) {
       // Prune near-zero residue so the aggregate's footprint follows the
       // window too (subtraction leaves float dust, never exact zeros).
@@ -195,48 +400,100 @@ void BoundaryEdgeIndex::Clear(Cursor* sync) {
     sync->consumed.assign(buckets_.size(), 0);
   }
   std::uint64_t dropped = 0;
+  std::uint64_t dropped_compacted = 0;
+  std::uint64_t dropped_entries = 0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     Bucket& bucket = buckets_[b];
     std::lock_guard<std::mutex> lock(bucket.mutex);
-    dropped += bucket.edges.size();
+    dropped += bucket.edges.size() + BlockEdgeTotal(bucket.blocks);
+    dropped_compacted += BlockEdgeTotal(bucket.blocks);
+    dropped_entries += BlockEntryTotal(bucket.blocks);
     bucket.edges.clear();
+    bucket.blocks.clear();
     bucket.start = 0;
     ++bucket.epoch;
+    // A synced clear keeps the chain anchored at the empty bucket (floor
+    // 0: nothing recorded after it is persisted yet); an unsynced one
+    // leaves no chain, so compaction is unrestricted again.
+    bucket.persist_floor =
+        sync != nullptr ? 0 : std::numeric_limits<std::size_t>::max();
     if (sync != nullptr) {
       sync->epoch[b] = bucket.epoch;
       sync->consumed[b] = 0;
     }
   }
   total_.fetch_sub(dropped, std::memory_order_relaxed);
+  compacted_edges_.fetch_sub(dropped_compacted, std::memory_order_relaxed);
+  block_entries_.fetch_sub(dropped_entries, std::memory_order_relaxed);
 }
 
-Status BoundaryEdgeIndex::Save(const std::string& path, Cursor* sync) const {
-  storage::ChecksummedFileWriter writer(path);
-  writer.Write(kBoundaryMagic);
-  writer.Write(kBoundaryVersion);
-  writer.Write(static_cast<std::uint64_t>(num_shards_));
-  // The cursor positions are staged and committed only after Finish()
-  // publishes the file: a cursor advanced past a write that never hit
-  // disk would silently drop those edges from every future tail.
-  std::vector<std::uint64_t> staged_epoch(buckets_.size(), 0);
-  std::vector<std::size_t> staged_consumed(buckets_.size(), 0);
+Status BoundaryEdgeIndex::Save(const std::string& path, Cursor* sync,
+                               std::uint32_t* format) const {
+  // Capture every bucket under its lock first: the file-level version
+  // decision (v1 iff no blocks anywhere) must see one consistent cut, and
+  // a concurrent CompactConsumed (stitch lock, not the save lock) may
+  // create a bucket's first block mid-save otherwise.
+  struct Captured {
+    std::vector<Edge> edges;
+    std::vector<CompactedBlock> blocks;
+    std::uint64_t epoch = 0;
+    std::size_t end = 0;  // logical end = the staged cursor position
+  };
+  std::vector<Captured> captured(buckets_.size());
+  bool any_blocks = false;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     const Bucket& bucket = buckets_[b];
     std::lock_guard<std::mutex> lock(bucket.mutex);
-    writer.Write(static_cast<std::uint64_t>(bucket.edges.size()));
-    for (const Edge& e : bucket.edges) WriteEdge(&writer, e);
-    // Captured under the same lock as the write — the durable prefix is
-    // exactly what the file holds; an edge recorded after this point
-    // lands in the next tail, never in limbo. Logical position: a base
-    // file holds only the resident (un-evicted) edges, and the cursor
-    // anchors past everything ever appended before it.
-    staged_epoch[b] = bucket.epoch;
-    staged_consumed[b] = bucket.start + bucket.edges.size();
+    captured[b].edges = bucket.edges;
+    captured[b].blocks = bucket.blocks;
+    captured[b].epoch = bucket.epoch;
+    // The durable prefix is exactly what the capture holds; an edge
+    // recorded after this point lands in the next tail, never in limbo.
+    // Logical position: the capture holds only resident edges, and the
+    // cursor anchors past everything ever appended before it.
+    captured[b].end = bucket.start + bucket.edges.size();
+    any_blocks = any_blocks || !bucket.blocks.empty();
+  }
+
+  storage::ChecksummedFileWriter writer(path);
+  writer.Write(kBoundaryMagic);
+  writer.Write(any_blocks ? kBoundaryVersionCompacted : kBoundaryVersion);
+  writer.Write(static_cast<std::uint64_t>(num_shards_));
+  for (const Captured& cap : captured) {
+    if (any_blocks) {
+      writer.Write(static_cast<std::uint64_t>(cap.blocks.size()));
+      for (const CompactedBlock& block : cap.blocks) {
+        writer.Write(block.max_ts);
+        writer.Write(block.edge_count);
+        writer.Write(static_cast<std::uint64_t>(block.weight.size()));
+        for (const auto& [v, w] : block.weight) {
+          writer.Write(v);
+          writer.Write(w);
+        }
+      }
+    }
+    writer.Write(static_cast<std::uint64_t>(cap.edges.size()));
+    for (const Edge& e : cap.edges) WriteEdge(&writer, e);
   }
   SPADE_RETURN_NOT_OK(writer.Finish());
+  // Cursor + persist floor commit only after Finish() publishes the file:
+  // a floor advanced past a write that never hit disk would let compaction
+  // eat edges every future tail still owes the chain.
   if (sync != nullptr) {
-    sync->epoch = std::move(staged_epoch);
-    sync->consumed = std::move(staged_consumed);
+    sync->epoch.resize(buckets_.size());
+    sync->consumed.resize(buckets_.size());
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      const Bucket& bucket = buckets_[b];
+      std::lock_guard<std::mutex> lock(bucket.mutex);
+      sync->epoch[b] = captured[b].epoch;
+      sync->consumed[b] = captured[b].end;
+      if (bucket.epoch == captured[b].epoch) {
+        bucket.persist_floor = captured[b].end;
+      }
+    }
+  }
+  if (format != nullptr) {
+    *format = any_blocks ? kBoundaryVersionCompacted : kBoundaryVersion;
   }
   return Status::OK();
 }
@@ -279,9 +536,18 @@ Status BoundaryEdgeIndex::SaveTail(const std::string& path,
           "boundary index epoch changed under the persist cursor");
     }
     // Logical -> physical: an evicted-but-never-persisted prefix
-    // (consumed < start) is skipped on purpose — those edges expired
-    // before any checkpoint needed them, and a restore must not resurrect
-    // an edge the live index no longer holds.
+    // (consumed below the compacted base) is skipped on purpose — those
+    // edges expired before any checkpoint needed them, and a restore must
+    // not resurrect an edge the live index no longer holds. A cursor
+    // pointing INTO the compacted range, though, means the raw suffix it
+    // owes the chain no longer exists verbatim — the persist floor forbids
+    // that through the service flow, so treat it as a precondition failure
+    // and let the caller fall back to a full save.
+    if (cursor->consumed[b] < bucket.start &&
+        cursor->consumed[b] > CompactedBase(bucket)) {
+      return Status::FailedPrecondition(
+          "boundary persist cursor points into a compacted range");
+    }
     const std::size_t from_logical =
         std::max(cursor->consumed[b], bucket.start);
     const std::size_t from = from_logical - bucket.start;
@@ -293,6 +559,13 @@ Status BoundaryEdgeIndex::SaveTail(const std::string& path,
   const std::uint64_t payload = writer.bytes_written();
   SPADE_RETURN_NOT_OK(writer.Finish());
   cursor->consumed = std::move(staged_consumed);
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const Bucket& bucket = buckets_[b];
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    if (bucket.epoch == cursor->epoch[b]) {
+      bucket.persist_floor = cursor->consumed[b];
+    }
+  }
   if (bytes_written != nullptr) {
     *bytes_written = payload + sizeof(std::uint64_t);
   }
@@ -311,7 +584,8 @@ Status BoundaryEdgeIndex::ReadFile(const std::string& path,
   if (!reader.Read(&magic) || magic != kBoundaryMagic) {
     return Status::IOError("bad boundary index magic in " + path);
   }
-  if (!reader.Read(&version) || version != kBoundaryVersion) {
+  if (!reader.Read(&version) ||
+      (version != kBoundaryVersion && version != kBoundaryVersionCompacted)) {
     return Status::IOError("unsupported boundary index version in " + path);
   }
   if (!reader.Read(&shards) || shards != expected_shards) {
@@ -320,8 +594,14 @@ Status BoundaryEdgeIndex::ReadFile(const std::string& path,
         " shards but the service has " + std::to_string(expected_shards));
   }
   FileData parsed;
-  SPADE_RETURN_NOT_OK(
-      ReadBuckets(&reader, expected_shards * expected_shards, &parsed.buckets));
+  if (version == kBoundaryVersionCompacted) {
+    SPADE_RETURN_NOT_OK(ReadBucketsCompacted(&reader,
+                                             expected_shards * expected_shards,
+                                             &parsed.buckets, &parsed.blocks));
+  } else {
+    SPADE_RETURN_NOT_OK(ReadBuckets(
+        &reader, expected_shards * expected_shards, &parsed.buckets));
+  }
   *out = std::move(parsed);
   return Status::OK();
 }
@@ -359,25 +639,48 @@ Status BoundaryEdgeIndex::ReadTailFile(const std::string& path,
 
 void BoundaryEdgeIndex::AdoptBuckets(FileData&& data, Cursor* sync) {
   SPADE_CHECK(data.buckets.size() == buckets_.size());
+  SPADE_CHECK(data.blocks.empty() || data.blocks.size() == buckets_.size());
   if (sync != nullptr && sync->epoch.size() != buckets_.size()) {
     sync->epoch.assign(buckets_.size(), 0);
     sync->consumed.assign(buckets_.size(), 0);
   }
   std::uint64_t loaded_total = 0;
   std::uint64_t previous = 0;
+  std::uint64_t loaded_compacted = 0;
+  std::uint64_t previous_compacted = 0;
+  std::uint64_t loaded_entries = 0;
+  std::uint64_t previous_entries = 0;
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     std::lock_guard<std::mutex> lock(buckets_[b].mutex);
-    previous += buckets_[b].edges.size();
-    loaded_total += data.buckets[b].size();
-    buckets_[b].edges = std::move(data.buckets[b]);
-    buckets_[b].start = 0;
-    ++buckets_[b].epoch;
+    Bucket& bucket = buckets_[b];
+    previous += bucket.edges.size() + BlockEdgeTotal(bucket.blocks);
+    previous_compacted += BlockEdgeTotal(bucket.blocks);
+    previous_entries += BlockEntryTotal(bucket.blocks);
+    bucket.edges = std::move(data.buckets[b]);
+    bucket.blocks = data.blocks.empty() ? std::vector<CompactedBlock>{}
+                                        : std::move(data.blocks[b]);
+    // Restored blocks sit below the raw edges in logical order, exactly as
+    // the save captured them.
+    bucket.start = BlockEdgeTotal(bucket.blocks);
+    loaded_total += bucket.edges.size() + bucket.start;
+    loaded_compacted += bucket.start;
+    loaded_entries += BlockEntryTotal(bucket.blocks);
+    ++bucket.epoch;
+    const std::size_t end = bucket.start + bucket.edges.size();
+    // The adopted content is durable in the file the chain resumes from;
+    // without a sync cursor there is no chain, so compaction is free.
+    bucket.persist_floor =
+        sync != nullptr ? end : std::numeric_limits<std::size_t>::max();
     if (sync != nullptr) {
-      sync->epoch[b] = buckets_[b].epoch;
-      sync->consumed[b] = buckets_[b].edges.size();
+      sync->epoch[b] = bucket.epoch;
+      sync->consumed[b] = end;
     }
   }
   total_.fetch_add(loaded_total - previous, std::memory_order_relaxed);
+  compacted_edges_.fetch_add(loaded_compacted - previous_compacted,
+                             std::memory_order_relaxed);
+  block_entries_.fetch_add(loaded_entries - previous_entries,
+                           std::memory_order_relaxed);
 }
 
 void BoundaryEdgeIndex::AppendBuckets(const FileData& data, Cursor* sync) {
@@ -390,6 +693,10 @@ void BoundaryEdgeIndex::AppendBuckets(const FileData& data, Cursor* sync) {
     appended += data.buckets[b].size();
     if (sync != nullptr && b < sync->consumed.size()) {
       sync->consumed[b] += data.buckets[b].size();
+      // Tail contents are durable by definition.
+      if (sync->epoch[b] == buckets_[b].epoch) {
+        buckets_[b].persist_floor = sync->consumed[b];
+      }
     }
   }
   total_.fetch_add(appended, std::memory_order_relaxed);

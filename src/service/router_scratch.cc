@@ -1,7 +1,5 @@
 #include "service/router_scratch.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 #include "service/sharded_detection_service.h"
 
@@ -15,24 +13,15 @@ void RouterScratch::Partition(const Partitioner& partitioner,
   const std::size_t m = edges.size();
   shard_of_.resize(m);
   counts_.assign(num_shards, 0);
-  boundary_keys_.clear();
 
-  // Pass 1: one partitioner evaluation per edge. src/dst homes serve both
-  // the routing decision (routes_by_src_home) and the boundary decision.
+  // Pass 1: one routing evaluation per edge.
   for (std::size_t i = 0; i < m; ++i) {
     const Edge& e = edges[i];
     std::size_t shard = 0;
     if (num_shards > 1) {
-      const std::size_t src_home = partitioner.home(e.src) % num_shards;
-      const std::size_t dst_home = partitioner.home(e.dst) % num_shards;
       shard = partitioner.routes_by_src_home
-                  ? src_home
+                  ? partitioner.home(e.src) % num_shards
                   : partitioner.edge_key(e) % num_shards;
-      if (src_home != dst_home) {
-        boundary_keys_.emplace_back(
-            static_cast<std::uint64_t>(src_home) * num_shards + dst_home,
-            static_cast<std::uint32_t>(i));
-      }
     }
     shard_of_[i] = static_cast<std::uint32_t>(shard);
     ++counts_[shard];
@@ -48,32 +37,6 @@ void RouterScratch::Partition(const Partitioner& partitioner,
   }
   for (std::size_t i = 0; i < m; ++i) {
     parts_[shard_of_[i]].push_back(edges[i]);
-  }
-
-  // Boundary grouping: stable sort the (pair, index) stubs — boundary
-  // edges are usually a minority of the chunk, so this stays cheap — and
-  // copy the edges pair-contiguously so each group is one span.
-  groups_.clear();
-  boundary_edges_.resize(boundary_keys_.size());
-  if (boundary_keys_.empty()) return;
-  std::stable_sort(
-      boundary_keys_.begin(), boundary_keys_.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (std::size_t i = 0; i < boundary_keys_.size(); ++i) {
-    boundary_edges_[i] = edges[boundary_keys_[i].second];
-  }
-  std::size_t run_start = 0;
-  for (std::size_t i = 1; i <= boundary_keys_.size(); ++i) {
-    if (i == boundary_keys_.size() ||
-        boundary_keys_[i].first != boundary_keys_[run_start].first) {
-      const std::uint64_t key = boundary_keys_[run_start].first;
-      groups_.push_back(BoundaryEdgeIndex::PairGroup{
-          static_cast<std::size_t>(key / num_shards),
-          static_cast<std::size_t>(key % num_shards),
-          std::span<const Edge>(boundary_edges_.data() + run_start,
-                                i - run_start)});
-      run_start = i;
-    }
   }
 }
 

@@ -2,23 +2,17 @@
 // path.
 //
 // ShardedDetectionService::SubmitBatch used to allocate a fresh
-// vector<vector<Edge>> per call and evaluate the partitioner three times
-// per edge (edge_key for routing plus two `home` calls for the boundary
-// decision, re-done per part). RouterScratch replaces that with flat,
+// vector<vector<Edge>> per call. RouterScratch replaces that with flat,
 // call-to-call reusable arenas and a single partitioner pass:
 //
-//   * one evaluation of each partitioner function per edge — the computed
-//     src/dst homes are reused for both the routing decision (when the
-//     partitioner routes by source home, the common case) and the
-//     boundary-edge decision;
+//   * one evaluation of the routing function per edge (the boundary
+//     decision no longer lives on the router — workers record boundary
+//     edges from their apply path, at the applied semantic weight);
 //   * a stable counting sort groups the chunk by destination shard
 //     directly into per-shard slab vectors (order within a shard equals
 //     chunk order, preserving the per-producer FIFO contract) — the slab
 //     is then moved into the worker's handoff ring, so each edge is copied
-//     exactly once on the whole batched ingest path;
-//   * boundary edges are grouped by ordered shard pair, so
-//     BoundaryEdgeIndex::RecordBatch takes each pair's lock once per batch
-//     instead of once per edge.
+//     exactly once on the whole batched ingest path.
 //
 // A scratch instance is single-threaded (the service keeps one per
 // producer thread via thread_local); its arenas grow to the largest chunk
@@ -31,7 +25,6 @@
 #include <vector>
 
 #include "graph/types.h"
-#include "service/boundary_index.h"
 
 namespace spade {
 
@@ -47,7 +40,7 @@ class RouterScratch {
 
   /// Partitions `edges` over `num_shards` shards with one partitioner pass.
   /// Overwrites whatever the scratch held before; the spans returned by
-  /// Part()/boundary_groups() are valid until the next Partition call.
+  /// Part() are valid until the next Partition call.
   void Partition(const Partitioner& partitioner, std::size_t num_shards,
                  std::span<const Edge> edges);
 
@@ -64,24 +57,11 @@ class RouterScratch {
     return std::move(parts_[shard]);
   }
 
-  /// Boundary edges of the last chunk grouped by ordered (src_home,
-  /// dst_home) pair, for BoundaryEdgeIndex::RecordBatch.
-  std::span<const BoundaryEdgeIndex::PairGroup> boundary_groups() const {
-    return groups_;
-  }
-
-  /// Boundary edges in the last chunk (diagnostics).
-  std::size_t num_boundary_edges() const { return boundary_edges_.size(); }
-
  private:
   std::size_t num_shards_ = 0;
   std::vector<std::uint32_t> shard_of_;   // per input edge
   std::vector<std::size_t> counts_;       // per shard
   std::vector<std::vector<Edge>> parts_;  // per-shard slabs, chunk order
-  // Boundary staging: (pair bucket, input index), stably sorted by bucket.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> boundary_keys_;
-  std::vector<Edge> boundary_edges_;      // grouped by pair
-  std::vector<BoundaryEdgeIndex::PairGroup> groups_;
 };
 
 }  // namespace spade

@@ -47,13 +47,15 @@ constexpr std::size_t kGatherCap = 4096;
 
 ShardWorker::ShardWorker(Spade spade, FraudAlertFn on_alert,
                          DetectionServiceOptions options,
-                         RetireNotifyFn on_retire)
+                         RetireNotifyFn on_retire,
+                         BoundaryUpdateFn on_boundary)
     : options_(options),
       on_alert_(std::move(on_alert)),
       ring_(RingCellsFor(options.max_queue)),
       ring_mask_(ring_.size() - 1),
       spade_(std::move(spade)),
-      on_retire_(std::move(on_retire)) {
+      on_retire_(std::move(on_retire)),
+      on_boundary_(std::move(on_boundary)) {
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     ring_[i].seq.store(i, std::memory_order_relaxed);
   }
@@ -814,6 +816,11 @@ void ShardWorker::WorkerLoop() {
           if (options_.track_window) {
             window_log_.push_back(Edge{edge.src, edge.dst, applied, edge.ts});
           }
+          // Boundary push under the detector mutex: any state snapshot
+          // that contains this edge (SaveState locks after Drain) is
+          // therefore saved after its boundary record exists, so a
+          // restored fleet can always rediscover the seam.
+          if (on_boundary_) on_boundary_(edge, applied, /*retired=*/false);
           processed_.fetch_add(1, std::memory_order_relaxed);
           ++since_detect_;
           // An urgent edge flushed the benign buffer inside ApplyEdge;
@@ -838,6 +845,24 @@ void ShardWorker::WorkerLoop() {
     }
 
     if (have_retire) {
+      // Pre-deletion announcement: deletions shrink the graph the moment
+      // they apply, but consumers (the sharded service's stitched
+      // snapshot) are only told via on_retire_ — a callback fired after
+      // the pass used to leave a window where a reader could combine the
+      // shrunken live argmax with a stale pre-deletion snapshot. Bump the
+      // begin counter and fire on_retire_(0) BEFORE the first deletion so
+      // stale state is dropped while the graph still matches it. Only
+      // this thread mutates the window log, so the peek stays valid.
+      bool will_retire = false;
+      {
+        std::lock_guard<std::mutex> peek_lock(detector_mutex_);
+        will_retire = !window_log_.empty() &&
+                      window_log_.front().ts < retire_horizon;
+      }
+      if (will_retire) {
+        retire_begins_.fetch_add(1, std::memory_order_seq_cst);
+        if (on_retire_) on_retire_(0);
+      }
       std::shared_ptr<const Community> alert;
       std::size_t retired_now = 0;
       {
@@ -859,6 +884,10 @@ void ShardWorker::WorkerLoop() {
             continue;
           }
           AppendDeltaRecord(DeltaRecord::Retire(old));
+          // Retire deltas feed the stitch trigger accumulators (seam mass
+          // changed), never the boundary record log — index eviction is
+          // horizon-driven (EvictOlderThan).
+          if (on_boundary_) on_boundary_(old, old.weight, /*retired=*/true);
           ++retired_now;
         }
         if (retired_now > 0) {

@@ -83,11 +83,24 @@ namespace spade {
 /// from the previously reported one. No service lock is held.
 using FraudAlertFn = std::function<void(const Community&)>;
 
-/// Invoked from the worker thread after a retire pass that removed at least
-/// one edge, with the number of edges retired. No service lock is held; the
-/// sharded service uses it to invalidate a stitched snapshot whose
-/// contributing shard just shrank.
+/// Invoked from the worker thread around a retire pass. Fires TWICE per
+/// pass that deletes anything: once with count 0 BEFORE the first deletion
+/// (so a consumer can drop state the deletions are about to invalidate —
+/// e.g. a stale stitched snapshot — before any reader can observe the
+/// shrunken graph), and once after the pass with the number of edges
+/// retired. No service lock is held.
 using RetireNotifyFn = std::function<void(std::size_t)>;
+
+/// Invoked from the worker thread, inside the apply critical section, for
+/// every applied edge (`retired` false, `applied` the semantic weight
+/// ApplyEdge charged) and every window-expired edge (`retired` true,
+/// `applied` the weight it was deleted at). The sharded service uses it to
+/// push boundary-vertex weight updates into the per-shard-pair stitch
+/// queues at apply time — running under the detector mutex is what
+/// guarantees an edge visible in a state snapshot has already been pushed.
+/// Keep it cheap; it is on the apply hot path. Not fired during
+/// restore/replay (the boundary index restores from its own files).
+using BoundaryUpdateFn = std::function<void(const Edge&, double, bool)>;
 
 /// Per-shard service configuration (shared by DetectionService and every
 /// shard of a ShardedDetectionService).
@@ -127,11 +140,14 @@ class ShardWorker {
  public:
   /// Takes ownership of a fully built detector (graph loaded, semantics
   /// installed). Edge grouping is turned on; the worker starts immediately.
-  /// `on_retire` (optional) fires after every retire pass that removed at
-  /// least one edge.
+  /// `on_retire` (optional) fires around every retire pass that removes at
+  /// least one edge (see RetireNotifyFn); `on_boundary` (optional) fires
+  /// per applied/retired edge inside the apply critical section (see
+  /// BoundaryUpdateFn).
   ShardWorker(Spade spade, FraudAlertFn on_alert,
               DetectionServiceOptions options = {},
-              RetireNotifyFn on_retire = nullptr);
+              RetireNotifyFn on_retire = nullptr,
+              BoundaryUpdateFn on_boundary = nullptr);
 
   /// Stops the worker, draining queued edges first.
   ~ShardWorker();
@@ -220,8 +236,18 @@ class ShardWorker {
   }
 
   /// Edges retired by window expiry so far (relaxed; never takes a lock).
+  /// Incremented AFTER a pass's deletions — pair with RetireBegins() when
+  /// checking whether deletions may have raced a measurement.
   std::uint64_t EdgesRetired() const {
     return retired_.load(std::memory_order_relaxed);
+  }
+
+  /// Retire passes that have ANNOUNCED deletions (bumped, with the
+  /// pre-deletion on_retire callback, before the first edge is deleted).
+  /// A measurement bracketed by equal (RetireBegins, EdgesRetired) pairs
+  /// saw no deletion start or finish while it ran.
+  std::uint64_t RetireBegins() const {
+    return retire_begins_.load(std::memory_order_seq_cst);
   }
 
   /// Copy of the current window log (arrival order, applied weights).
@@ -502,7 +528,9 @@ class ShardWorker {
   std::atomic<std::uint64_t> alerts_{0};
   std::atomic<std::uint64_t> detections_{0};
   std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> retire_begins_{0};
   RetireNotifyFn on_retire_;
+  BoundaryUpdateFn on_boundary_;
 
   std::thread worker_;
 };

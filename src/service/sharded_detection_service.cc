@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <string_view>
 #include <unordered_set>
 #include <utility>
@@ -62,6 +64,17 @@ RouterScratch& TlsRouterScratch() {
   return scratch;
 }
 
+// fetch_add on atomic<double> is C++20-and-up; the CAS loop is the portable
+// spelling and contends only when two workers land on the same shard pair in
+// the same instant. Returns the pre-add value.
+double AtomicAddDouble(std::atomic<double>& slot, double delta) {
+  double seen = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(seen, seen + delta,
+                                     std::memory_order_relaxed)) {
+  }
+  return seen;
+}
+
 }  // namespace
 
 ShardedDetectionService::ShardedDetectionService(
@@ -82,6 +95,26 @@ ShardedDetectionService::ShardedDetectionService(
         };
   }
   semantics_ = shards.front().semantics_name();
+  const std::size_t num_shards = shards.size();
+  const bool trigger_armed =
+      options_.stitch.trigger_weight > 0.0 && num_shards > 1;
+  if (trigger_armed) {
+    pair_weight_ =
+        std::make_unique<std::atomic<double>[]>(num_shards * num_shards);
+    for (std::size_t i = 0; i < num_shards * num_shards; ++i) {
+      pair_weight_[i].store(0.0, std::memory_order_relaxed);
+    }
+  }
+  // Workers start their threads inside the ShardWorker constructor, so the
+  // boundary hook may fire while this loop is still building later shards.
+  // It must not read workers_.size(); the shard count is captured instead.
+  BoundaryUpdateFn boundary_hook;
+  if (num_shards > 1) {
+    boundary_hook = [this, num_shards](const Edge& e, double applied,
+                                       bool retired) {
+      OnBoundaryUpdate(num_shards, e, applied, retired);
+    };
+  }
   workers_.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     FraudAlertFn shard_alert;
@@ -100,9 +133,13 @@ ShardedDetectionService::ShardedDetectionService(
     }
     workers_.push_back(std::make_unique<ShardWorker>(
         std::move(shards[i]), std::move(shard_alert), worker_options,
-        std::move(shard_retire)));
+        std::move(shard_retire), boundary_hook));
   }
-  if (options_.stitch.interval_ms > 0 && workers_.size() > 1) {
+  // The interval path runs for a single shard too: a stitch pass there is
+  // just "publish the one shard's snapshot with provenance", which is what
+  // makes CurrentGlobalCommunity(kStitched) well-defined (stitch_passes
+  // advances, shards == {0}) instead of silently never stitching.
+  if (options_.stitch.interval_ms > 0 || trigger_armed) {
     stitcher_ = std::thread([this] { StitcherLoop(); });
   }
 }
@@ -127,6 +164,37 @@ void ShardedDetectionService::MaybeRecordBoundary(const Edge& raw_edge) {
 void ShardedDetectionService::SeedBoundaryIndex(
     std::span<const Edge> raw_edges) {
   for (const Edge& e : raw_edges) MaybeRecordBoundary(e);
+}
+
+void ShardedDetectionService::OnBoundaryUpdate(std::size_t num_shards,
+                                               const Edge& edge,
+                                               double applied, bool retired) {
+  const std::size_t src_home = options_.partitioner.home(edge.src) % num_shards;
+  const std::size_t dst_home = options_.partitioner.home(edge.dst) % num_shards;
+  if (src_home == dst_home) return;
+  if (!retired) {
+    // Record at the APPLIED semantic weight (what the detector actually
+    // credited), not the raw wire weight: the seam peel sums these, so the
+    // index must agree with the detectors. Fired inside the worker's apply
+    // critical section, strictly before the post-apply snapshot publish —
+    // so a SaveState that captures the edge also captures its record.
+    boundary_.Record(src_home, dst_home,
+                     Edge{edge.src, edge.dst, applied, edge.ts});
+  }
+  if (!pair_weight_) return;
+  // Insert AND retire deltas both count toward the trigger: either one
+  // moves the seam's true density away from what the last pass measured.
+  std::atomic<double>& slot = pair_weight_[src_home * num_shards + dst_home];
+  const double before = AtomicAddDouble(slot, std::abs(applied));
+  const double threshold = options_.stitch.trigger_weight;
+  if (before < threshold && before + std::abs(applied) >= threshold) {
+    stitch_triggers_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(stitcher_mutex_);
+      trigger_pending_ = true;
+    }
+    stitcher_cv_.notify_all();
+  }
 }
 
 void ShardedDetectionService::ObserveTimestamp(Timestamp ts) {
@@ -232,21 +300,16 @@ Status ShardedDetectionService::Submit(const Edge& raw_edge) {
   if (options_.window.span > 0) ObserveTimestamp(raw_edge.ts);
   const std::size_t n = workers_.size();
   if (n == 1) return workers_[0]->Submit(raw_edge);
-  // One partitioner pass: the homes computed for the boundary decision are
-  // reused for routing whenever the partitioner promises the identity.
-  const std::size_t src_home = options_.partitioner.home(raw_edge.src) % n;
-  const std::size_t dst_home = options_.partitioner.home(raw_edge.dst) % n;
+  // The router only routes now. Boundary recording moved to the worker's
+  // apply path (OnBoundaryUpdate): the worker records the edge at its
+  // APPLIED weight inside the detector critical section, which both fixes
+  // the raw-vs-applied weight mismatch for FD semantics and restores the
+  // save invariant for free — an edge inside a SaveState snapshot has its
+  // record written before the snapshot could have been taken.
   const std::size_t shard =
       options_.partitioner.routes_by_src_home
-          ? src_home
+          ? options_.partitioner.home(raw_edge.src) % n
           : options_.partitioner.edge_key(raw_edge) % n;
-  // Record BEFORE the enqueue: once an edge can be inside a shard detector
-  // (and thus inside a SaveState snapshot), its boundary record must
-  // already exist, or a concurrent save could persist the edge without its
-  // seam and a restored fleet would never rediscover it. The cost of this
-  // ordering is a record for an edge the worker then rejects — harmless,
-  // because the index is discovery-only and never summed into a density.
-  if (src_home != dst_home) boundary_.Record(src_home, dst_home, raw_edge);
   return workers_[shard]->Submit(raw_edge);
 }
 
@@ -266,11 +329,8 @@ Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
   }
   RouterScratch& scratch = TlsRouterScratch();
   scratch.Partition(options_.partitioner, workers_.size(), raw_edges);
-  // Record the whole chunk's boundary edges BEFORE any part is enqueued
-  // (same invariant as Submit — recording earlier than the per-part
-  // ordering PR 3 used is strictly safe), one pair lock per pair per
-  // batch instead of per edge.
-  boundary_.RecordBatch(scratch.boundary_groups());
+  // Boundary recording happens on the worker apply path (see Submit); the
+  // batched router's only job is splitting the chunk into per-shard slabs.
   Status first_error = Status::OK();
   for (std::size_t s = 0; s < workers_.size(); ++s) {
     if (scratch.Part(s).empty()) continue;
@@ -369,10 +429,13 @@ GlobalCommunity ShardedDetectionService::CurrentGlobalCommunity() const {
   const double argmax_density = snap ? snap->density : 0.0;
   // A PUBLISHED stale stitched snapshot never overclaims. Inserts only
   // grow a fixed member set's induced density, and the one thing that can
-  // shrink it — a window-expiry retire pass on a contributing shard —
-  // drops the snapshot before this read can see it (OnShardRetire, plus
-  // the post-publish recheck in StitchNow). Reads between a retire pass
-  // and the next stitch fall back to the live argmax below.
+  // shrink it — a window-expiry retire pass on a contributing shard — is
+  // fenced on both sides: the worker announces the pass (on_retire_(0),
+  // which drops the snapshot via OnShardRetire) BEFORE its first deletion,
+  // and StitchPass rechecks both the retire-begins and edges-retired
+  // counters around its own publish. So by the time any deletion can make
+  // this snapshot overstate, it is already unpublished. Reads between a
+  // retire pass and the next stitch fall back to the live argmax below.
   if (stitched && stitched->density >= argmax_density) return *stitched;
   GlobalCommunity g;
   if (snap) {
@@ -384,6 +447,10 @@ GlobalCommunity ShardedDetectionService::CurrentGlobalCommunity() const {
 }
 
 GlobalCommunity ShardedDetectionService::StitchNow() {
+  return StitchPass(/*unbounded_seam=*/false);
+}
+
+GlobalCommunity ShardedDetectionService::StitchPass(bool unbounded_seam) {
   if (options_.stitch.drain_before_stitch) Drain();
 
   GlobalCommunity result;
@@ -394,16 +461,35 @@ GlobalCommunity ShardedDetectionService::StitchNow() {
         stitch_passes_.fetch_add(1, std::memory_order_relaxed) + 1;
     result.stitch_pass = pass;
 
+    // Zero the trigger accumulators FIRST: weight applied between this
+    // point and the fold below is counted twice (folded by this pass and
+    // still credited toward the next trigger), which costs at worst one
+    // spurious wakeup — the safe side of the race. Zeroing after the fold
+    // would lose that weight and could leave a crossed threshold unseen.
+    if (pair_weight_) {
+      const std::size_t pairs = workers_.size() * workers_.size();
+      for (std::size_t i = 0; i < pairs; ++i) {
+        pair_weight_[i].exchange(0.0, std::memory_order_relaxed);
+      }
+    }
+
     // Retire passes that complete after this point can invalidate what
     // this pass is about to measure; capture the per-shard retire counts
-    // so publication can detect the race.
+    // so publication can detect the race. Both counters matter: retired
+    // edges (bumped after a pass deletes) catch completed passes, and
+    // retire-begins (bumped BEFORE the first deletion) catches a pass
+    // that is mid-deletion while we gather — EdgesRetired alone would
+    // miss it until after we publish.
     std::vector<std::uint64_t> retired_before(workers_.size(), 0);
+    std::vector<std::uint64_t> begins_before(workers_.size(), 0);
     for (std::size_t i = 0; i < workers_.size(); ++i) {
       retired_before[i] = workers_[i]->EdgesRetired();
+      begins_before[i] = workers_[i]->RetireBegins();
     }
-    const auto retire_raced = [this, &retired_before] {
+    const auto retire_raced = [this, &retired_before, &begins_before] {
       for (std::size_t i = 0; i < workers_.size(); ++i) {
         if (workers_[i]->EdgesRetired() != retired_before[i]) return true;
+        if (workers_[i]->RetireBegins() != begins_before[i]) return true;
       }
       return false;
     };
@@ -442,8 +528,22 @@ GlobalCommunity ShardedDetectionService::StitchNow() {
     }
     if (workers_.size() > 1) {
       boundary_.FoldNewEdges(&stitch_cursor_, &boundary_weight_);
+      // Freshness bookmark: everything recorded up to here is now inside
+      // the seam aggregate; the live counter minus this snapshot is how
+      // many edges behind a stitched read can be (GetStats, lock-free).
+      folded_recorded_.store(boundary_.RecordedEdges(),
+                             std::memory_order_relaxed);
+      // Folded buckets are consumed messages: collapse them to per-pair
+      // per-vertex weight sums so the resident index is O(boundary
+      // vertices), not O(cross-shard edges). SaveTail anchoring caps how
+      // far this can reach (persist floor) — never past unsynced edges.
+      if (options_.stitch.compact_boundary) {
+        boundary_.CompactConsumed(stitch_cursor_);
+      }
       const std::size_t budget =
-          std::max(options_.stitch.max_seam_vertices, seam_set.size());
+          unbounded_seam
+              ? std::numeric_limits<std::size_t>::max()
+              : std::max(options_.stitch.max_seam_vertices, seam_set.size());
       if (seam_set.size() + boundary_weight_.size() <= budget) {
         for (const auto& [v, w] : boundary_weight_) seam_set.insert(v);
       } else {
@@ -454,6 +554,19 @@ GlobalCommunity ShardedDetectionService::StitchNow() {
         }
         const std::size_t take =
             std::min(heaviest.size(), budget - seam_set.size());
+        if (take < heaviest.size()) {
+          // The budget dropped real candidates: the published answer may
+          // understate the true cross-shard density. Surface it — callers
+          // (and the trigger-driven stitcher, which escalates to an
+          // unbounded pass) must not mistake a truncated pass for exact.
+          result.seam_truncated = true;
+          seam_truncated_.fetch_add(1, std::memory_order_relaxed);
+          SPADE_LOG_WARNING()
+              << "stitch pass " << pass << " truncated the seam: dropped "
+              << (heaviest.size() - take) << " of " << heaviest.size()
+              << " boundary candidates (max_seam_vertices="
+              << options_.stitch.max_seam_vertices << ")";
+        }
         std::partial_sort(heaviest.begin(),
                           heaviest.begin() + static_cast<std::ptrdiff_t>(take),
                           heaviest.end(), std::greater<>());
@@ -573,12 +686,24 @@ GlobalCommunity ShardedDetectionService::StitchNow() {
 void ShardedDetectionService::StitcherLoop() {
   std::unique_lock<std::mutex> lock(stitcher_mutex_);
   while (!stitcher_stop_) {
-    stitcher_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.stitch.interval_ms),
-        [this] { return stitcher_stop_; });
+    const auto wake = [this] { return stitcher_stop_ || trigger_pending_; };
+    if (options_.stitch.interval_ms > 0) {
+      // Timer AND trigger: the interval is the staleness backstop, the
+      // trigger delivers freshness the moment enough seam weight moves.
+      stitcher_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.stitch.interval_ms), wake);
+    } else {
+      // Pure event-driven mode: no timer, the queue wakes us.
+      stitcher_cv_.wait(lock, wake);
+    }
     if (stitcher_stop_) break;
+    trigger_pending_ = false;
     lock.unlock();
-    StitchNow();
+    GlobalCommunity r = StitchPass(/*unbounded_seam=*/false);
+    // A truncated triggered pass may have peeled the wrong seam subset;
+    // the escalation pass pays the full cost once rather than publishing
+    // a silently understated stitched density until the next trigger.
+    if (r.seam_truncated) StitchPass(/*unbounded_seam=*/true);
     lock.lock();
   }
 }
@@ -622,6 +747,16 @@ ShardedServiceStats ShardedDetectionService::GetStats() const {
   stats.boundary_edges = boundary_.TotalEdges();
   stats.stitch_passes = stitch_passes_.load(std::memory_order_relaxed);
   stats.stitched_alerts = stitched_alerts_.load(std::memory_order_relaxed);
+  stats.seam_truncated = seam_truncated_.load(std::memory_order_relaxed);
+  stats.stitch_triggers = stitch_triggers_.load(std::memory_order_relaxed);
+  // Freshness in edges: records the stitcher has not folded yet. Both
+  // counters are monotone under live traffic, but a restore resets the
+  // recorded counter, so clamp rather than trusting the subtraction.
+  const std::uint64_t recorded = boundary_.RecordedEdges();
+  const std::uint64_t folded = folded_recorded_.load(std::memory_order_relaxed);
+  stats.boundary_unconsumed_edges = recorded > folded ? recorded - folded : 0;
+  stats.boundary_compacted_edges = boundary_.CompactedEdges();
+  stats.boundary_resident_bytes = boundary_.ResidentBytes();
   return stats;
 }
 
@@ -768,9 +903,13 @@ Status ShardedDetectionService::SaveFull(const std::string& dir,
   manifest.boundary_file = BoundaryIndexFileName(epoch);
   const std::string boundary_path = JoinPath(dir, manifest.boundary_file);
   // Save() anchors the persist cursor at exactly the prefix the file
-  // holds, so the first tail continues seamlessly.
-  SPADE_RETURN_NOT_OK(boundary_.Save(boundary_path,
-                                     &boundary_persist_cursor_));
+  // holds, so the first tail continues seamlessly. The format out-param
+  // lands in the manifest: a v2 (compacted) base announces itself so a
+  // reader rejects it up front instead of mid-parse.
+  std::uint32_t boundary_format = 1;
+  SPADE_RETURN_NOT_OK(boundary_.Save(boundary_path, &boundary_persist_cursor_,
+                                     &boundary_format));
+  manifest.boundary_format = boundary_format;
   bytes += FileSizeOrZero(boundary_path);
   // Manifest last and atomically: a crash anywhere above leaves either no
   // manifest (kNotFound) or the previous epoch's manifest (clean restore

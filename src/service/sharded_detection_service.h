@@ -10,24 +10,32 @@
 // vertex to its home-shard key. For the built-in partitioners (hash-of-src,
 // tenant) routing IS home-of-source, so an edge whose endpoints share a
 // home is fully visible to its shard. When the endpoints' homes differ the
-// router additionally records the edge in the BoundaryEdgeIndex — the edge
-// still lands in exactly one shard's detector, but the stitch pass now
-// knows the seam exists. A bare PartitionFn still converts implicitly; its
-// `home` defaults to the key of a synthetic self-edge, which is exact for
-// any partitioner that only reads `src`.
+// applying WORKER additionally pushes the edge (at its applied semantic
+// weight) into the BoundaryEdgeIndex's per-shard-pair queues from inside
+// its apply critical section — the edge still lands in exactly one shard's
+// detector, but the stitcher now knows the seam exists, and an edge
+// captured by a state snapshot always has its boundary record on disk
+// first. A bare PartitionFn still converts implicitly; its `home` defaults
+// to the key of a synthetic self-edge, which is exact for any partitioner
+// that only reads `src`.
 //
 // Cross-shard reads: CurrentCommunity() defaults to the densest community
 // over all shard snapshots (per-shard argmax). The stitch pass (StitchNow,
-// or a background stitcher when StitchOptions::interval_ms > 0) closes the
-// argmax's blind spot: it builds a seam graph over the boundary-adjacent
-// vertices plus every shard's snapshot members, gathers that vertex set's
-// induced edges from the shard detectors (each edge lives in exactly one
-// shard, so the union is the exact global induced subgraph), peels it with
-// the static peeler, and publishes the result as an atomically-swapped
-// GlobalCommunity snapshot — same non-blocking read protocol as the shard
-// snapshots. Reads in stitched mode return the denser of the stitched
-// snapshot and the live argmax. DESIGN.md §4.4 has the exactness and
-// staleness statements.
+// or a background stitcher when StitchOptions::interval_ms > 0 runs it on
+// a timer and/or StitchOptions::trigger_weight > 0 wakes it the moment a
+// shard pair's accumulated unstitched weight crosses the threshold) closes
+// the argmax's blind spot: it consumes the boundary queues into a
+// per-vertex seam aggregate, builds a seam graph over the boundary-
+// adjacent vertices plus every shard's snapshot members, gathers that
+// vertex set's induced edges from the shard detectors (each edge lives in
+// exactly one shard, so the union is the exact global induced subgraph),
+// peels it with the static peeler, and publishes the result as an
+// atomically-swapped GlobalCommunity snapshot — same non-blocking read
+// protocol as the shard snapshots. Reads in stitched mode return the
+// denser of the stitched snapshot and the live argmax. Consumed queue
+// history is compacted to per-vertex weight blocks (resident boundary
+// memory O(boundary vertices)). DESIGN.md §4.4 has the exactness,
+// freshness and staleness statements.
 
 #pragma once
 
@@ -116,6 +124,11 @@ struct GlobalCommunity : Community {
   /// Seam-graph size of the producing pass (diagnostics).
   std::size_t seam_vertices = 0;
   std::size_t seam_edges = 0;
+  /// True when the producing pass dropped boundary-candidate vertices at
+  /// the max_seam_vertices budget — the answer may under-report a global
+  /// community that needed the dropped vertices. The background stitcher
+  /// escalates to an unbounded pass when it sees this.
+  bool seam_truncated = false;
 };
 
 /// Invoked after a stitch pass whose winning community came from the seam
@@ -136,6 +149,20 @@ struct StitchOptions {
   bool drain_before_stitch = true;
   /// When > 0, a background thread runs a stitch pass at this period.
   std::uint32_t interval_ms = 0;
+  /// Event-driven stitching: when > 0, every applied (or retired)
+  /// cross-shard edge adds its absolute applied weight to a per-shard-pair
+  /// accumulator, and the pair crossing this threshold wakes the
+  /// background stitcher immediately — freshness becomes "bounded edges
+  /// behind the threshold crossing" instead of "interval_ms behind".
+  /// Works alone (interval_ms == 0: the stitcher only wakes on triggers)
+  /// or combined (triggers cut the wait short). Accumulators reset at
+  /// every pass. 0 = timer-only stitching.
+  double trigger_weight = 0.0;
+  /// Collapse fold-consumed boundary-index history into per-vertex weight
+  /// blocks at each stitch pass (BoundaryEdgeIndex::CompactConsumed),
+  /// keeping resident boundary memory O(boundary vertices). On by
+  /// default; the bench A/Bs it off to measure the saving.
+  bool compact_boundary = true;
   /// Stitched-detection alerts (see StitchAlertFn).
   StitchAlertFn on_stitch_alert;
 };
@@ -205,6 +232,22 @@ struct ShardedServiceStats {
   std::uint64_t boundary_edges = 0;
   std::uint64_t stitch_passes = 0;
   std::uint64_t stitched_alerts = 0;
+  /// Stitch passes that dropped seam candidates at the max_seam_vertices
+  /// budget (each also logs once). A growing value means the budget is
+  /// binding and stitched answers may under-report; raise the budget or
+  /// rely on the stitcher's escalation pass.
+  std::uint64_t seam_truncated = 0;
+  /// Event-driven stitcher wakeups (trigger_weight crossings observed).
+  std::uint64_t stitch_triggers = 0;
+  /// Stitched-read freshness in edges: boundary edges recorded since the
+  /// last stitch fold consumed the queues (0 = seam aggregate fully
+  /// caught up).
+  std::uint64_t boundary_unconsumed_edges = 0;
+  /// Boundary-index edges currently residing in compacted per-vertex
+  /// blocks rather than raw form.
+  std::uint64_t boundary_compacted_edges = 0;
+  /// Approximate resident payload bytes of the boundary index.
+  std::size_t boundary_resident_bytes = 0;
   /// Edges removed by window expiry across all shards (0 when window off).
   std::uint64_t retired_edges = 0;
   std::vector<std::uint64_t> shard_edges;
@@ -245,24 +288,25 @@ class ShardedDetectionService {
 
   /// Routes the edge to its shard and enqueues it; callable from any
   /// thread. Per-shard FIFO order is preserved per producer thread. An
-  /// edge whose endpoint homes differ is recorded in the boundary index
-  /// before the enqueue (so a snapshot can never contain an unrecorded
-  /// seam edge); a record for an edge the worker then rejects is a
-  /// harmless discovery-only hint.
+  /// edge whose endpoint homes differ is recorded in the boundary index by
+  /// the OWNING WORKER as it applies the edge (at the applied semantic
+  /// weight, inside the detector critical section, strictly before the
+  /// post-apply snapshot publish) — so a SaveState snapshot can never
+  /// contain an unrecorded seam edge, and a rejected edge is never
+  /// recorded at all.
   Status Submit(const Edge& raw_edge);
 
   /// Bulk submit, the multi-producer throughput path: a thread-local
-  /// RouterScratch partitions the chunk with one partitioner pass (flat
-  /// reusable arenas, no per-call vector-of-vectors), the chunk's boundary
-  /// edges are recorded pair-grouped in one RecordBatch (each pair lock
-  /// taken once per batch, still strictly before any enqueue), and each
-  /// shard receives its contiguous part through the lock-free chunk
-  /// handoff. Order within the chunk is preserved per shard. Best-effort
-  /// across shards: every shard's part is attempted and the first failure
-  /// is returned. With `enqueued` non-null, `*enqueued` is the exact
-  /// number of edges accepted — including prefixes a shard partially
-  /// accepted under backpressure (see ShardWorker::SubmitBatch); with it
-  /// null, each shard's part is all-or-nothing.
+  /// RouterScratch partitions the chunk with one routing pass (flat
+  /// reusable arenas, no per-call vector-of-vectors) and each shard
+  /// receives its contiguous part through the lock-free chunk handoff.
+  /// Boundary recording happens worker-side, exactly as in Submit. Order
+  /// within the chunk is preserved per shard. Best-effort across shards:
+  /// every shard's part is attempted and the first failure is returned.
+  /// With `enqueued` non-null, `*enqueued` is the exact number of edges
+  /// accepted — including prefixes a shard partially accepted under
+  /// backpressure (see ShardWorker::SubmitBatch); with it null, each
+  /// shard's part is all-or-nothing.
   Status SubmitBatch(std::span<const Edge> raw_edges,
                      std::size_t* enqueued = nullptr);
 
@@ -332,7 +376,7 @@ class ShardedDetectionService {
   void InspectShard(std::size_t shard,
                     const std::function<void(const Spade&)>& fn) const;
 
-  /// The router's cross-shard edge record (tests and diagnostics).
+  /// The workers' cross-shard edge record (tests and diagnostics).
   const BoundaryEdgeIndex& boundary_index() const { return boundary_; }
 
   /// Explicit window expiry: enqueues a retire marker on every shard
@@ -459,6 +503,18 @@ class ShardedDetectionService {
   void StoreStitched(std::shared_ptr<const GlobalCommunity> snap);
   void StitcherLoop();
 
+  /// The stitch pass body (StitchNow with the default budget; the
+  /// stitcher's escalation retry with an unbounded seam).
+  GlobalCommunity StitchPass(bool unbounded_seam);
+
+  /// Worker-side boundary hook body (BoundaryUpdateFn): records applied
+  /// cross-home edges into the index at their applied weight and feeds the
+  /// trigger accumulators. `num_shards` is captured, not read from
+  /// workers_ — workers start (and may call this) while the constructor is
+  /// still building later shards.
+  void OnBoundaryUpdate(std::size_t num_shards, const Edge& edge,
+                        double applied, bool retired);
+
   /// Window-mode submit hook: CAS-max the watermark over `ts` and, when it
   /// has advanced a full stride past the last automatic horizon, enqueue a
   /// retire pass on every shard. No-op when the window is off.
@@ -530,11 +586,26 @@ class ShardedDetectionService {
 #endif
   std::atomic<std::uint64_t> stitch_passes_{0};
   std::atomic<std::uint64_t> stitched_alerts_{0};
+  std::atomic<std::uint64_t> seam_truncated_{0};
+  std::atomic<std::uint64_t> stitch_triggers_{0};
+  /// RecordedEdges() snapshot taken right after each stitch fold; the
+  /// difference against the live counter is the stitched read's freshness
+  /// in edges (GetStats, lock-free).
+  std::atomic<std::uint64_t> folded_recorded_{0};
 
-  // --- background stitcher (started when stitch.interval_ms > 0) ---------
+  // --- trigger accumulators (written from worker apply paths; one atomic
+  // double per ordered shard pair, CAS-add — allocated only when
+  // stitch.trigger_weight > 0 and the fleet has > 1 shard) ----------------
+  std::unique_ptr<std::atomic<double>[]> pair_weight_;
+
+  // --- background stitcher (started when stitch.interval_ms > 0 or the
+  // trigger is armed) -----------------------------------------------------
   std::mutex stitcher_mutex_;
   std::condition_variable stitcher_cv_;
   bool stitcher_stop_ = false;
+  /// A trigger crossed the threshold since the last pass started
+  /// (guarded by stitcher_mutex_, like stitcher_stop_).
+  bool trigger_pending_ = false;
   std::thread stitcher_;
 };
 

@@ -140,6 +140,10 @@ Status WriteShardManifest(const std::string& dir,
     for (const BoundaryTailRef& ref : manifest.boundary_tails) {
       out << "boundary-delta " << ref.epoch << ' ' << ref.file << '\n';
     }
+    // Optional line: format 1 stays byte-identical to older manifests.
+    if (manifest.boundary_format != 1) {
+      out << "boundary-format " << manifest.boundary_format << '\n';
+    }
   }
   std::string content = out.str();
   char crc_line[32];
@@ -241,10 +245,21 @@ Status ReadShardManifest(const std::string& dir, ShardManifest* manifest) {
       }
       m.boundary_tails.push_back(std::move(ref));
     }
+    if (!(in >> key)) return Malformed(path, "missing crc line");
+    if (key == "boundary-format") {
+      if (!(in >> m.boundary_format)) {
+        return Malformed(path, "boundary-format entry malformed");
+      }
+      // 1 never appears on the wire (the writer omits it); 2 = compacted.
+      if (m.boundary_format != 2) {
+        return Malformed(path, "has an unsupported boundary-format");
+      }
+      if (!(in >> key)) return Malformed(path, "missing crc line");
+    }
     // The crc line covers every byte above it — locate it in the raw
     // content (the last line) and recompute.
     std::uint64_t stored = 0;
-    if (!(in >> key) || key != "crc" || !(in >> std::hex >> stored)) {
+    if (key != "crc" || !(in >> std::hex >> stored)) {
       return Malformed(path, "missing crc line");
     }
     const std::size_t crc_pos = content.rfind("crc ");

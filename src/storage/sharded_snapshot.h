@@ -21,7 +21,14 @@
 //                                               (N lines per epoch B+1..E)
 //   boundary <relative-file-name>               (base boundary index)
 //   boundary-delta <epoch> <relative-file-name> (one line per epoch B+1..E)
+//   boundary-format <F>                         (optional; omitted when F=1)
 //   crc <16 hex digits>                         (CRC-64 of all bytes above)
+//
+// `boundary-format` announces the base boundary-index file format (2 =
+// compacted blocks + raw edges) so a reader can reject an unsupported
+// base up front instead of failing mid-parse. Its absence means format 1
+// (raw edges only) — which keeps every manifest written before compaction
+// existed byte-identical, still version 3.
 //
 // The trailing `crc` line closes the one hole binary trailers cannot
 // cover: a single flipped byte anywhere in the manifest — including in an
@@ -66,6 +73,11 @@ struct ShardManifest {
   /// Serialized boundary index, relative to the directory; empty when the
   /// snapshot predates cross-shard stitching (manifest version 1).
   std::string boundary_file;
+  /// Base boundary-index file format: 1 = raw edges only, 2 = compacted
+  /// blocks + raw edges (BoundaryEdgeIndex::Save reports which one it
+  /// wrote). Serialized only when != 1, so format-1 manifests are
+  /// byte-identical to pre-compaction ones.
+  std::uint32_t boundary_format = 1;
 
   /// Checkpoint epoch this directory restores to (0 = legacy v1/v2
   /// directory with no epoch chain).

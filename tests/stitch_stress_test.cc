@@ -1,0 +1,163 @@
+// Concurrency stress for message-driven stitching: producers hammer the
+// router while window expiry and stitch passes run against the same
+// boundary-index message queues (worker-side Record, stitcher-side fold /
+// compaction / eviction, retire-delta triggers).
+//
+// The invariant under test is the publication contract: a stitched read
+// never OVERSTATES — the density it serves is the exact induced density of
+// a real member set no denser than the from-scratch merged peel of the
+// final window. Raciness is the point; the test runs in the `stress` ctest
+// label and in the TSan CI leg, where the queue hand-offs and the
+// retire-vs-stitch fences are checked for data races.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "metrics/semantics.h"
+#include "service/detection_service.h"
+#include "service/sharded_detection_service.h"
+
+namespace spade {
+namespace {
+
+constexpr VertexId kVerticesPerTenant = 48;
+constexpr std::size_t kShards = 4;
+
+std::vector<Spade> BuildEmptyShards(std::size_t num_shards, std::size_t n) {
+  std::vector<Spade> shards;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    Spade spade;
+    spade.SetSemantics(MakeDW());
+    EXPECT_TRUE(spade.BuildGraph(n, {}).ok());
+    shards.push_back(std::move(spade));
+  }
+  return shards;
+}
+
+TEST(StitchStressTest, ConcurrentIngestRetireAndStitchNeverOverstate) {
+  const std::size_t n = kShards * kVerticesPerTenant;
+  ShardedDetectionServiceOptions options;
+  options.partitioner = TenantPartitioner(kVerticesPerTenant);
+  options.window.span = 1'500;
+  options.stitch.trigger_weight = 200.0;  // event-driven wakeups mid-run
+  ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                  options);
+
+  std::atomic<bool> producers_done{false};
+  std::atomic<Timestamp> clock{1};
+
+  // Producers: mixed per-edge / batched submission, advancing event time so
+  // the window keeps expiring behind them. Cross-tenant edges are a steady
+  // fraction of the traffic, so the trigger accumulators and the queues
+  // stay hot. Strictly iteration-bounded — a wall-clock stop flag would let
+  // a fast machine spin the event clock through thousands of window strides
+  // and drown the shards in retire markers.
+  constexpr int kBatchesPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 3; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(9000 + t);
+      std::vector<Edge> batch;
+      for (int iter = 0; iter < kBatchesPerProducer; ++iter) {
+        const Timestamp now =
+            clock.fetch_add(1, std::memory_order_relaxed);
+        batch.clear();
+        for (int i = 0; i < 16; ++i) {
+          const auto tenant = rng.NextBounded(kShards);
+          auto s = static_cast<VertexId>(tenant * kVerticesPerTenant +
+                                         rng.NextBounded(kVerticesPerTenant));
+          VertexId d;
+          if (i % 4 == 0) {  // cross-tenant
+            const auto other = (tenant + 1 + rng.NextBounded(kShards - 1)) %
+                               kShards;
+            d = static_cast<VertexId>(other * kVerticesPerTenant +
+                                      rng.NextBounded(kVerticesPerTenant));
+          } else {
+            d = static_cast<VertexId>(tenant * kVerticesPerTenant +
+                                      rng.NextBounded(kVerticesPerTenant));
+            if (d == s) d = (d + 1) % (tenant * kVerticesPerTenant +
+                                       kVerticesPerTenant);
+          }
+          if (d == s) continue;
+          batch.push_back(Edge{s, d, 1.0 + 10.0 * rng.NextDouble(), now});
+        }
+        if (batch.size() % 2 == 0) {
+          (void)service.SubmitBatch(batch);
+        } else {
+          for (const Edge& e : batch) (void)service.Submit(e);
+        }
+      }
+    });
+  }
+
+  // Expirer: explicit RetireOlderThan racing the stitcher's own eviction.
+  std::thread expirer([&] {
+    while (!producers_done.load(std::memory_order_acquire)) {
+      const Timestamp now = clock.load(std::memory_order_relaxed);
+      if (now > 500) (void)service.RetireOlderThan(now - 500);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Explicit StitchNow callers race the trigger-driven background
+  // stitcher (trigger_weight > 0 armed it) on the same stitch mutex and
+  // cursor, while reads check the published snapshot stays well-formed.
+  std::thread stitcher([&] {
+    while (!producers_done.load(std::memory_order_acquire)) {
+      const GlobalCommunity g = service.StitchNow();
+      EXPECT_GE(g.density, 0.0);
+      const GlobalCommunity read = service.CurrentGlobalCommunity();
+      EXPECT_GE(read.density, 0.0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (auto& p : producers) p.join();
+  producers_done.store(true, std::memory_order_release);
+  expirer.join();
+  stitcher.join();
+
+  // Quiesce: drain everything, then run one final pass with no concurrent
+  // mutation. Its density must not exceed the from-scratch merged peel of
+  // the shards' final windows (the ground truth for "no overstatement").
+  service.Drain();
+  const GlobalCommunity final_pass = service.StitchNow();
+
+  std::vector<Edge> window;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::vector<Edge> shard_window = service.ShardWindow(s);
+    window.insert(window.end(), shard_window.begin(), shard_window.end());
+  }
+  DetectionService merged(
+      [&] {
+        Spade spade;
+        spade.SetSemantics(MakeDW());
+        EXPECT_TRUE(spade.BuildGraph(n, {}).ok());
+        return spade;
+      }(),
+      nullptr);
+  for (const Edge& e : window) ASSERT_TRUE(merged.Submit(e).ok());
+  merged.Drain();
+  const double truth = merged.CurrentCommunity().density;
+
+  EXPECT_LE(final_pass.density, truth + 1e-9);
+  const GlobalCommunity read = service.CurrentGlobalCommunity();
+  EXPECT_LE(read.density, truth + 1e-9);
+
+  const ShardedServiceStats stats = service.GetStats();
+  EXPECT_GT(stats.edges_processed, 0u);
+  EXPECT_GT(stats.retired_edges, 0u);
+  // Monotone counters prove the message path flowed, regardless of how
+  // much of the boundary index the final horizon evicted.
+  EXPECT_GE(stats.stitch_triggers, 1u);
+  EXPECT_GE(stats.stitch_passes, 1u);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace spade

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <filesystem>
 #include <memory>
@@ -468,6 +469,259 @@ TEST(TenantStitchingTest, PeriodicStitcherPublishes) {
   EXPECT_TRUE(g.stitched);
   EXPECT_GE(service.GetStats().stitch_passes, 1u);
   service.Stop();
+}
+
+// ------------------------------------------------------------------------
+// Message-driven stitching: triggers, truncation, expiry, compaction.
+// ------------------------------------------------------------------------
+
+// Regression: a single-shard service with interval_ms > 0 used to never
+// start the stitcher (silently: stitch_passes stayed 0 and a kStitched
+// read never carried provenance). It must behave as the 1-shard member of
+// the sharded family: passes run, the published global community is the
+// shard's own argmax with shards == {0}.
+TEST(MessageDrivenStitchingTest, SingleShardIntervalStitches) {
+  Rng rng(501);
+  ShardedDetectionServiceOptions options;
+  options.stitch.interval_ms = 5;
+  ShardedDetectionService service(BuildEmptyShards(1, 64), nullptr, options);
+
+  std::vector<Edge> stream;
+  const std::vector<VertexId> ring = {7, 8, 9};
+  InjectRing(&stream, 0, ring, 60, 30.0, &rng);
+  SubmitAll(&service, stream);
+  service.Drain();
+
+  GlobalCommunity g;
+  for (int i = 0; i < 500; ++i) {
+    g = service.CurrentGlobalCommunity();
+    if (g.stitch_pass >= 1 && !g.members.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(service.GetStats().stitch_passes, 1u);
+  EXPECT_GE(g.stitch_pass, 1u);
+  EXPECT_FALSE(g.stitched);  // one shard: the argmax republished, tagged
+  EXPECT_EQ(g.shards, (std::vector<std::size_t>{0}));
+  EXPECT_NEAR(g.density, service.CurrentCommunity().density, 1e-12);
+  service.Stop();
+}
+
+// Event-driven freshness: with interval_ms == 0 and a trigger threshold,
+// the cross-shard ring must become visible through
+// CurrentGlobalCommunity() without any timer to wait out — the workers'
+// weight deltas wake the stitcher the moment the seam accumulates enough.
+TEST(MessageDrivenStitchingTest, TriggerWakesStitcherWithoutTimer) {
+  constexpr std::size_t kShards = 2;
+  const std::size_t n = kShards * kVerticesPerTenant;
+  Rng rng(502);
+  ShardedDetectionServiceOptions options;
+  options.partitioner = TenantPartitioner(kVerticesPerTenant);
+  options.stitch.interval_ms = 0;        // no timer at all
+  options.stitch.trigger_weight = 50.0;  // a few ring edges cross this
+  ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                  options);
+
+  std::vector<Edge> stream;
+  const std::vector<VertexId> ring = {
+      5, static_cast<VertexId>(kVerticesPerTenant + 5),
+      6, static_cast<VertexId>(kVerticesPerTenant + 6)};
+  InjectRing(&stream, 0, ring, 80, 30.0, &rng);
+  SubmitAll(&service, stream);
+  service.Drain();
+
+  GlobalCommunity g;
+  for (int i = 0; i < 500; ++i) {
+    g = service.CurrentGlobalCommunity();
+    if (g.stitched) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const ShardedServiceStats stats = service.GetStats();
+  EXPECT_TRUE(g.stitched);
+  EXPECT_GE(stats.stitch_triggers, 1u);
+  EXPECT_GE(stats.stitch_passes, 1u);
+  EXPECT_EQ(g.shards, (std::vector<std::size_t>{0, 1}));
+  // The differential anchor: the triggered pass is exact, not heuristic.
+  DetectionService merged(BuildMergedDetector(n), nullptr);
+  for (const Edge& e : stream) ASSERT_TRUE(merged.Submit(e).ok());
+  merged.Drain();
+  EXPECT_NEAR(g.density, merged.CurrentCommunity().density, 1e-9);
+  service.Stop();
+}
+
+// Regression: StitchNow used to truncate the seam candidate set at
+// max_seam_vertices silently. The pass must now report the truncation on
+// its result and in the service stats, and the background stitcher must
+// escalate a truncated triggered pass to an unbounded one so the
+// published density still converges to the merged answer.
+TEST(MessageDrivenStitchingTest, SeamTruncationIsReportedAndEscalated) {
+  constexpr std::size_t kShards = 2;
+  const std::size_t n = kShards * kVerticesPerTenant;
+  Rng rng(503);
+
+  // Many distinct boundary vertices (every cross-tenant pair once) so a
+  // tiny budget must drop candidates.
+  std::vector<Edge> stream;
+  for (VertexId v = 0; v < 40; ++v) {
+    stream.push_back(Edge{v, static_cast<VertexId>(kVerticesPerTenant + v),
+                          5.0 + 0.1 * static_cast<double>(v), 0});
+  }
+  const std::vector<VertexId> ring = {
+      2, static_cast<VertexId>(kVerticesPerTenant + 2),
+      3, static_cast<VertexId>(kVerticesPerTenant + 3)};
+  InjectRing(&stream, stream.size(), ring, 60, 30.0, &rng);
+
+  {
+    ShardedDetectionServiceOptions options;
+    options.partitioner = TenantPartitioner(kVerticesPerTenant);
+    options.stitch.max_seam_vertices = 2;  // binding: << 80 candidates
+    ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                    options);
+    SubmitAll(&service, stream);
+    service.Drain();
+    const GlobalCommunity g = service.StitchNow();
+    EXPECT_TRUE(g.seam_truncated);
+    EXPECT_GE(service.GetStats().seam_truncated, 1u);
+  }
+  {
+    // Same workload through the trigger-driven stitcher: it runs the
+    // budgeted pass, sees the truncation, and retries unbounded — the
+    // eventual published density matches the merged detector exactly.
+    ShardedDetectionServiceOptions options;
+    options.partitioner = TenantPartitioner(kVerticesPerTenant);
+    options.stitch.max_seam_vertices = 2;
+    options.stitch.trigger_weight = 50.0;
+    ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                    options);
+    SubmitAll(&service, stream);
+    service.Drain();
+    DetectionService merged(BuildMergedDetector(n), nullptr);
+    for (const Edge& e : stream) ASSERT_TRUE(merged.Submit(e).ok());
+    merged.Drain();
+    const double want = merged.CurrentCommunity().density;
+    GlobalCommunity g;
+    for (int i = 0; i < 500; ++i) {
+      g = service.CurrentGlobalCommunity();
+      if (g.stitched && std::abs(g.density - want) < 1e-9) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(g.stitched);
+    EXPECT_NEAR(g.density, want, 1e-9);
+    EXPECT_GE(service.GetStats().seam_truncated, 1u);
+    service.Stop();
+  }
+}
+
+// Regression for the "inserts only ⇒ density only grows" fast path in
+// CurrentGlobalCommunity: after a window-expiry retire pass shrinks a
+// contributing shard, a stitched read must fall back to the live argmax
+// instead of serving the stale (now overstated) stitched snapshot.
+TEST(MessageDrivenStitchingTest, RetiredSeamIsNotServedStale) {
+  constexpr std::size_t kShards = 2;
+  const std::size_t n = kShards * kVerticesPerTenant;
+  Rng rng(504);
+  ShardedDetectionServiceOptions options;
+  options.partitioner = TenantPartitioner(kVerticesPerTenant);
+  options.window.span = 10'000;
+  ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                  options);
+
+  // Old cross-tenant ring at ts 100, newer intra-tenant background at
+  // ts 500 (all inside the window so nothing expires during ingest).
+  std::vector<Edge> stream;
+  const std::vector<VertexId> ring = {
+      8, static_cast<VertexId>(kVerticesPerTenant + 8),
+      9, static_cast<VertexId>(kVerticesPerTenant + 9)};
+  InjectRing(&stream, 0, ring, 60, 30.0, &rng);
+  for (Edge& e : stream) e.ts = 100;
+  for (int i = 0; i < 200; ++i) {
+    Edge e = BackgroundEdge(&rng, kVerticesPerTenant);
+    e.ts = 500;
+    stream.push_back(e);
+  }
+  SubmitAll(&service, stream);
+  service.Drain();
+
+  const GlobalCommunity before = service.StitchNow();
+  ASSERT_TRUE(before.stitched);
+  ASSERT_GT(before.density, 0.0);
+
+  // Expire the ring. The retire pass announces itself before deleting
+  // (and again after), so by the time the deletions land the stitched
+  // snapshot is already dropped.
+  ASSERT_TRUE(service.RetireOlderThan(200).ok());
+  service.Drain();
+
+  const GlobalCommunity after = service.CurrentGlobalCommunity();
+  const Community argmax = service.CurrentCommunity(
+      ShardedDetectionService::GlobalReadMode::kArgmax);
+  EXPECT_LT(after.density, before.density);
+  EXPECT_NEAR(after.density, argmax.density, 1e-12);
+  EXPECT_FALSE(after.stitched);
+  EXPECT_GE(service.GetStats().retired_edges, 60u);
+}
+
+// Compaction: after a stitch pass folds the queues, consumed raw edges
+// collapse into per-vertex weight blocks — totals, save/restore and
+// re-stitching stay exact, and the resident footprint drops well below
+// the uncompacted build of the same history.
+TEST(MessageDrivenStitchingTest, CompactedBoundarySaveRestoreExact) {
+  constexpr std::size_t kShards = 2;
+  const std::size_t n = kShards * kVerticesPerTenant;
+  Rng rng(505);
+
+  std::vector<Edge> stream;
+  const std::vector<VertexId> ring = {
+      10, static_cast<VertexId>(kVerticesPerTenant + 10),
+      11, static_cast<VertexId>(kVerticesPerTenant + 11),
+      12, static_cast<VertexId>(kVerticesPerTenant + 12)};
+  InjectRing(&stream, 0, ring, 300, 20.0, &rng);
+
+  const auto build = [&](bool compact) {
+    ShardedDetectionServiceOptions options;
+    options.partitioner = TenantPartitioner(kVerticesPerTenant);
+    options.stitch.compact_boundary = compact;
+    return options;
+  };
+
+  ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                  build(true));
+  SubmitAll(&service, stream);
+  service.Drain();
+  const GlobalCommunity stitched = service.StitchNow();
+  ASSERT_TRUE(stitched.stitched);
+
+  const ShardedServiceStats stats = service.GetStats();
+  EXPECT_EQ(stats.boundary_edges, 300u);  // totals survive compaction
+  EXPECT_GE(stats.boundary_compacted_edges, 200u);
+  EXPECT_EQ(stats.boundary_unconsumed_edges, 0u);
+
+  // A/B the resident footprint against the same history uncompacted.
+  ShardedDetectionService raw_service(BuildEmptyShards(kShards, n), nullptr,
+                                      build(false));
+  SubmitAll(&raw_service, stream);
+  raw_service.Drain();
+  (void)raw_service.StitchNow();
+  const ShardedServiceStats raw_stats = raw_service.GetStats();
+  EXPECT_EQ(raw_stats.boundary_compacted_edges, 0u);
+  EXPECT_LE(stats.boundary_resident_bytes,
+            raw_stats.boundary_resident_bytes / 2);
+
+  // Save after compaction (a format-2 base), restore, and re-stitch: the
+  // compacted index must reproduce the exact stitched answer.
+  const std::string dir = ::testing::TempDir() + "/compacted_boundary";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(service.SaveState(dir).ok());
+  service.Stop();
+
+  ShardedDetectionService restored(BuildEmptyShards(kShards, n), nullptr,
+                                   build(true));
+  ASSERT_TRUE(restored.RestoreState(dir).ok());
+  EXPECT_EQ(restored.GetStats().boundary_edges, 300u);
+  const GlobalCommunity restitched = restored.StitchNow();
+  EXPECT_TRUE(restitched.stitched);
+  EXPECT_NEAR(restitched.density, stitched.density, 1e-9);
+  EXPECT_EQ(Sorted(restitched.members), Sorted(stitched.members));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -78,6 +78,11 @@ int main() {
   std::atomic<std::size_t> last_size[kTenants] = {};
   spade::ShardedDetectionServiceOptions options;
   options.partitioner = spade::TenantPartitioner(kVerticesPerTenant);
+  // Work-stealing rebalance on: a tenant whose traffic spikes can have its
+  // partition stolen by an idle worker (the demo's traffic is too tame to
+  // trigger a steal, but the stats below show the counters wired up).
+  options.rebalance.enabled = true;
+  options.rebalance.interval_ms = 20;
   // Pin shard workers round-robin onto the machine's cores (a no-op hint
   // on a single-core host, and on non-Linux platforms).
   const unsigned cores =
@@ -169,13 +174,21 @@ int main() {
   std::printf("boundary index: %llu cross-shard edges, %llu stitch passes\n",
               static_cast<unsigned long long>(stats.boundary_edges),
               static_cast<unsigned long long>(stats.stitch_passes));
+  std::printf("rebalance: %llu steals, %llu partitions moved, %llu edges "
+              "forwarded across %zu partitions\n",
+              static_cast<unsigned long long>(stats.steals),
+              static_cast<unsigned long long>(stats.partitions_moved),
+              static_cast<unsigned long long>(stats.forwarded_edges),
+              stats.num_partitions);
   for (std::size_t s = 0; s < service.num_shards(); ++s) {
     std::printf("shard %zu: %llu edges, %llu alerts, %llu detections, "
-                "queue high-water %zu\n",
+                "queue high-water %zu, %zu partition%s, busy %.1f%%\n",
                 s, static_cast<unsigned long long>(stats.shard_edges[s]),
                 static_cast<unsigned long long>(stats.shard_alerts[s]),
                 static_cast<unsigned long long>(stats.shard_detections[s]),
-                stats.shard_queue_hwm[s]);
+                stats.shard_queue_hwm[s], stats.shard_partitions[s],
+                stats.shard_partitions[s] == 1 ? "" : "s",
+                100.0 * stats.shard_busy_fraction[s]);
   }
 
   // Persist the fleet and restore it into a brand-new service.

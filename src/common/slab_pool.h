@@ -1,0 +1,71 @@
+// SlabPool: a bounded recycling pool of edge slabs shared between the
+// batched router and the shard workers, so steady-state SubmitBatch
+// allocates nothing.
+//
+// The batched ingest path moves whole vectors ("slabs") of edges through
+// the chunk-handoff ring: the router builds one slab per shard, the worker
+// consumes it and used to let the vector die — so every chunk cost one
+// allocation on the producer side and one deallocation on the consumer
+// side. With the pool, workers Put consumed slabs back (cleared, capacity
+// kept) and the router Gets them for the next chunk: after warm-up the
+// slabs just circulate.
+//
+// The pool is deliberately dumb: one mutex, a bounded stack of vectors.
+// It is touched once per CHUNK (not per edge), and only on the router's
+// refill path (a scratch arena that still has capacity never asks), so
+// the mutex is nowhere near the per-edge hot path. The bound caps
+// resident memory: a Put into a full pool just drops the slab (the
+// allocator gets it, exactly as before the pool existed).
+
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace spade {
+
+/// Bounded slab recycler (see file comment). Thread-safe.
+class SlabPool {
+ public:
+  explicit SlabPool(std::size_t max_slabs = 64) : cap_(max_slabs) {}
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Pops a recycled slab (empty, capacity intact) or returns a fresh
+  /// empty vector when the pool is dry.
+  std::vector<Edge> Get() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slabs_.empty()) return {};
+    std::vector<Edge> slab = std::move(slabs_.back());
+    slabs_.pop_back();
+    return slab;
+  }
+
+  /// Returns a consumed slab. Cleared but keeps its capacity; dropped
+  /// (freed) when the pool is at its bound or the slab never allocated.
+  void Put(std::vector<Edge>&& slab) {
+    if (slab.capacity() == 0) return;
+    slab.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slabs_.size() >= cap_) return;
+    slabs_.push_back(std::move(slab));
+  }
+
+  /// Slabs currently pooled (diagnostics).
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slabs_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  const std::size_t cap_;
+  std::vector<std::vector<Edge>> slabs_;
+};
+
+}  // namespace spade

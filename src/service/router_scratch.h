@@ -24,11 +24,13 @@
 #include <span>
 #include <vector>
 
+#include "common/slab_pool.h"
 #include "graph/types.h"
 
 namespace spade {
 
 struct Partitioner;
+class PartitionMap;
 
 /// Reusable single-threaded partition scratch (see file comment).
 class RouterScratch {
@@ -43,6 +45,16 @@ class RouterScratch {
   /// Part() are valid until the next Partition call.
   void Partition(const Partitioner& partitioner, std::size_t num_shards,
                  std::span<const Edge> edges);
+
+  /// Rebalance-aware variant: routes by STABLE partition key (reduced
+  /// modulo map.num_partitions()) and indirects through `map` to the
+  /// partition's current owner shard — the reads that make partition moves
+  /// invisible to producers. `pool` (optional) refills slab storage that
+  /// TakePart handed away, so steady-state batched ingest recycles worker-
+  /// consumed slabs instead of allocating fresh ones.
+  void Partition(const Partitioner& partitioner, const PartitionMap& map,
+                 std::size_t num_shards, std::span<const Edge> edges,
+                 SlabPool* pool = nullptr);
 
   std::size_t num_shards() const { return num_shards_; }
 

@@ -43,35 +43,70 @@ std::size_t RingCellsFor(std::size_t max_queue) {
 /// bounds it tighter).
 constexpr std::size_t kGatherCap = 4096;
 
+/// Retry cadence for a parked worker with a nonempty forward backlog: the
+/// forward target was full (or mid-move), so poll instead of sleeping
+/// indefinitely — the edges are this worker's responsibility until the
+/// current owner accepts them.
+constexpr std::chrono::milliseconds kBacklogRetire{1};
+
+std::vector<ShardWorker::PartitionSeed> SoleSeed(Spade spade) {
+  std::vector<ShardWorker::PartitionSeed> seeds;
+  seeds.push_back(ShardWorker::PartitionSeed{0, std::move(spade)});
+  return seeds;
+}
+
 }  // namespace
 
 ShardWorker::ShardWorker(Spade spade, FraudAlertFn on_alert,
                          DetectionServiceOptions options,
                          RetireNotifyFn on_retire,
                          BoundaryUpdateFn on_boundary)
+    : ShardWorker(SoleSeed(std::move(spade)), /*total_partitions=*/1,
+                  /*partition_of=*/nullptr, /*forward=*/nullptr,
+                  std::move(on_alert), options, std::move(on_retire),
+                  std::move(on_boundary), /*slab_pool=*/nullptr) {}
+
+ShardWorker::ShardWorker(std::vector<PartitionSeed> seeds,
+                         std::size_t total_partitions,
+                         PartitionOfFn partition_of, ForwardFn forward,
+                         FraudAlertFn on_alert,
+                         DetectionServiceOptions options,
+                         RetireNotifyFn on_retire,
+                         BoundaryUpdateFn on_boundary,
+                         std::shared_ptr<SlabPool> slab_pool)
     : options_(options),
       on_alert_(std::move(on_alert)),
       ring_(RingCellsFor(options.max_queue)),
       ring_mask_(ring_.size() - 1),
-      spade_(std::move(spade)),
+      by_pid_(std::max<std::size_t>(total_partitions, 1), nullptr),
+      partition_of_(std::move(partition_of)),
+      forward_(std::move(forward)),
+      start_(std::chrono::steady_clock::now()),
       on_retire_(std::move(on_retire)),
-      on_boundary_(std::move(on_boundary)) {
+      on_boundary_(std::move(on_boundary)),
+      slab_pool_(std::move(slab_pool)) {
+  // Without a partition function every routed edge maps to "the" partition,
+  // which only makes sense when there is exactly one.
+  SPADE_CHECK(partition_of_ != nullptr || seeds.size() == 1);
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     ring_[i].seq.store(i, std::memory_order_relaxed);
   }
-  spade_.TurnOnEdgeGrouping();
-  // Publish the initial community before the worker exists, so readers
+  // Publish the initial communities before the worker exists, so readers
   // always observe a valid snapshot and the first alert fires only when the
-  // stream actually changes the community.
-  Community initial = spade_.Detect();
-  last_reported_ = SortedMembers(initial);
-  last_density_ = initial.density;
-  auto snap = std::make_shared<const Community>(std::move(initial));
-#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
-  snapshot_.store(std::move(snap));
-#else
-  snapshot_ = std::move(snap);
-#endif
+  // stream actually changes a community.
+  for (PartitionSeed& seed : seeds) {
+    SPADE_CHECK(seed.pid < by_pid_.size());
+    SPADE_CHECK(by_pid_[seed.pid] == nullptr);
+    auto p = std::make_unique<Partition>(seed.pid, std::move(seed.spade));
+    p->spade.TurnOnEdgeGrouping();
+    Community initial = p->spade.Detect();
+    p->last_reported = SortedMembers(initial);
+    p->last_density = initial.density;
+    p->current = std::make_shared<const Community>(std::move(initial));
+    by_pid_[p->pid] = p.get();
+    parts_.push_back(std::move(p));
+  }
+  PublishArgmaxLocked();  // pre-thread: no lock contention possible yet
   worker_ = std::thread([this] { WorkerLoop(); });
 #if defined(__linux__)
   if (options_.cpu >= 0) {
@@ -113,10 +148,10 @@ std::size_t ShardWorker::ClaimBudget(std::size_t k, bool allow_partial) {
       cur, cur + take, std::memory_order_seq_cst,
       std::memory_order_relaxed));
   const std::size_t depth = cur + take;
-  std::size_t hwm = queue_hwm_.load(std::memory_order_relaxed);
+  std::size_t hwm = queue_hwm_recent_.load(std::memory_order_relaxed);
   while (depth > hwm &&
-         !queue_hwm_.compare_exchange_weak(hwm, depth,
-                                           std::memory_order_relaxed)) {
+         !queue_hwm_recent_.compare_exchange_weak(
+             hwm, depth, std::memory_order_relaxed)) {
   }
   return take;
 }
@@ -217,6 +252,26 @@ Status ShardWorker::SubmitBatch(std::vector<Edge>&& chunk,
                                 std::size_t* accepted) {
   return EnqueueImpl(std::span<const Edge>(chunk.data(), chunk.size()),
                      accepted, &chunk);
+}
+
+std::size_t ShardWorker::OfferBatch(std::span<const Edge> edges) {
+  if (edges.empty()) return 0;
+  if (stopping_flag_.load(std::memory_order_acquire)) return 0;
+  const std::size_t take = TryClaimUpTo(edges.size());
+  if (take == 0) return 0;
+  // Post-claim stop re-check, same as EnqueueImpl: an accepted-then-lost
+  // chunk is worse than a rejected one.
+  if (stopping_flag_.load(std::memory_order_seq_cst)) {
+    ReleaseBudget(take);
+    return 0;
+  }
+  Chunk chunk(edges.subspan(0, take));
+  if (!TryPushChunk(std::move(chunk))) {
+    ReleaseBudget(take);
+    return 0;
+  }
+  PublishAccepted(take);
+  return take;
 }
 
 Status ShardWorker::SubmitRetire(Timestamp horizon) {
@@ -375,7 +430,7 @@ void ShardWorker::Drain() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   const std::uint64_t target = submitted_.load(std::memory_order_seq_cst);
   if (exact_through_ >= target || worker_exited_) return;
-  // The worker flushes the benign buffer and republishes only while a
+  // The worker flushes the benign buffers and republishes only while a
   // drain waiter is registered (exactness on demand keeps edge-grouping
   // amortization intact between drains), so wake it up.
   ++drain_waiters_;
@@ -422,57 +477,192 @@ std::shared_ptr<const Community> ShardWorker::CurrentSnapshot() const {
 #endif
 }
 
+// ---------------------------------------------------------------------------
+// Observability.
+
+std::size_t ShardWorker::TakeRecentHighWater() {
+  const std::size_t recent =
+      queue_hwm_recent_.exchange(0, std::memory_order_relaxed);
+  std::size_t total = queue_hwm_total_.load(std::memory_order_relaxed);
+  while (recent > total &&
+         !queue_hwm_total_.compare_exchange_weak(
+             total, recent, std::memory_order_relaxed)) {
+  }
+  return recent;
+}
+
+void ShardWorker::ResetHighWater() {
+  queue_hwm_recent_.store(0, std::memory_order_relaxed);
+  queue_hwm_total_.store(0, std::memory_order_relaxed);
+}
+
+double ShardWorker::BusyFraction() const {
+  const double wall_ns = std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  if (wall_ns <= 0.0) return 0.0;
+  const double busy =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed));
+  return busy >= wall_ns ? 1.0 : busy / wall_ns;
+}
+
+std::vector<std::size_t> ShardWorker::OwnedPartitions() const {
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  std::vector<std::size_t> pids;
+  pids.reserve(parts_.size());
+  for (const auto& p : parts_) pids.push_back(p->pid);
+  std::sort(pids.begin(), pids.end());
+  return pids;
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>>
+ShardWorker::PartitionLoads() {
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  std::vector<std::pair<std::size_t, std::uint64_t>> loads;
+  loads.reserve(parts_.size());
+  for (auto& p : parts_) {
+    loads.emplace_back(p->pid, p->recent_load);
+    p->recent_load = 0;
+  }
+  std::sort(loads.begin(), loads.end());
+  return loads;
+}
+
+// ---------------------------------------------------------------------------
+// Partition ownership.
+
+ShardWorker::Partition* ShardWorker::PartitionForLocked(const Edge& edge) {
+  if (!partition_of_) {
+    return parts_.empty() ? nullptr : parts_.front().get();
+  }
+  const std::size_t pid = partition_of_(edge);
+  if (pid >= by_pid_.size()) return nullptr;
+  return by_pid_[pid];
+}
+
+ShardWorker::Partition* ShardWorker::FindPartitionLocked(std::size_t pid) {
+  if (pid < by_pid_.size()) return by_pid_[pid];
+  return nullptr;
+}
+
+const ShardWorker::Partition* ShardWorker::FindPartitionLocked(
+    std::size_t pid) const {
+  if (pid < by_pid_.size()) return by_pid_[pid];
+  return nullptr;
+}
+
+ShardWorker::Partition* ShardWorker::SolePartitionLocked() {
+  return parts_.size() == 1 ? parts_.front().get() : nullptr;
+}
+
+std::unique_ptr<ShardWorker::Partition> ShardWorker::DetachPartition(
+    std::size_t pid) {
+  std::unique_ptr<Partition> out;
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  for (auto it = parts_.begin(); it != parts_.end(); ++it) {
+    if ((*it)->pid == pid) {
+      out = std::move(*it);
+      parts_.erase(it);
+      break;
+    }
+  }
+  if (out == nullptr) return nullptr;
+  by_pid_[pid] = nullptr;
+  // Republish without the detached partition so a reader never sees a
+  // community that two workers both claim (the new owner republishes it on
+  // attach).
+  PublishArgmaxLocked();
+  return out;
+}
+
+void ShardWorker::AttachPartition(std::unique_ptr<Partition> partition) {
+  SPADE_CHECK(partition != nullptr);
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  SPADE_CHECK(partition->pid < by_pid_.size());
+  SPADE_CHECK(by_pid_[partition->pid] == nullptr);
+  by_pid_[partition->pid] = partition.get();
+  parts_.push_back(std::move(partition));
+  PublishArgmaxLocked();
+}
+
 void ShardWorker::CollectInduced(std::span<const VertexId> vertices,
                                  const std::function<bool(VertexId)>& contains,
                                  std::vector<Edge>* edges,
                                  std::vector<double>* vertex_weight) const {
   SPADE_CHECK(vertex_weight->size() >= vertices.size());
   std::lock_guard<std::mutex> lock(detector_mutex_);
-  const DynamicGraph& g = spade_.graph();
-  const std::size_t n = g.NumVertices();
-  for (std::size_t i = 0; i < vertices.size(); ++i) {
-    const VertexId v = vertices[i];
-    if (v >= n) continue;  // this shard never saw the vertex
-    (*vertex_weight)[i] = std::max((*vertex_weight)[i], g.VertexWeight(v));
-    for (const NeighborEntry& e : g.OutNeighbors(v)) {
-      if (contains(e.vertex)) {
-        edges->push_back(Edge{v, e.vertex, e.weight, 0});
+  for (const auto& p : parts_) {
+    const DynamicGraph& g = p->spade.graph();
+    const std::size_t n = g.NumVertices();
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      const VertexId v = vertices[i];
+      if (v >= n) continue;  // this partition never saw the vertex
+      (*vertex_weight)[i] = std::max((*vertex_weight)[i], g.VertexWeight(v));
+      for (const NeighborEntry& e : g.OutNeighbors(v)) {
+        if (contains(e.vertex)) {
+          edges->push_back(Edge{v, e.vertex, e.weight, 0});
+        }
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence.
+
+Status ShardWorker::SavePartitionLocked(Partition& p, const std::string& path,
+                                        bool start_delta_tracking) {
+  // A full save is a checkpoint: whatever history the log held is now
+  // covered by the base snapshot. (The flush below mirrors what
+  // Spade::SaveState did; replay of a later chain starts from that flushed
+  // state, which is why no marker needs to survive the reset.) The window
+  // log rides in the snapshot's v2 section — an empty window (every
+  // non-windowed partition) writes the same v1 bytes as before.
+  SPADE_RETURN_NOT_OK(p.spade.Flush());
+  const std::vector<Edge> window(p.window_log.begin(), p.window_log.end());
+  SPADE_RETURN_NOT_OK(
+      SaveSnapshot(path, p.spade.graph(), &p.spade.peel_state(), window));
+  p.delta_log.clear();
+  p.delta_overflow = false;
+  if (start_delta_tracking) p.delta_tracking = true;
+  return Status::OK();
 }
 
 Status ShardWorker::SaveState(const std::string& path,
                               bool start_delta_tracking) {
   Drain();
   std::lock_guard<std::mutex> lock(detector_mutex_);
-  // A full save is a checkpoint: whatever history the log held is now
-  // covered by the base snapshot. (The flush below mirrors what
-  // Spade::SaveState did; replay of a later chain starts from that flushed
-  // state, which is why no marker needs to survive the reset.) The window
-  // log rides in the snapshot's v2 section — an empty window (every
-  // non-windowed worker) writes the same v1 bytes as before.
-  SPADE_RETURN_NOT_OK(spade_.Flush());
-  const std::vector<Edge> window(window_log_.begin(), window_log_.end());
-  SPADE_RETURN_NOT_OK(
-      SaveSnapshot(path, spade_.graph(), &spade_.peel_state(), window));
-  delta_log_.clear();
-  delta_overflow_ = false;
-  if (start_delta_tracking) delta_tracking_ = true;
-  return Status::OK();
+  Partition* p = SolePartitionLocked();
+  if (p == nullptr) {
+    return Status::FailedPrecondition(
+        "ShardWorker::SaveState requires a sole-partition worker; use "
+        "SavePartition");
+  }
+  return SavePartitionLocked(*p, path, start_delta_tracking);
 }
 
-Status ShardWorker::SaveDelta(const std::string& path, std::uint32_t shard,
-                              std::uint64_t prev_epoch, std::uint64_t epoch,
-                              DeltaSaveInfo* info) {
+Status ShardWorker::SavePartition(std::size_t pid, const std::string& path,
+                                  bool start_delta_tracking) {
   Drain();
   std::lock_guard<std::mutex> lock(detector_mutex_);
-  if (!delta_tracking_) {
+  Partition* p = FindPartitionLocked(pid);
+  if (p == nullptr) {
+    return Status::NotFound(
+        "ShardWorker::SavePartition: partition not owned by this worker");
+  }
+  return SavePartitionLocked(*p, path, start_delta_tracking);
+}
+
+Status ShardWorker::SaveDeltaLocked(Partition& p, const std::string& path,
+                                    std::uint32_t shard,
+                                    std::uint64_t prev_epoch,
+                                    std::uint64_t epoch, DeltaSaveInfo* info) {
+  if (!p.delta_tracking) {
     return Status::FailedPrecondition(
         "ShardWorker::SaveDelta: no checkpoint baseline (run a full "
         "SaveState first)");
   }
-  if (delta_overflow_) {
+  if (p.delta_overflow) {
     return Status::FailedPrecondition(
         "ShardWorker::SaveDelta: delta log overflowed; a full SaveState is "
         "required");
@@ -481,14 +671,14 @@ Status ShardWorker::SaveDelta(const std::string& path, std::uint32_t shard,
   segment.shard = shard;
   segment.prev_epoch = prev_epoch;
   segment.epoch = epoch;
-  segment.records = std::move(delta_log_);
-  delta_log_.clear();
+  segment.records = std::move(p.delta_log);
+  p.delta_log.clear();
   std::uint64_t bytes = 0;
   const Status s = WriteDeltaSegment(path, segment, &bytes);
   if (!s.ok()) {
     // The write failed but the history is still the truth — put it back so
     // a retry (or a fallback full save) does not lose the chain.
-    delta_log_ = std::move(segment.records);
+    p.delta_log = std::move(segment.records);
     return s;
   }
   if (info != nullptr) {
@@ -499,98 +689,170 @@ Status ShardWorker::SaveDelta(const std::string& path, std::uint32_t shard,
   return Status::OK();
 }
 
-void ShardWorker::AppendDeltaRecord(const DeltaRecord& record) {
-  if (!delta_tracking_ || delta_overflow_) return;
-  if (delta_log_.size() >= options_.max_delta_log) {
-    // Unbounded history is worse than a forced full checkpoint: drop the
-    // log, remember the overflow, and let the next SaveDelta fail fast.
-    delta_log_.clear();
-    delta_log_.shrink_to_fit();
-    delta_overflow_ = true;
-    return;
+Status ShardWorker::SaveDelta(const std::string& path, std::uint32_t shard,
+                              std::uint64_t prev_epoch, std::uint64_t epoch,
+                              DeltaSaveInfo* info) {
+  Drain();
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  Partition* p = SolePartitionLocked();
+  if (p == nullptr) {
+    return Status::FailedPrecondition(
+        "ShardWorker::SaveDelta requires a sole-partition worker; use "
+        "SavePartitionDelta");
   }
-  delta_log_.push_back(record);
+  return SaveDeltaLocked(*p, path, shard, prev_epoch, epoch, info);
 }
 
-std::shared_ptr<const Community> ShardWorker::RebaselineLocked(bool flush) {
-  // Re-baseline the alert filter on the restored community and publish it
-  // so readers switch over atomically. The non-flushing read preserves the
-  // replayed benign buffer (Lemma 4.4: buffered edges cannot have improved
-  // the community, so the baseline is the same either way).
+Status ShardWorker::SavePartitionDelta(std::size_t pid,
+                                       const std::string& path,
+                                       std::uint32_t shard,
+                                       std::uint64_t prev_epoch,
+                                       std::uint64_t epoch,
+                                       DeltaSaveInfo* info) {
+  Drain();
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  Partition* p = FindPartitionLocked(pid);
+  if (p == nullptr) {
+    return Status::NotFound(
+        "ShardWorker::SavePartitionDelta: partition not owned by this "
+        "worker");
+  }
+  return SaveDeltaLocked(*p, path, shard, prev_epoch, epoch, info);
+}
+
+void ShardWorker::AppendDeltaRecord(Partition& p, const DeltaRecord& record) {
+  if (!p.delta_tracking || p.delta_overflow) return;
+  if (p.delta_log.size() >= options_.max_delta_log) {
+    // Unbounded history is worse than a forced full checkpoint: drop the
+    // log, remember the overflow, and let the next SaveDelta fail fast.
+    p.delta_log.clear();
+    p.delta_log.shrink_to_fit();
+    p.delta_overflow = true;
+    return;
+  }
+  p.delta_log.push_back(record);
+}
+
+void ShardWorker::RebaselineLocked(Partition& p, bool flush) {
+  // Re-baseline the alert filter on the restored community and cache it so
+  // readers switch over atomically (the caller republishes the argmax).
+  // The non-flushing read preserves the replayed benign buffer (Lemma 4.4:
+  // buffered edges cannot have improved the community, so the baseline is
+  // the same either way).
   Community restored =
-      flush ? spade_.Detect() : spade_.peel_state().DetectCommunity();
-  last_reported_ = SortedMembers(restored);
-  last_density_ = restored.density;
-  since_detect_ = 0;
-  return std::make_shared<const Community>(std::move(restored));
+      flush ? p.spade.Detect() : p.spade.peel_state().DetectCommunity();
+  p.last_reported = SortedMembers(restored);
+  p.last_density = restored.density;
+  p.since_detect = 0;
+  p.current = std::make_shared<const Community>(std::move(restored));
 }
 
 Status ShardWorker::RestoreState(const std::string& path) {
   Drain();
-  std::shared_ptr<const Community> snap;
-  {
-    std::lock_guard<std::mutex> lock(detector_mutex_);
-    DynamicGraph graph;
-    PeelState state;
-    bool state_present = false;
-    std::vector<Edge> window;
-    SPADE_RETURN_NOT_OK(
-        LoadSnapshot(path, &graph, &state, &state_present, &window));
-    spade_.RestoreFromParts(std::move(graph), std::move(state),
-                            state_present);
-    window_log_.assign(window.begin(), window.end());
-    delta_log_.clear();
-    delta_overflow_ = false;
-    snap = RebaselineLocked(/*flush=*/true);
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  Partition* p = SolePartitionLocked();
+  if (p == nullptr) {
+    return Status::FailedPrecondition(
+        "ShardWorker::RestoreState requires a sole-partition worker");
   }
-#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
-  snapshot_.store(std::move(snap));
-#else
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  snapshot_ = std::move(snap);
-#endif
+  DynamicGraph graph;
+  PeelState state;
+  bool state_present = false;
+  std::vector<Edge> window;
+  SPADE_RETURN_NOT_OK(
+      LoadSnapshot(path, &graph, &state, &state_present, &window));
+  p->spade.RestoreFromParts(std::move(graph), std::move(state),
+                            state_present);
+  p->window_log.assign(window.begin(), window.end());
+  p->delta_log.clear();
+  p->delta_overflow = false;
+  RebaselineLocked(*p, /*flush=*/true);
+  PublishArgmaxLocked();
+  return Status::OK();
+}
+
+Status ShardWorker::RestoreChainLocked(Partition& p, RestorePlan&& plan) {
+  p.spade.RestoreFromParts(std::move(plan.graph), std::move(plan.state),
+                           plan.state_present);
+  p.window_log.assign(plan.window.begin(), plan.window.end());
+  // Replay the applied history through the same entry points the live
+  // worker used. Every record passed CRC validation and came from a
+  // successfully applied edge, so a failure here is a logic error — but
+  // it still surfaces as a Status, not a partial silent state.
+  for (const DeltaSegment& segment : plan.segments) {
+    for (const DeltaRecord& record : segment.records) {
+      if (record.flush) {
+        SPADE_RETURN_NOT_OK(p.spade.Flush());
+      } else if (record.retire) {
+        SPADE_RETURN_NOT_OK(ReplayRetireLocked(p, record.edge));
+      } else {
+        double applied = 0;
+        SPADE_RETURN_NOT_OK(p.spade.ApplyEdge(record.edge, &applied));
+        if (options_.track_window) {
+          p.window_log.push_back(Edge{record.edge.src, record.edge.dst,
+                                      applied, record.edge.ts});
+        }
+      }
+    }
+  }
+  p.delta_log.clear();
+  p.delta_overflow = false;
+  p.delta_tracking = true;
+  RebaselineLocked(p, /*flush=*/false);
+  PublishArgmaxLocked();
   return Status::OK();
 }
 
 Status ShardWorker::RestoreChain(RestorePlan&& plan) {
   Drain();
-  std::shared_ptr<const Community> snap;
-  {
-    std::lock_guard<std::mutex> lock(detector_mutex_);
-    spade_.RestoreFromParts(std::move(plan.graph), std::move(plan.state),
-                            plan.state_present);
-    window_log_.assign(plan.window.begin(), plan.window.end());
-    // Replay the applied history through the same entry points the live
-    // worker used. Every record passed CRC validation and came from a
-    // successfully applied edge, so a failure here is a logic error — but
-    // it still surfaces as a Status, not a partial silent state.
-    for (const DeltaSegment& segment : plan.segments) {
-      for (const DeltaRecord& record : segment.records) {
-        if (record.flush) {
-          SPADE_RETURN_NOT_OK(spade_.Flush());
-        } else if (record.retire) {
-          SPADE_RETURN_NOT_OK(ReplayRetireLocked(record.edge));
-        } else {
-          double applied = 0;
-          SPADE_RETURN_NOT_OK(spade_.ApplyEdge(record.edge, &applied));
-          if (options_.track_window) {
-            window_log_.push_back(Edge{record.edge.src, record.edge.dst,
-                                       applied, record.edge.ts});
-          }
-        }
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  Partition* p = SolePartitionLocked();
+  if (p == nullptr) {
+    return Status::FailedPrecondition(
+        "ShardWorker::RestoreChain requires a sole-partition worker; use "
+        "RestorePartitionChain");
+  }
+  return RestoreChainLocked(*p, std::move(plan));
+}
+
+Status ShardWorker::RestorePartitionChain(std::size_t pid,
+                                          RestorePlan&& plan) {
+  Drain();
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  Partition* p = FindPartitionLocked(pid);
+  if (p == nullptr) {
+    return Status::NotFound(
+        "ShardWorker::RestorePartitionChain: partition not owned by this "
+        "worker");
+  }
+  return RestoreChainLocked(*p, std::move(plan));
+}
+
+Status ShardWorker::ReplaySegmentLocked(Partition& p,
+                                        const DeltaSegment& segment) {
+  for (const DeltaRecord& record : segment.records) {
+    if (record.flush) {
+      SPADE_RETURN_NOT_OK(p.spade.Flush());
+    } else if (record.retire) {
+      SPADE_RETURN_NOT_OK(ReplayRetireLocked(p, record.edge));
+    } else {
+      double applied = 0;
+      SPADE_RETURN_NOT_OK(p.spade.ApplyEdge(record.edge, &applied));
+      if (options_.track_window) {
+        p.window_log.push_back(Edge{record.edge.src, record.edge.dst,
+                                    applied, record.edge.ts});
       }
     }
-    delta_log_.clear();
-    delta_overflow_ = false;
-    delta_tracking_ = true;
-    snap = RebaselineLocked(/*flush=*/false);
   }
-#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
-  snapshot_.store(std::move(snap));
-#else
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  snapshot_ = std::move(snap);
-#endif
+  // The replayed records came from a sealed checkpoint: the detector now
+  // matches that checkpoint, so the in-memory history restarts from it
+  // (the owner invalidates its chain cache, making the next save a full
+  // base — see ShardedDetectionService::ApplyChainEpoch).
+  p.delta_log.clear();
+  p.delta_overflow = false;
+  p.delta_tracking = true;
+  RebaselineLocked(p, /*flush=*/false);
+  PublishArgmaxLocked();
   return Status::OK();
 }
 
@@ -601,55 +863,79 @@ Status ShardWorker::ReplaySegment(const DeltaSegment& segment,
         "ReplaySegment: shard queue did not drain within " +
         std::to_string(drain_timeout.count()) + "ms");
   }
-  std::shared_ptr<const Community> snap;
-  {
-    std::lock_guard<std::mutex> lock(detector_mutex_);
-    for (const DeltaRecord& record : segment.records) {
-      if (record.flush) {
-        SPADE_RETURN_NOT_OK(spade_.Flush());
-      } else if (record.retire) {
-        SPADE_RETURN_NOT_OK(ReplayRetireLocked(record.edge));
-      } else {
-        double applied = 0;
-        SPADE_RETURN_NOT_OK(spade_.ApplyEdge(record.edge, &applied));
-        if (options_.track_window) {
-          window_log_.push_back(Edge{record.edge.src, record.edge.dst,
-                                     applied, record.edge.ts});
-        }
-      }
-    }
-    // The replayed records came from a sealed checkpoint: the detector now
-    // matches that checkpoint, so the in-memory history restarts from it
-    // (the owner invalidates its chain cache, making the next save a full
-    // base — see ShardedDetectionService::ApplyChainEpoch).
-    delta_log_.clear();
-    delta_overflow_ = false;
-    delta_tracking_ = true;
-    snap = RebaselineLocked(/*flush=*/false);
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  Partition* p = SolePartitionLocked();
+  if (p == nullptr) {
+    return Status::FailedPrecondition(
+        "ShardWorker::ReplaySegment requires a sole-partition worker; use "
+        "ReplayPartitionSegment");
   }
-#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
-  snapshot_.store(std::move(snap));
-#else
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  snapshot_ = std::move(snap);
-#endif
-  return Status::OK();
+  return ReplaySegmentLocked(*p, segment);
+}
+
+Status ShardWorker::ReplayPartitionSegment(
+    std::size_t pid, const DeltaSegment& segment,
+    std::chrono::milliseconds drain_timeout) {
+  if (!DrainFor(drain_timeout)) {
+    return Status::FailedPrecondition(
+        "ReplayPartitionSegment: shard queue did not drain within " +
+        std::to_string(drain_timeout.count()) + "ms");
+  }
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  Partition* p = FindPartitionLocked(pid);
+  if (p == nullptr) {
+    return Status::NotFound(
+        "ShardWorker::ReplayPartitionSegment: partition not owned by this "
+        "worker");
+  }
+  return ReplaySegmentLocked(*p, segment);
 }
 
 void ShardWorker::InspectDetector(
     const std::function<void(const Spade&)>& fn) const {
   std::lock_guard<std::mutex> lock(detector_mutex_);
-  fn(spade_);
+  SPADE_CHECK(!parts_.empty());
+  fn(parts_.front()->spade);
+}
+
+Status ShardWorker::InspectPartition(
+    std::size_t pid, const std::function<void(const Spade&)>& fn) const {
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  const Partition* p = FindPartitionLocked(pid);
+  if (p == nullptr) {
+    return Status::NotFound(
+        "ShardWorker::InspectPartition: partition not owned by this worker");
+  }
+  fn(p->spade);
+  return Status::OK();
 }
 
 std::vector<Edge> ShardWorker::WindowEdges() const {
   std::lock_guard<std::mutex> lock(detector_mutex_);
-  return std::vector<Edge>(window_log_.begin(), window_log_.end());
+  std::vector<const Partition*> ordered;
+  ordered.reserve(parts_.size());
+  for (const auto& p : parts_) ordered.push_back(p.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Partition* a, const Partition* b) {
+              return a->pid < b->pid;
+            });
+  std::vector<Edge> out;
+  for (const Partition* p : ordered) {
+    out.insert(out.end(), p->window_log.begin(), p->window_log.end());
+  }
+  return out;
 }
 
-Status ShardWorker::ReplayRetireLocked(const Edge& record) {
+std::vector<Edge> ShardWorker::PartitionWindowEdges(std::size_t pid) const {
+  std::lock_guard<std::mutex> lock(detector_mutex_);
+  const Partition* p = FindPartitionLocked(pid);
+  if (p == nullptr) return {};
+  return std::vector<Edge>(p->window_log.begin(), p->window_log.end());
+}
+
+Status ShardWorker::ReplayRetireLocked(Partition& p, const Edge& record) {
   SPADE_RETURN_NOT_OK(
-      spade_.RetireEdge(record.src, record.dst, record.weight));
+      p.spade.RetireEdge(record.src, record.dst, record.weight));
   retired_.fetch_add(1, std::memory_order_relaxed);
   // The live pass popped this entry off its window log; mirror it. The
   // record is almost always the log front (oldest-first expiry); the
@@ -659,14 +945,14 @@ Status ShardWorker::ReplayRetireLocked(const Edge& record) {
     return e.src == record.src && e.dst == record.dst &&
            e.weight == record.weight && e.ts == record.ts;
   };
-  if (!window_log_.empty() && matches(window_log_.front())) {
-    window_log_.pop_front();
+  if (!p.window_log.empty() && matches(p.window_log.front())) {
+    p.window_log.pop_front();
     return Status::OK();
   }
   const auto it =
-      std::find_if(window_log_.begin(), window_log_.end(), matches);
-  if (it != window_log_.end()) {
-    window_log_.erase(it);
+      std::find_if(p.window_log.begin(), p.window_log.end(), matches);
+  if (it != p.window_log.end()) {
+    p.window_log.erase(it);
   } else if (options_.track_window) {
     SPADE_LOG_WARNING()
         << "ShardWorker replay: retire record not found in window log";
@@ -674,49 +960,167 @@ Status ShardWorker::ReplayRetireLocked(const Edge& record) {
   return Status::OK();
 }
 
-void ShardWorker::DetectAndPublish() {
-  // Caller (worker thread or RestoreState) holds detector_mutex_.
-  if (spade_.PendingBenignEdges() > 0) {
+// ---------------------------------------------------------------------------
+// Worker loop.
+
+void ShardWorker::PublishArgmaxLocked() {
+  std::shared_ptr<const Community> best;
+  for (const auto& p : parts_) {
+    if (p->current && (!best || p->current->density > best->density)) {
+      best = p->current;
+    }
+  }
+  if (!best) best = std::make_shared<const Community>();
+#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
+  snapshot_.store(std::move(best));
+#else
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(best);
+#endif
+}
+
+void ShardWorker::DetectAndPublish(Partition& p) {
+  // Caller holds detector_mutex_.
+  if (p.spade.PendingBenignEdges() > 0) {
     // Detect() is about to fold the benign buffer in; the replayed history
     // must flush at exactly this point to stay bit-identical (the flush
     // changes the graph, and state-dependent semantics weigh later edges
     // against it).
-    AppendDeltaRecord(DeltaRecord::Flush());
+    AppendDeltaRecord(p, DeltaRecord::Flush());
   }
-  Community community = spade_.Detect();
-  since_detect_ = 0;
+  Community community = p.spade.Detect();
+  p.since_detect = 0;
   detections_.fetch_add(1, std::memory_order_relaxed);
   std::vector<VertexId> sorted = SortedMembers(community);
   const bool changed =
-      sorted != last_reported_ || community.density != last_density_;
-  auto snap = std::make_shared<const Community>(std::move(community));
-#if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
-  snapshot_.store(snap);
-#else
-  {
-    std::lock_guard<std::mutex> lock(snapshot_mutex_);
-    snapshot_ = snap;
-  }
-#endif
+      sorted != p.last_reported || community.density != p.last_density;
+  p.current = std::make_shared<const Community>(std::move(community));
+  PublishArgmaxLocked();
   if (!changed) return;
-  last_reported_ = std::move(sorted);
-  last_density_ = snap->density;
+  p.last_reported = std::move(sorted);
+  p.last_density = p.current->density;
   alerts_.fetch_add(1, std::memory_order_relaxed);
   if (on_alert_) {
-    pending_alert_ = std::move(snap);
+    pending_alerts_.push_back(p.current);
   }
 }
 
-void ShardWorker::MakeExact() {
-  std::shared_ptr<const Community> alert;
+bool ShardWorker::ApplyOne(const Edge& edge) {
+  std::vector<std::shared_ptr<const Community>> alerts;
   {
     std::lock_guard<std::mutex> apply_lock(detector_mutex_);
-    if (since_detect_ > 0 || spade_.PendingBenignEdges() > 0) {
-      DetectAndPublish();
-      alert = std::move(pending_alert_);
+    Partition* p = PartitionForLocked(edge);
+    if (p == nullptr) {
+      // Routed here under a stale partition-map entry (the partition moved
+      // away). The edge stays this worker's responsibility — and is NOT
+      // yet counted as consumed — until the current owner accepts it.
+      forward_backlog_.push_back(edge);
+      return false;
+    }
+    ++consumed_;
+    double applied = 0;
+    const Status s = p->spade.ApplyEdge(edge, &applied);
+    if (s.ok()) {
+      AppendDeltaRecord(*p, DeltaRecord::Insert(edge));
+      if (options_.track_window) {
+        p->window_log.push_back(Edge{edge.src, edge.dst, applied, edge.ts});
+      }
+      // Boundary push under the detector mutex: any state snapshot
+      // that contains this edge (SaveState locks after Drain) is
+      // therefore saved after its boundary record exists, so a
+      // restored fleet can always rediscover the seam. Keyed by
+      // partition home, so the record survives a partition move.
+      if (on_boundary_) on_boundary_(edge, applied, /*retired=*/false);
+      processed_.fetch_add(1, std::memory_order_relaxed);
+      ++p->since_detect;
+      ++p->recent_load;
+      // An urgent edge flushed the benign buffer inside ApplyEdge;
+      // detect right away so moderators hear about new fraudsters
+      // immediately.
+      if (p->spade.PendingBenignEdges() == 0 ||
+          p->since_detect >= options_.detect_every) {
+        DetectAndPublish(*p);
+        alerts = TakePendingAlertsLocked();
+      }
+    } else {
+      SPADE_LOG_WARNING() << "ShardWorker dropped edge: " << s.ToString();
     }
   }
-  if (alert) on_alert_(*alert);
+  // Deliver with no lock held: a slow moderator delays the next apply
+  // on this shard but never blocks producers, readers, or Save/Restore
+  // beyond this one callback.
+  for (const auto& a : alerts) on_alert_(*a);
+  return true;
+}
+
+void ShardWorker::FlushForwardBacklog() {
+  if (forward_backlog_.empty()) return;
+  // Edges whose partition came back (moved away and home again, or the
+  // map was republished before we looked) apply locally; the rest forward.
+  std::vector<Edge> came_home;
+  {
+    std::lock_guard<std::mutex> lock(detector_mutex_);
+    if (partition_of_) {
+      std::size_t keep = 0;
+      for (const Edge& e : forward_backlog_) {
+        const std::size_t pid = partition_of_(e);
+        Partition* p = pid < by_pid_.size() ? by_pid_[pid] : nullptr;
+        if (p != nullptr) {
+          came_home.push_back(e);
+        } else {
+          forward_backlog_[keep++] = e;
+        }
+      }
+      forward_backlog_.resize(keep);
+    }
+  }
+  for (const Edge& e : came_home) ApplyOne(e);
+  if (!forward_backlog_.empty()) {
+    if (!forward_) {
+      // No forwarding wired but a partition moved away regardless — a
+      // misconfiguration; dropping (with accounting) beats wedging Drain.
+      SPADE_LOG_WARNING() << "ShardWorker: dropping "
+                          << forward_backlog_.size()
+                          << " edges for unowned partitions (no forward fn)";
+      std::lock_guard<std::mutex> lock(detector_mutex_);
+      consumed_ += forward_backlog_.size();
+      forward_backlog_.clear();
+    } else {
+      const std::size_t accepted = forward_(std::span<const Edge>(
+          forward_backlog_.data(), forward_backlog_.size()));
+      if (accepted > 0) {
+        forward_backlog_.erase(forward_backlog_.begin(),
+                               forward_backlog_.begin() +
+                                   static_cast<std::ptrdiff_t>(accepted));
+        std::lock_guard<std::mutex> lock(detector_mutex_);
+        consumed_ += accepted;
+      }
+    }
+  }
+  // Publish disposal progress so drain predicates see it without waiting
+  // for the next round end.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    consumed_q_ = consumed_;
+  }
+  drain_cv_.notify_all();
+}
+
+void ShardWorker::MakeExact() {
+  std::vector<std::shared_ptr<const Community>> alerts;
+  {
+    std::lock_guard<std::mutex> apply_lock(detector_mutex_);
+    for (auto& p : parts_) {
+      if (p->since_detect > 0 || p->spade.PendingBenignEdges() > 0) {
+        DetectAndPublish(*p);
+      }
+    }
+    alerts = TakePendingAlertsLocked();
+  }
+  for (const auto& a : alerts) on_alert_(*a);
+  // A backlogged edge has not been applied anywhere yet: the snapshot
+  // cannot be exact until the owner accepts it (the timed park retries).
+  if (!forward_backlog_.empty()) return;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     // Only an empty ring makes the snapshot exact; a racing Submit defers
@@ -748,14 +1152,24 @@ void ShardWorker::WorkerLoop() {
         } else if (chunk.is_one) {
           batch.push_back(chunk.one);
         } else if (batch.empty()) {
+          // Recycle the batch's old buffer before adopting the slab —
+          // steady state circulates slabs through the pool instead of
+          // allocating per chunk.
+          if (slab_pool_ && batch.capacity() > 0) {
+            slab_pool_->Put(std::move(batch));
+          }
           batch = std::move(chunk.many);
         } else {
           batch.insert(batch.end(), chunk.many.begin(), chunk.many.end());
+          if (slab_pool_) slab_pool_->Put(std::move(chunk.many));
         }
       }
     }
 
     if (batch.empty() && !have_retire) {
+      // Retry the forward backlog before parking: its edges are invisible
+      // to the ring, so nothing else would wake us for them.
+      if (!forward_backlog_.empty()) FlushForwardBacklog();
       bool make_exact = false;
       bool inflight_claim = false;
       bool exit_loop = false;
@@ -767,10 +1181,17 @@ void ShardWorker::WorkerLoop() {
         // that published after it sees the flag and notifies under the
         // mutex.
         parked_.store(true, std::memory_order_seq_cst);
-        work_cv_.wait(lock, [this] {
+        const auto ready = [this] {
           return stopping_ || RingReady() ||
                  (drain_waiters_ > 0 && exact_through_ < consumed_q_);
-        });
+        };
+        if (!forward_backlog_.empty()) {
+          // Timed park: the backlog's forward target was full or mid-move;
+          // poll it instead of sleeping until a producer shows up.
+          work_cv_.wait_for(lock, kBacklogRetire, ready);
+        } else {
+          work_cv_.wait(lock, ready);
+        }
         parked_.store(false, std::memory_order_relaxed);
         if (RingReady()) continue;  // new work: loop around and pop it
         if (stopping_) {
@@ -803,46 +1224,11 @@ void ShardWorker::WorkerLoop() {
     // producers (only when some are registered — coalesced like wakeups).
     NotifySpaceFreed();
 
-    bool exact_after_batch = false;
+    const auto work_begin = std::chrono::steady_clock::now();
     for (const Edge& edge : batch) {
-      std::shared_ptr<const Community> alert;
-      {
-        std::lock_guard<std::mutex> apply_lock(detector_mutex_);
-        ++consumed_;
-        double applied = 0;
-        const Status s = spade_.ApplyEdge(edge, &applied);
-        if (s.ok()) {
-          AppendDeltaRecord(DeltaRecord::Insert(edge));
-          if (options_.track_window) {
-            window_log_.push_back(Edge{edge.src, edge.dst, applied, edge.ts});
-          }
-          // Boundary push under the detector mutex: any state snapshot
-          // that contains this edge (SaveState locks after Drain) is
-          // therefore saved after its boundary record exists, so a
-          // restored fleet can always rediscover the seam.
-          if (on_boundary_) on_boundary_(edge, applied, /*retired=*/false);
-          processed_.fetch_add(1, std::memory_order_relaxed);
-          ++since_detect_;
-          // An urgent edge flushed the benign buffer inside ApplyEdge;
-          // detect right away so moderators hear about new fraudsters
-          // immediately.
-          if (spade_.PendingBenignEdges() == 0 ||
-              since_detect_ >= options_.detect_every) {
-            DetectAndPublish();
-            alert = std::move(pending_alert_);
-          }
-        } else {
-          SPADE_LOG_WARNING()
-              << "ShardWorker dropped edge: " << s.ToString();
-        }
-        exact_after_batch =
-            since_detect_ == 0 && spade_.PendingBenignEdges() == 0;
-      }
-      // Deliver with no lock held: a slow moderator delays the next apply
-      // on this shard but never blocks producers, readers, or Save/Restore
-      // beyond this one callback.
-      if (alert) on_alert_(*alert);
+      ApplyOne(edge);
     }
+    if (!forward_backlog_.empty()) FlushForwardBacklog();
 
     if (have_retire) {
       // Pre-deletion announcement: deletions shrink the graph the moment
@@ -852,58 +1238,89 @@ void ShardWorker::WorkerLoop() {
       // shrunken live argmax with a stale pre-deletion snapshot. Bump the
       // begin counter and fire on_retire_(0) BEFORE the first deletion so
       // stale state is dropped while the graph still matches it. Only
-      // this thread mutates the window log, so the peek stays valid.
+      // this thread (and Detach, which can only remove work) mutates the
+      // window logs, so the peek stays conservative.
       bool will_retire = false;
       {
         std::lock_guard<std::mutex> peek_lock(detector_mutex_);
-        will_retire = !window_log_.empty() &&
-                      window_log_.front().ts < retire_horizon;
+        for (const auto& p : parts_) {
+          if (!p->window_log.empty() &&
+              p->window_log.front().ts < retire_horizon) {
+            will_retire = true;
+            break;
+          }
+        }
       }
       if (will_retire) {
         retire_begins_.fetch_add(1, std::memory_order_seq_cst);
         if (on_retire_) on_retire_(0);
       }
-      std::shared_ptr<const Community> alert;
+      std::vector<std::shared_ptr<const Community>> alerts;
       std::size_t retired_now = 0;
       {
         std::lock_guard<std::mutex> apply_lock(detector_mutex_);
         ++consumed_;  // the marker's one unit of queue budget
-        // Pop the expired prefix oldest-first. The log is arrival-ordered,
-        // so an out-of-timestamp-order edge shields the entries behind it
-        // until the horizon passes it too — conservative (never retires a
-        // live edge), and deterministic: replay retires exactly the
-        // recorded set.
-        while (!window_log_.empty() &&
-               window_log_.front().ts < retire_horizon) {
-          const Edge old = window_log_.front();
-          window_log_.pop_front();
-          const Status s = spade_.RetireEdge(old.src, old.dst, old.weight);
-          if (!s.ok()) {
-            SPADE_LOG_WARNING()
-                << "ShardWorker retire failed: " << s.ToString();
-            continue;
+        for (auto& p : parts_) {
+          // Pop the expired prefix oldest-first. The log is
+          // arrival-ordered, so an out-of-timestamp-order edge shields the
+          // entries behind it until the horizon passes it too —
+          // conservative (never retires a live edge), and deterministic:
+          // replay retires exactly the recorded set.
+          std::size_t part_retired = 0;
+          while (!p->window_log.empty() &&
+                 p->window_log.front().ts < retire_horizon) {
+            const Edge old = p->window_log.front();
+            p->window_log.pop_front();
+            const Status s =
+                p->spade.RetireEdge(old.src, old.dst, old.weight);
+            if (!s.ok()) {
+              SPADE_LOG_WARNING()
+                  << "ShardWorker retire failed: " << s.ToString();
+              continue;
+            }
+            AppendDeltaRecord(*p, DeltaRecord::Retire(old));
+            // Retire deltas feed the stitch trigger accumulators (seam
+            // mass changed), never the boundary record log — index
+            // eviction is horizon-driven (EvictOlderThan).
+            if (on_boundary_) on_boundary_(old, old.weight, /*retired=*/true);
+            ++part_retired;
           }
-          AppendDeltaRecord(DeltaRecord::Retire(old));
-          // Retire deltas feed the stitch trigger accumulators (seam mass
-          // changed), never the boundary record log — index eviction is
-          // horizon-driven (EvictOlderThan).
-          if (on_boundary_) on_boundary_(old, old.weight, /*retired=*/true);
-          ++retired_now;
+          if (part_retired > 0) {
+            retired_now += part_retired;
+            // Deletion can shrink the community or its density —
+            // republish (and alert) right away rather than waiting out
+            // detect_every.
+            DetectAndPublish(*p);
+          }
         }
         if (retired_now > 0) {
           retired_.fetch_add(retired_now, std::memory_order_relaxed);
-          // Deletion can shrink the community or its density — republish
-          // (and alert) right away rather than waiting out detect_every.
-          DetectAndPublish();
-          alert = std::move(pending_alert_);
         }
-        exact_after_batch =
-            since_detect_ == 0 && spade_.PendingBenignEdges() == 0;
+        alerts = TakePendingAlertsLocked();
       }
-      if (alert) on_alert_(*alert);
+      for (const auto& a : alerts) on_alert_(*a);
       if (retired_now > 0 && on_retire_) on_retire_(retired_now);
     }
 
+    busy_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - work_begin)
+                .count()),
+        std::memory_order_relaxed);
+
+    // Round-end exactness: every partition detected-and-flushed, and no
+    // backlogged edge awaiting its owner.
+    bool exact_after_batch = forward_backlog_.empty();
+    if (exact_after_batch) {
+      std::lock_guard<std::mutex> apply_lock(detector_mutex_);
+      for (const auto& p : parts_) {
+        if (p->since_detect != 0 || p->spade.PendingBenignEdges() != 0) {
+          exact_after_batch = false;
+          break;
+        }
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       consumed_q_ = consumed_;
@@ -919,17 +1336,34 @@ void ShardWorker::WorkerLoop() {
     drain_cv_.notify_all();
   }
 
+  // Shutdown: hand off (or, failing that, drop) any backlogged edges so
+  // accounting closes out — a forward target that is itself stopping may
+  // refuse them, and a stopped fleet has nowhere better to put them.
+  if (!forward_backlog_.empty()) {
+    FlushForwardBacklog();
+    if (!forward_backlog_.empty()) {
+      SPADE_LOG_WARNING() << "ShardWorker exiting with "
+                          << forward_backlog_.size()
+                          << " unforwardable edges (dropped)";
+      std::lock_guard<std::mutex> lock(detector_mutex_);
+      consumed_ += forward_backlog_.size();
+      forward_backlog_.clear();
+    }
+  }
+
   // Final shutdown flush.
   {
-    std::shared_ptr<const Community> alert;
+    std::vector<std::shared_ptr<const Community>> alerts;
     {
       std::lock_guard<std::mutex> apply_lock(detector_mutex_);
-      if (since_detect_ > 0 || spade_.PendingBenignEdges() > 0) {
-        DetectAndPublish();
-        alert = std::move(pending_alert_);
+      for (auto& p : parts_) {
+        if (p->since_detect > 0 || p->spade.PendingBenignEdges() > 0) {
+          DetectAndPublish(*p);
+        }
       }
+      alerts = TakePendingAlertsLocked();
     }
-    if (alert) on_alert_(*alert);
+    for (const auto& a : alerts) on_alert_(*a);
   }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);

@@ -1,8 +1,17 @@
-// ShardWorker: one detector shard behind a lock-light chunk-handoff queue.
+// ShardWorker: one worker thread draining a lock-light chunk-handoff queue
+// through a set of exclusively-owned detector partitions.
 //
-// The worker owns a Spade instance exclusively; no other thread ever calls
-// into the detector while the worker runs. The three client-visible paths
-// are decoupled so none of them serializes on an in-flight reorder:
+// Historically a worker WAS a detector. Work-stealing rebalance (DESIGN.md
+// §10) splits that fusion: a worker now owns a set of epoch-versioned
+// *partitions* — each a Spade detector plus its window log, delta log and
+// alert baseline — and a partition can be detached from a loaded worker
+// and attached to an idle one at a drain boundary, moving the detector by
+// pointer. With a single partition and no partition function (the default,
+// and everything DetectionService uses) the worker behaves exactly as
+// before.
+//
+// The three client-visible paths are decoupled so none of them serializes
+// on an in-flight reorder:
 //
 //   * Submit / SubmitBatch: producers hand whole chunks of edges to the
 //     worker through a bounded MPSC ring of edge slabs (Vyukov-style
@@ -11,10 +20,21 @@
 //     the cell's sequence word. A mutex is touched only on the slow paths
 //     (full queue in blocking mode, parking, Drain) — never per edge, and
 //     never per chunk while the pipeline keeps up.
-//   * CurrentCommunity / CurrentSnapshot: the worker publishes each
-//     detected community as an atomically-swapped shared_ptr snapshot.
-//     Readers load the pointer and never touch any mutex on the apply path.
+//   * CurrentCommunity / CurrentSnapshot: the worker publishes the densest
+//     community across its partitions as an atomically-swapped shared_ptr
+//     snapshot. Readers load the pointer and never touch any mutex on the
+//     apply path.
 //   * EdgesProcessed / AlertsDelivered / QueueDepth: relaxed atomics.
+//
+// Forwarding protocol: an edge popped off the ring whose partition this
+// worker does NOT own (it was routed under a stale partition-map entry
+// while the partition moved) goes to a worker-local forward backlog and is
+// re-submitted to the current owner via the service-provided ForwardFn —
+// applied exactly once, at the owner. Edges are counted as consumed at
+// their final disposal (local apply, or accepted forward), and the drain
+// cursor only advances while the backlog is empty, so Drain() still means
+// "everything this worker accepted has been applied somewhere or handed to
+// its owner".
 //
 // Wakeup coalescing: producers notify the worker only when it is actually
 // parked (`parked_` is set, seq_cst, before the worker re-checks the ring
@@ -52,8 +72,10 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/slab_pool.h"
 #include "common/status.h"
 #include "core/spade.h"
 #include "graph/types.h"
@@ -95,12 +117,25 @@ using RetireNotifyFn = std::function<void(std::size_t)>;
 /// every applied edge (`retired` false, `applied` the semantic weight
 /// ApplyEdge charged) and every window-expired edge (`retired` true,
 /// `applied` the weight it was deleted at). The sharded service uses it to
-/// push boundary-vertex weight updates into the per-shard-pair stitch
+/// push boundary-vertex weight updates into the per-partition-pair stitch
 /// queues at apply time — running under the detector mutex is what
 /// guarantees an edge visible in a state snapshot has already been pushed.
-/// Keep it cheap; it is on the apply hot path. Not fired during
-/// restore/replay (the boundary index restores from its own files).
+/// Keyed by partition home, so the record survives a partition move. Keep
+/// it cheap; it is on the apply hot path. Not fired during restore/replay
+/// (the boundary index restores from its own files).
 using BoundaryUpdateFn = std::function<void(const Edge&, double, bool)>;
+
+/// Maps an edge to its stable partition id. Evaluated under the detector
+/// mutex for every applied edge, so keep it cheap. Null = the worker owns
+/// exactly one partition and every routed edge belongs to it.
+using PartitionOfFn = std::function<std::size_t(const Edge&)>;
+
+/// Re-submits edges that arrived at a worker which no longer owns their
+/// partition to the current owner. Must NOT block (it runs on the victim's
+/// worker thread; a blocking forward between two full workers deadlocks) —
+/// it returns the length of the accepted PREFIX, and the worker retries
+/// the remainder later. Called with no worker lock held.
+using ForwardFn = std::function<std::size_t(std::span<const Edge>)>;
 
 /// Per-shard service configuration (shared by DetectionService and every
 /// shard of a ShardedDetectionService).
@@ -120,9 +155,9 @@ struct DetectionServiceOptions {
   /// propagates to producers instead of dropping transactions).
   bool block_when_full = false;
   /// Cap on the in-memory delta log (applied-history records kept for the
-  /// next incremental checkpoint). A worker whose owner stops
-  /// checkpointing must not grow without bound: at the cap the log is
-  /// dropped and the next checkpoint falls back to a full snapshot.
+  /// next incremental checkpoint), per partition. A worker whose owner
+  /// stops checkpointing must not grow without bound: at the cap the log
+  /// is dropped and the next checkpoint falls back to a full snapshot.
   std::size_t max_delta_log = 1 << 20;
   /// CPU to pin the worker thread to (-1 = unpinned). Linux-only
   /// (pthread_setaffinity_np); elsewhere, and for CPUs that do not exist,
@@ -134,20 +169,72 @@ struct DetectionServiceOptions {
   bool track_window = false;
 };
 
-/// One shard: a background worker draining a chunk-handoff ring through an
-/// exclusively-owned Spade detector.
+/// One worker: a background thread draining a chunk-handoff ring through a
+/// set of exclusively-owned Spade detector partitions.
 class ShardWorker {
  public:
-  /// Takes ownership of a fully built detector (graph loaded, semantics
-  /// installed). Edge grouping is turned on; the worker starts immediately.
-  /// `on_retire` (optional) fires around every retire pass that removes at
-  /// least one edge (see RetireNotifyFn); `on_boundary` (optional) fires
-  /// per applied/retired edge inside the apply critical section (see
-  /// BoundaryUpdateFn).
+  /// One movable unit of detector state: the Spade instance plus every
+  /// piece of per-detector bookkeeping that must travel with it in a
+  /// steal — window log, delta log, alert baseline, cached community.
+  /// Owned by exactly one worker at a time (or by the service, briefly,
+  /// between Detach and Attach); all fields are guarded by the owning
+  /// worker's detector mutex.
+  struct Partition {
+    Partition(std::size_t id, Spade detector)
+        : pid(id), spade(std::move(detector)) {}
+
+    const std::size_t pid;
+    Spade spade;
+    /// Alert baseline: last reported community (sorted) + density.
+    std::vector<VertexId> last_reported;
+    double last_density = -1.0;
+    std::size_t since_detect = 0;
+    /// Applied-history log for incremental checkpoints (DESIGN.md §5).
+    bool delta_tracking = false;
+    bool delta_overflow = false;
+    std::vector<DeltaRecord> delta_log;
+    /// Window log (track_window only): applied edges in arrival order with
+    /// applied weight + event timestamp.
+    std::deque<Edge> window_log;
+    /// Latest detected community for this partition (feeds the worker's
+    /// published argmax snapshot).
+    std::shared_ptr<const Community> current;
+    /// Edges applied since the last PartitionLoads() scan — the steal
+    /// policy's per-partition load signal.
+    std::uint64_t recent_load = 0;
+  };
+
+  /// Initial partition assignment for the multi-partition constructor.
+  struct PartitionSeed {
+    std::size_t pid = 0;
+    Spade spade;
+  };
+
+  /// Single-partition worker (the pre-rebalance shape; DetectionService
+  /// and non-rebalancing fleets use this). Takes ownership of a fully
+  /// built detector (graph loaded, semantics installed). Edge grouping is
+  /// turned on; the worker starts immediately. `on_retire` (optional)
+  /// fires around every retire pass that removes at least one edge (see
+  /// RetireNotifyFn); `on_boundary` (optional) fires per applied/retired
+  /// edge inside the apply critical section (see BoundaryUpdateFn).
   ShardWorker(Spade spade, FraudAlertFn on_alert,
               DetectionServiceOptions options = {},
               RetireNotifyFn on_retire = nullptr,
               BoundaryUpdateFn on_boundary = nullptr);
+
+  /// Multi-partition worker. `total_partitions` sizes the pid lookup table
+  /// (a detached partition's slot goes null; AttachPartition refills it).
+  /// `partition_of` maps an edge to its pid (null = sole-partition mode:
+  /// requires exactly one seed); `forward` re-submits edges for partitions
+  /// this worker does not own (null = unowned edges are dropped with a
+  /// warning — only sound when partitions never move). `slab_pool`
+  /// (optional) receives consumed batch slabs for recycling.
+  ShardWorker(std::vector<PartitionSeed> seeds, std::size_t total_partitions,
+              PartitionOfFn partition_of, ForwardFn forward,
+              FraudAlertFn on_alert, DetectionServiceOptions options = {},
+              RetireNotifyFn on_retire = nullptr,
+              BoundaryUpdateFn on_boundary = nullptr,
+              std::shared_ptr<SlabPool> slab_pool = nullptr);
 
   /// Stops the worker, draining queued edges first.
   ~ShardWorker();
@@ -188,21 +275,31 @@ class ShardWorker {
   Status SubmitBatch(std::vector<Edge>&& chunk,
                      std::size_t* accepted = nullptr);
 
+  /// Never-blocking best-effort enqueue: accepts the prefix that fits
+  /// right now and returns its length (0 when the queue is full or the
+  /// worker stopped), regardless of `block_when_full`. This is the
+  /// forwarding entry point — a victim's worker thread re-submitting
+  /// moved-partition edges must not park inside another worker's
+  /// backpressure wait.
+  std::size_t OfferBatch(std::span<const Edge> edges);
+
   /// Enqueues a retire marker: when the worker reaches it, every window-log
-  /// edge with ts < `horizon` is retired (deleted with its recorded applied
-  /// weight) and logged as a retire record for the delta chain. The marker
-  /// rides the same ring as edge chunks — it costs one unit of queue budget
-  /// and obeys the same drain/exactness protocol, so Drain() after a
-  /// successful SubmitRetire implies the retire pass has fully applied.
-  /// Requires `track_window`; the window log is popped oldest-first, so an
-  /// out-of-timestamp-order arrival delays expiry of the edges queued
-  /// behind it until the horizon passes it too (conservative, never
-  /// over-retires). Same full-queue behavior as Submit.
+  /// edge with ts < `horizon` (in every owned partition) is retired
+  /// (deleted with its recorded applied weight) and logged as a retire
+  /// record for the delta chain. The marker rides the same ring as edge
+  /// chunks — it costs one unit of queue budget and obeys the same
+  /// drain/exactness protocol, so Drain() after a successful SubmitRetire
+  /// implies the retire pass has fully applied. Requires `track_window`;
+  /// each window log is popped oldest-first, so an out-of-timestamp-order
+  /// arrival delays expiry of the edges queued behind it until the horizon
+  /// passes it too (conservative, never over-retires). Same full-queue
+  /// behavior as Submit.
   Status SubmitRetire(Timestamp horizon);
 
   /// Blocks until every edge submitted before this call has been applied
-  /// AND the published snapshot reflects them. Returns immediately once the
-  /// worker has exited.
+  /// (or handed to its current owner, for partitions that moved away) AND
+  /// the published snapshot reflects the locally-applied ones. Returns
+  /// immediately once the worker has exited.
   void Drain();
 
   /// Bounded-wait Drain: returns true when the snapshot became exact (or
@@ -215,8 +312,9 @@ class ShardWorker {
   /// Drains, stops the worker and joins it. Idempotent.
   void Stop();
 
-  /// Latest published community snapshot; never blocks on the apply path.
-  /// The pointer is immutable and safe to hold across further updates.
+  /// Latest published community snapshot — the densest community across
+  /// this worker's partitions; never blocks on the apply path. The pointer
+  /// is immutable and safe to hold across further updates.
   std::shared_ptr<const Community> CurrentSnapshot() const;
 
   /// Convenience copy of the latest snapshot.
@@ -250,13 +348,22 @@ class ShardWorker {
     return retire_begins_.load(std::memory_order_seq_cst);
   }
 
-  /// Copy of the current window log (arrival order, applied weights).
-  /// Takes the detector mutex; tests and diagnostics only.
+  /// Copy of the current window log(s), partitions in ascending-pid order,
+  /// arrival order within each (applied weights). Takes the detector
+  /// mutex; tests and diagnostics only.
   std::vector<Edge> WindowEdges() const;
+
+  /// Copy of one partition's window log (arrival order, applied weights).
+  std::vector<Edge> PartitionWindowEdges(std::size_t pid) const;
 
   /// Detections (Detect + snapshot publications) run so far (lock-free).
   std::uint64_t DetectionsRun() const {
     return detections_.load(std::memory_order_relaxed);
+  }
+
+  /// Edges accepted (published into the ring) so far — the Drain target.
+  std::uint64_t Submitted() const {
+    return submitted_.load(std::memory_order_seq_cst);
   }
 
   /// Edges accepted but not yet taken off the ring by the worker (relaxed
@@ -265,36 +372,76 @@ class ShardWorker {
     return queued_edges_.load(std::memory_order_relaxed);
   }
 
-  /// Highest queue depth ever observed at a successful enqueue (relaxed;
-  /// never resets). The bench uses it to report handoff pressure: a
-  /// high-water mark near max_queue means producers outran this shard.
+  /// Highest queue depth observed at a successful enqueue since the last
+  /// ResetHighWater() (relaxed; never takes a lock). The bench uses it to
+  /// report handoff pressure: a high-water mark near max_queue means
+  /// producers outran this shard.
   std::size_t QueueDepthHighWater() const {
-    return queue_hwm_.load(std::memory_order_relaxed);
+    const std::size_t recent =
+        queue_hwm_recent_.load(std::memory_order_relaxed);
+    const std::size_t total =
+        queue_hwm_total_.load(std::memory_order_relaxed);
+    return recent > total ? recent : total;
   }
 
-  /// Copies the induced subgraph over `vertices` out of this shard's
-  /// detector graph, for the cross-shard stitch pass: every out-edge of a
-  /// listed vertex whose destination satisfies `contains` is appended to
-  /// `edges` (global vertex ids, applied semantic weights — out-edges only,
-  /// so an edge is emitted exactly once), and `vertex_weight[i]` is raised
-  /// to this shard's prior for `vertices[i]`. Holds the detector mutex for
-  /// the scan (O(out-degree sum of the listed vertices in this shard)), so
-  /// it delays at most one in-flight apply and never touches the queue.
-  /// Benign-buffered edges are not yet in the graph; a caller wanting them
-  /// included drains first.
+  /// Drains the RECENT high-water mark (and folds it into the long-run
+  /// one): returns the highest depth observed since the previous call.
+  /// The rebalancer polls this per scan, so its skew signal measures the
+  /// current interval instead of an admission-phase peak from minutes ago.
+  std::size_t TakeRecentHighWater();
+
+  /// Zeroes both high-water marks (recent and long-run). Phase-structured
+  /// measurements (admission vs drain in ReplayThroughService) reset
+  /// between phases so the second phase's peak is not masked by the first.
+  void ResetHighWater();
+
+  /// Fraction of wall time since construction the worker spent applying
+  /// edges / retires (busy), as opposed to parked or gathering. Relaxed.
+  double BusyFraction() const;
+
+  /// Ascending pids of the partitions this worker currently owns.
+  std::vector<std::size_t> OwnedPartitions() const;
+
+  /// Per-partition applied-edge counts since the previous call
+  /// (exchange-reset under the detector mutex): the steal policy's load
+  /// signal. Pairs of {pid, edges applied}.
+  std::vector<std::pair<std::size_t, std::uint64_t>> PartitionLoads();
+
+  /// Detaches an owned partition for a move: removes it from the ownership
+  /// table (subsequent ring edges for this pid go to the forward backlog)
+  /// and republishes the snapshot without it. Returns null when this
+  /// worker does not own `pid`. The caller (the service, under its
+  /// rebalance lock) attaches the partition to its new owner and THEN
+  /// publishes the routing change.
+  std::unique_ptr<Partition> DetachPartition(std::size_t pid);
+
+  /// Attaches a partition (from DetachPartition on another worker) and
+  /// republishes the snapshot including it.
+  void AttachPartition(std::unique_ptr<Partition> partition);
+
+  /// Copies the induced subgraph over `vertices` out of every owned
+  /// partition's detector graph, for the cross-shard stitch pass: every
+  /// out-edge of a listed vertex whose destination satisfies `contains` is
+  /// appended to `edges` (global vertex ids, applied semantic weights —
+  /// out-edges only, so an edge is emitted exactly once), and
+  /// `vertex_weight[i]` is raised to this worker's prior for
+  /// `vertices[i]`. Holds the detector mutex for the scan (O(out-degree
+  /// sum of the listed vertices)), so it delays at most one in-flight
+  /// apply and never touches the queue. Benign-buffered edges are not yet
+  /// in the graph; a caller wanting them included drains first.
   void CollectInduced(std::span<const VertexId> vertices,
                       const std::function<bool(VertexId)>& contains,
                       std::vector<Edge>* edges,
                       std::vector<double>* vertex_weight) const;
 
-  /// Result of one incremental checkpoint of this shard.
+  /// Result of one incremental checkpoint of a partition.
   struct DeltaSaveInfo {
     std::uint64_t bytes = 0;   // segment file size incl. trailer
     std::size_t edges = 0;     // edge records written
     std::size_t records = 0;   // edge + flush-marker records written
   };
 
-  /// Everything needed to rebuild this shard to a checkpoint epoch: the
+  /// Everything needed to rebuild one partition to a checkpoint epoch: the
   /// already-validated base snapshot plus the validated delta chain. The
   /// caller (two-phase restore) parses and CRC-checks every file before
   /// constructing a plan, so applying one cannot half-fail on bad input.
@@ -305,6 +452,10 @@ class ShardWorker {
     std::vector<DeltaSegment> segments;  // ascending, contiguous epochs
     std::vector<Edge> window;  // base snapshot's window log (may be empty)
   };
+
+  // --- sole-partition persistence (DetectionService and single-partition
+  // fleets; fails kFailedPrecondition when the worker does not own exactly
+  // one partition) ----------------------------------------------------------
 
   /// Drains, then persists the full detector state under the detector
   /// lock. Safe to call while producers keep submitting; the snapshot is a
@@ -335,9 +486,6 @@ class ShardWorker {
   /// re-makes exactly the decisions the live one made (DESIGN.md §5), so
   /// the result is bit-identical to the detector that wrote the chain.
   /// Leaves delta tracking armed for the next incremental checkpoint.
-  /// Safe to run concurrently with other workers' RestoreChain calls (each
-  /// worker only touches its own detector), which is how the sharded
-  /// service parallelizes restore-side replay.
   Status RestoreChain(RestorePlan&& plan);
 
   /// Replays one already-validated delta segment on top of the current
@@ -351,10 +499,38 @@ class ShardWorker {
   Status ReplaySegment(const DeltaSegment& segment,
                        std::chrono::milliseconds drain_timeout);
 
-  /// Runs `fn` on the detector under the detector mutex (tests and
-  /// diagnostics: peel-state differentials, graph audits). Blocks this
-  /// shard's apply path for the duration; never touches the queue.
+  /// Runs `fn` on the sole partition's detector under the detector mutex
+  /// (tests and diagnostics). Blocks this worker's apply path for the
+  /// duration; never touches the queue.
   void InspectDetector(const std::function<void(const Spade&)>& fn) const;
+
+  // --- per-partition persistence (the sharded service's checkpoint path;
+  // fail kNotFound when this worker does not own `pid`) ---------------------
+
+  /// SaveState for one owned partition.
+  Status SavePartition(std::size_t pid, const std::string& path,
+                       bool start_delta_tracking = false);
+
+  /// SaveDelta for one owned partition (`shard` is the manifest's segment
+  /// tag — the sharded service passes the pid).
+  Status SavePartitionDelta(std::size_t pid, const std::string& path,
+                            std::uint32_t shard, std::uint64_t prev_epoch,
+                            std::uint64_t epoch,
+                            DeltaSaveInfo* info = nullptr);
+
+  /// RestoreChain for one owned partition. Safe to run concurrently with
+  /// other workers' restores (each call only touches its own worker's
+  /// detector mutex), which is how the sharded service parallelizes
+  /// restore-side replay; two partitions on the same worker serialize.
+  Status RestorePartitionChain(std::size_t pid, RestorePlan&& plan);
+
+  /// ReplaySegment for one owned partition.
+  Status ReplayPartitionSegment(std::size_t pid, const DeltaSegment& segment,
+                                std::chrono::milliseconds drain_timeout);
+
+  /// Runs `fn` on one owned partition's detector under the detector mutex.
+  Status InspectPartition(std::size_t pid,
+                          const std::function<void(const Spade&)>& fn) const;
 
  private:
   /// One handoff unit: a single inline edge (per-edge Submit pays no
@@ -432,29 +608,74 @@ class ShardWorker {
   void NotifySpaceFreed();
 
   /// The old make-exact protocol: flush + republish for a Drain waiter,
-  /// then advance the drain cursor if the ring stayed empty.
+  /// then advance the drain cursor if the ring stayed empty (and the
+  /// forward backlog is empty — a backlogged edge is not yet applied
+  /// anywhere).
   void MakeExact();
 
-  /// Appends one applied-history record (detector mutex held). Drops the
-  /// whole log and marks overflow at the cap.
-  void AppendDeltaRecord(const DeltaRecord& record);
+  /// Looks up the owned partition for an edge (detector mutex held):
+  /// partition_of_ -> pid -> ownership table, or the sole partition in
+  /// sole-partition mode. Null when this worker does not own the pid.
+  Partition* PartitionForLocked(const Edge& edge);
+
+  /// Finds an owned partition by pid (detector mutex held).
+  Partition* FindPartitionLocked(std::size_t pid);
+  const Partition* FindPartitionLocked(std::size_t pid) const;
+
+  /// Applies one edge to its owned partition, or pushes it onto the
+  /// forward backlog when the partition moved away. Fires the alert
+  /// callback (outside the lock). Returns true when applied locally.
+  bool ApplyOne(const Edge& edge);
+
+  /// Worker thread only: re-applies backlog edges whose partition came
+  /// home, forwards the rest to their current owners (accepted-prefix,
+  /// never blocking), and counts accepted edges as consumed.
+  void FlushForwardBacklog();
+
+  /// Appends one applied-history record to a partition's delta log
+  /// (detector mutex held). Drops the whole log and marks overflow at the
+  /// cap.
+  void AppendDeltaRecord(Partition& p, const DeltaRecord& record);
 
   /// Chain-replay counterpart of one retire record (detector mutex held):
   /// re-runs the deletion with the recorded applied weight and removes the
   /// matching entry from the replayed window log.
-  Status ReplayRetireLocked(const Edge& record);
+  Status ReplayRetireLocked(Partition& p, const Edge& record);
 
-  /// Re-baselines the alert filter on the current community and returns
-  /// the snapshot to publish (detector mutex held). `flushed` selects
-  /// Detect() (full restore: buffer is empty anyway) vs the non-flushing
-  /// read (chain restore: the replayed benign buffer must survive so the
-  /// restored detector keeps matching the live one).
-  std::shared_ptr<const Community> RebaselineLocked(bool flush);
+  /// Re-baselines a partition's alert filter on its current community and
+  /// stores it as the partition's cached snapshot (detector mutex held).
+  /// `flushed` selects Detect() (full restore: buffer is empty anyway) vs
+  /// the non-flushing read (chain restore: the replayed benign buffer must
+  /// survive so the restored detector keeps matching the live one).
+  void RebaselineLocked(Partition& p, bool flush);
 
-  /// Worker thread only: flushes + detects, publishes the snapshot, fires
-  /// the alert callback if the community changed. No lock held during the
-  /// callback.
-  void DetectAndPublish();
+  /// Publishes the densest community across owned partitions (detector
+  /// mutex held). An empty worker publishes an empty community.
+  void PublishArgmaxLocked();
+
+  /// Flushes + detects one partition, refreshes the published snapshot,
+  /// queues an alert if the partition's community changed (detector mutex
+  /// held; the caller fires pending alerts after unlocking).
+  void DetectAndPublish(Partition& p);
+
+  /// Moves out queued alerts (detector mutex held).
+  std::vector<std::shared_ptr<const Community>> TakePendingAlertsLocked() {
+    return std::move(pending_alerts_);
+  }
+
+  /// Requires sole-partition mode; returns the partition or null (legacy
+  /// persistence entry points).
+  Partition* SolePartitionLocked();
+
+  /// Shared bodies for the sole-partition and per-partition persistence
+  /// entry points (detector mutex held).
+  Status SavePartitionLocked(Partition& p, const std::string& path,
+                             bool start_delta_tracking);
+  Status SaveDeltaLocked(Partition& p, const std::string& path,
+                         std::uint32_t shard, std::uint64_t prev_epoch,
+                         std::uint64_t epoch, DeltaSaveInfo* info);
+  Status RestoreChainLocked(Partition& p, RestorePlan&& plan);
+  Status ReplaySegmentLocked(Partition& p, const DeltaSegment& segment);
 
   DetectionServiceOptions options_;
   FraudAlertFn on_alert_;
@@ -467,7 +688,10 @@ class ShardWorker {
   /// Edges resident in the ring (claimed budget). seq_cst where it pairs
   /// with the park/space Dekker handshakes.
   std::atomic<std::size_t> queued_edges_{0};
-  std::atomic<std::size_t> queue_hwm_{0};
+  /// High-water mark, split into a resettable recent window and a long-run
+  /// fold (see TakeRecentHighWater): ClaimBudget CAS-maxes the recent one.
+  std::atomic<std::size_t> queue_hwm_recent_{0};
+  std::atomic<std::size_t> queue_hwm_total_{0};
   /// Edges accepted (published) by Submit/SubmitBatch — the Drain target.
   std::atomic<std::uint64_t> submitted_{0};
   /// Worker is (about to be) asleep on work_cv_; producers notify only
@@ -490,29 +714,25 @@ class ShardWorker {
   std::uint64_t consumed_q_ = 0;     // mirror of consumed_ for predicates
   std::uint64_t exact_through_ = 0;  // edges reflected in an exact snapshot
 
-  // --- detector, touched only by the worker thread (or by Save/Restore
-  // while the worker is parked in its queue wait; detector_mutex_ makes
-  // that exclusion explicit and TSan-visible). Never taken by readers. ----
+  // --- partitions, touched only by the worker thread (or by Save/Restore/
+  // Detach while the worker is parked in its queue wait; detector_mutex_
+  // makes that exclusion explicit and TSan-visible). Never taken by
+  // readers. ---------------------------------------------------------------
   mutable std::mutex detector_mutex_;
-  Spade spade_;
-  std::vector<VertexId> last_reported_;
-  double last_density_ = -1.0;
-  std::size_t since_detect_ = 0;
-  std::uint64_t consumed_ = 0;  // edges taken off the queue by the worker
-  // Set by DetectAndPublish when the community changed; the worker moves it
-  // out and fires the callback after releasing detector_mutex_.
-  std::shared_ptr<const Community> pending_alert_;
-  // Applied-history log for incremental checkpoints (DESIGN.md §5): raw
-  // edges in application order plus a marker at every benign-buffer flush.
-  // Guarded by detector_mutex_ like the detector it mirrors.
-  bool delta_tracking_ = false;
-  bool delta_overflow_ = false;
-  std::vector<DeltaRecord> delta_log_;
-  // Window log (track_window only): every applied edge in arrival order,
-  // carrying its applied weight and event timestamp — exactly what a
-  // retire pass must subtract. Guarded by detector_mutex_. Bounded by the
-  // window: retire passes pop the expired prefix.
-  std::deque<Edge> window_log_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  /// pid -> owned partition (null = not owned here). Sized
+  /// total_partitions at construction.
+  std::vector<Partition*> by_pid_;
+  PartitionOfFn partition_of_;
+  ForwardFn forward_;
+  std::uint64_t consumed_ = 0;  // edges disposed of (applied or forwarded)
+  // Set by DetectAndPublish when a partition's community changed; the
+  // worker moves them out and fires callbacks after releasing
+  // detector_mutex_.
+  std::vector<std::shared_ptr<const Community>> pending_alerts_;
+  /// Worker-thread-only: edges popped off the ring for partitions this
+  /// worker no longer owns, awaiting forward to the current owner.
+  std::vector<Edge> forward_backlog_;
 
   // --- published state (lock-free readers) -------------------------------
 #if defined(SPADE_SNAPSHOT_PTR_ATOMIC)
@@ -529,8 +749,13 @@ class ShardWorker {
   std::atomic<std::uint64_t> detections_{0};
   std::atomic<std::uint64_t> retired_{0};
   std::atomic<std::uint64_t> retire_begins_{0};
+  /// Nanoseconds the worker spent in apply/retire/backlog work (vs parked
+  /// or gathering); BusyFraction divides by wall time since start_.
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::chrono::steady_clock::time_point start_;
   RetireNotifyFn on_retire_;
   BoundaryUpdateFn on_boundary_;
+  std::shared_ptr<SlabPool> slab_pool_;
 
   std::thread worker_;
 };

@@ -77,13 +77,38 @@ double AtomicAddDouble(std::atomic<double>& slot, double delta) {
 
 }  // namespace
 
+namespace {
+
+/// Worker count for a fleet of `num_partitions` detectors at
+/// `partitions_per_shard` granularity (0 counts as 1; divisibility is
+/// checked in the constructor body, after this feeds the map size).
+std::size_t WorkerCountFor(std::size_t num_partitions,
+                           std::size_t partitions_per_shard) {
+  const std::size_t pps = std::max<std::size_t>(1, partitions_per_shard);
+  return std::max<std::size_t>(1, num_partitions / pps);
+}
+
+}  // namespace
+
 ShardedDetectionService::ShardedDetectionService(
     std::vector<Spade> shards, ShardAlertFn on_alert,
     ShardedDetectionServiceOptions options)
     : options_(std::move(options)),
       on_alert_(std::move(on_alert)),
+      map_(shards.size(),
+           WorkerCountFor(shards.size(),
+                          options_.rebalance.partitions_per_shard)),
+      slab_pool_(std::make_shared<SlabPool>()),
       boundary_(std::max<std::size_t>(1, shards.size())) {
   SPADE_CHECK(!shards.empty());
+  const std::size_t pps =
+      std::max<std::size_t>(1, options_.rebalance.partitions_per_shard);
+  SPADE_CHECK(shards.size() % pps == 0);
+  const std::size_t num_partitions = shards.size();
+  const std::size_t num_workers = num_partitions / pps;
+  // Without rebalance at one partition per shard, partition == shard and
+  // every path below degenerates to the fixed-placement fleet.
+  const bool multi = options_.rebalance.enabled || pps > 1;
   if (!options_.partitioner) options_.partitioner = HashOfSourcePartitioner();
   if (!options_.partitioner.home) {
     // A partitioner supplied as a bare edge function: derive vertex homes
@@ -95,28 +120,54 @@ ShardedDetectionService::ShardedDetectionService(
         };
   }
   semantics_ = shards.front().semantics_name();
-  const std::size_t num_shards = shards.size();
+  bool has_override = false;
+  for (const auto& o : options_.stitch.pair_trigger_overrides) {
+    has_override |= o.weight > 0.0;
+  }
   const bool trigger_armed =
-      options_.stitch.trigger_weight > 0.0 && num_shards > 1;
+      (options_.stitch.trigger_weight > 0.0 || has_override) &&
+      num_partitions > 1;
   if (trigger_armed) {
-    pair_weight_ =
-        std::make_unique<std::atomic<double>[]>(num_shards * num_shards);
-    for (std::size_t i = 0; i < num_shards * num_shards; ++i) {
+    const std::size_t pairs = num_partitions * num_partitions;
+    pair_weight_ = std::make_unique<std::atomic<double>[]>(pairs);
+    pair_threshold_ = std::make_unique<double[]>(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
       pair_weight_[i].store(0.0, std::memory_order_relaxed);
+      pair_threshold_[i] = options_.stitch.trigger_weight;
+    }
+    // Overrides apply symmetrically (the accumulators are ordered pairs,
+    // the policy is not); later entries win on duplicates.
+    for (const auto& o : options_.stitch.pair_trigger_overrides) {
+      if (o.a >= num_partitions || o.b >= num_partitions || o.a == o.b) {
+        SPADE_LOG_WARNING() << "ignoring pair_trigger_override {" << o.a
+                            << ", " << o.b << "}: not a partition pair";
+        continue;
+      }
+      pair_threshold_[o.a * num_partitions + o.b] = o.weight;
+      pair_threshold_[o.b * num_partitions + o.a] = o.weight;
     }
   }
   // Workers start their threads inside the ShardWorker constructor, so the
   // boundary hook may fire while this loop is still building later shards.
-  // It must not read workers_.size(); the shard count is captured instead.
+  // It must not read workers_.size(); the partition count is captured
+  // instead.
   BoundaryUpdateFn boundary_hook;
-  if (num_shards > 1) {
-    boundary_hook = [this, num_shards](const Edge& e, double applied,
-                                       bool retired) {
-      OnBoundaryUpdate(num_shards, e, applied, retired);
+  if (num_partitions > 1) {
+    boundary_hook = [this, num_partitions](const Edge& e, double applied,
+                                           bool retired) {
+      OnBoundaryUpdate(num_partitions, e, applied, retired);
     };
   }
-  workers_.reserve(shards.size());
-  for (std::size_t i = 0; i < shards.size(); ++i) {
+  // Routing and forwarding closures read `this->map_` and
+  // `this->options_.partitioner` — both fully built before any worker
+  // exists. Null in fixed-placement mode: the worker then runs the
+  // zero-overhead sole-partition path.
+  PartitionOfFn partition_of;
+  if (multi) {
+    partition_of = [this](const Edge& e) { return PartitionOf(e); };
+  }
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
     FraudAlertFn shard_alert;
     if (on_alert_) {
       shard_alert = [this, i](const Community& c) { on_alert_(i, c); };
@@ -131,9 +182,24 @@ ShardedDetectionService::ShardedDetectionService(
       worker_options.track_window = true;
       shard_retire = [this, i](std::size_t) { OnShardRetire(i); };
     }
+    ForwardFn forward;
+    if (multi) {
+      forward = [this, i](std::span<const Edge> edges) {
+        return RouteForward(i, edges);
+      };
+    }
+    // Initial placement: partition pid lives on worker pid % num_workers
+    // (matching the PartitionMap's epoch-0 entries).
+    std::vector<ShardWorker::PartitionSeed> seeds;
+    seeds.reserve(pps);
+    for (std::size_t pid = i; pid < num_partitions; pid += num_workers) {
+      seeds.push_back(
+          ShardWorker::PartitionSeed{pid, std::move(shards[pid])});
+    }
     workers_.push_back(std::make_unique<ShardWorker>(
-        std::move(shards[i]), std::move(shard_alert), worker_options,
-        std::move(shard_retire), boundary_hook));
+        std::move(seeds), num_partitions, partition_of, std::move(forward),
+        std::move(shard_alert), worker_options, std::move(shard_retire),
+        boundary_hook, slab_pool_));
   }
   // The interval path runs for a single shard too: a stitch pass there is
   // just "publish the one shard's snapshot with provenance", which is what
@@ -142,22 +208,39 @@ ShardedDetectionService::ShardedDetectionService(
   if (options_.stitch.interval_ms > 0 || trigger_armed) {
     stitcher_ = std::thread([this] { StitcherLoop(); });
   }
+  if (options_.rebalance.enabled && options_.rebalance.interval_ms > 0) {
+    rebalancer_ = std::thread([this] { RebalancerLoop(); });
+  }
 }
 
 ShardedDetectionService::~ShardedDetectionService() { Stop(); }
 
+std::size_t ShardedDetectionService::PartitionOf(const Edge& raw_edge) const {
+  // The STABLE routing key: a partition id never changes for an edge, only
+  // the partition's owner shard does (through map_). routes_by_src_home
+  // keys on the source home so per-partition order equals per-source order.
+  return (options_.partitioner.routes_by_src_home
+              ? options_.partitioner.home(raw_edge.src)
+              : options_.partitioner.edge_key(raw_edge)) %
+         map_.num_partitions();
+}
+
 std::size_t ShardedDetectionService::ShardOf(const Edge& raw_edge) const {
-  return options_.partitioner.edge_key(raw_edge) % workers_.size();
+  return map_.ShardOf(options_.partitioner.edge_key(raw_edge) %
+                      map_.num_partitions());
 }
 
 std::size_t ShardedDetectionService::HomeShardOf(VertexId v) const {
-  return options_.partitioner.home(v) % workers_.size();
+  return map_.ShardOf(options_.partitioner.home(v) % map_.num_partitions());
 }
 
 void ShardedDetectionService::MaybeRecordBoundary(const Edge& raw_edge) {
-  if (workers_.size() == 1) return;
-  const std::size_t src_home = HomeShardOf(raw_edge.src);
-  const std::size_t dst_home = HomeShardOf(raw_edge.dst);
+  // Boundary buckets are keyed by PARTITION home, not worker: the key must
+  // be stable across partition moves or a rebalance would strand records.
+  const std::size_t n = map_.num_partitions();
+  if (n == 1) return;
+  const std::size_t src_home = options_.partitioner.home(raw_edge.src) % n;
+  const std::size_t dst_home = options_.partitioner.home(raw_edge.dst) % n;
   if (src_home != dst_home) boundary_.Record(src_home, dst_home, raw_edge);
 }
 
@@ -166,11 +249,13 @@ void ShardedDetectionService::SeedBoundaryIndex(
   for (const Edge& e : raw_edges) MaybeRecordBoundary(e);
 }
 
-void ShardedDetectionService::OnBoundaryUpdate(std::size_t num_shards,
+void ShardedDetectionService::OnBoundaryUpdate(std::size_t num_partitions,
                                                const Edge& edge,
                                                double applied, bool retired) {
-  const std::size_t src_home = options_.partitioner.home(edge.src) % num_shards;
-  const std::size_t dst_home = options_.partitioner.home(edge.dst) % num_shards;
+  const std::size_t src_home =
+      options_.partitioner.home(edge.src) % num_partitions;
+  const std::size_t dst_home =
+      options_.partitioner.home(edge.dst) % num_partitions;
   if (src_home == dst_home) return;
   if (!retired) {
     // Record at the APPLIED semantic weight (what the detector actually
@@ -178,15 +263,25 @@ void ShardedDetectionService::OnBoundaryUpdate(std::size_t num_shards,
     // index must agree with the detectors. Fired inside the worker's apply
     // critical section, strictly before the post-apply snapshot publish —
     // so a SaveState that captures the edge also captures its record.
+    // Partition-home keys make the record placement-independent: a
+    // rebalance moves detectors between workers but never renames a
+    // partition, so the bucket an edge lands in is the same before and
+    // after any number of moves.
     boundary_.Record(src_home, dst_home,
                      Edge{edge.src, edge.dst, applied, edge.ts});
   }
   if (!pair_weight_) return;
   // Insert AND retire deltas both count toward the trigger: either one
   // moves the seam's true density away from what the last pass measured.
-  std::atomic<double>& slot = pair_weight_[src_home * num_shards + dst_home];
+  std::atomic<double>& slot =
+      pair_weight_[src_home * num_partitions + dst_home];
   const double before = AtomicAddDouble(slot, std::abs(applied));
-  const double threshold = options_.stitch.trigger_weight;
+  // Per-pair override, else the fleet default (<= 0 disarms this pair:
+  // weight still accumulates for the next pass's fold, but never wakes
+  // the stitcher on its own).
+  const double threshold =
+      pair_threshold_[src_home * num_partitions + dst_home];
+  if (threshold <= 0.0) return;
   if (before < threshold && before + std::abs(applied) >= threshold) {
     stitch_triggers_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -306,11 +401,12 @@ Status ShardedDetectionService::Submit(const Edge& raw_edge) {
   // the raw-vs-applied weight mismatch for FD semantics and restores the
   // save invariant for free — an edge inside a SaveState snapshot has its
   // record written before the snapshot could have been taken.
-  const std::size_t shard =
-      options_.partitioner.routes_by_src_home
-          ? options_.partitioner.home(raw_edge.src) % n
-          : options_.partitioner.edge_key(raw_edge) % n;
-  return workers_[shard]->Submit(raw_edge);
+  //
+  // Routing is two loads: the stable partition key, then one acquire read
+  // through the lock-free partition map to the current owner. A racing
+  // rebalance can direct this edge at the just-vacated owner; the worker's
+  // apply loop notices the foreign pid and forwards it (never drops it).
+  return workers_[map_.ShardOf(PartitionOf(raw_edge))]->Submit(raw_edge);
 }
 
 Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
@@ -328,7 +424,8 @@ Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
     return s;
   }
   RouterScratch& scratch = TlsRouterScratch();
-  scratch.Partition(options_.partitioner, workers_.size(), raw_edges);
+  scratch.Partition(options_.partitioner, map_, workers_.size(), raw_edges,
+                    slab_pool_.get());
   // Boundary recording happens on the worker apply path (see Submit); the
   // batched router's only job is splitting the chunk into per-shard slabs.
   Status first_error = Status::OK();
@@ -345,32 +442,249 @@ Status ShardedDetectionService::SubmitBatch(std::span<const Edge> raw_edges,
   return first_error;
 }
 
+std::uint64_t ShardedDetectionService::TotalSubmitted() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->Submitted();
+  return total;
+}
+
 void ShardedDetectionService::Drain() {
-  for (auto& w : workers_) w->Drain();
+  // Forwarding means one pass is not enough: an edge that raced a
+  // partition move re-enters the NEW owner's queue, possibly after that
+  // worker's Drain already returned. Iterate to a fixpoint — when a full
+  // pass completes and the fleet-wide submitted count did not move, no
+  // forwarded edge is in flight anywhere.
+  for (;;) {
+    const std::uint64_t before = TotalSubmitted();
+    for (auto& w : workers_) w->Drain();
+    if (TotalSubmitted() == before) return;
+  }
 }
 
 bool ShardedDetectionService::DrainFor(std::chrono::milliseconds timeout) {
   // One shared deadline: each shard gets whatever budget remains, so the
   // total wait is bounded by `timeout` no matter how many shards lag.
+  // Same forwarded-edge fixpoint as Drain, deadline-bounded.
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  bool all = true;
-  for (auto& w : workers_) {
-    const auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            deadline - std::chrono::steady_clock::now());
-    all &= w->DrainFor(std::max(remaining, std::chrono::milliseconds(0)));
+  for (;;) {
+    const std::uint64_t before = TotalSubmitted();
+    for (auto& w : workers_) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (!w->DrainFor(std::max(remaining, std::chrono::milliseconds(0)))) {
+        return false;
+      }
+    }
+    if (TotalSubmitted() == before) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
   }
-  return all;
 }
 
 void ShardedDetectionService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(rebalancer_mutex_);
+    rebalancer_stop_ = true;
+  }
+  rebalancer_cv_.notify_all();
+  if (rebalancer_.joinable()) rebalancer_.join();
   {
     std::lock_guard<std::mutex> lock(stitcher_mutex_);
     stitcher_stop_ = true;
   }
   stitcher_cv_.notify_all();
   if (stitcher_.joinable()) stitcher_.join();
+  // Bounded settle pass: give forwarded backlogs a chance to hand off
+  // before workers stop accepting (a stopped worker rejects OfferBatch,
+  // which would strand a victim's backlog in the final flush-or-drop).
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t before = TotalSubmitted();
+    for (auto& w : workers_) w->DrainFor(std::chrono::milliseconds(50));
+    if (TotalSubmitted() == before) break;
+  }
   for (auto& w : workers_) w->Stop();
+}
+
+std::size_t ShardedDetectionService::MaxQueueDepth() const {
+  std::size_t depth = 0;
+  for (const auto& w : workers_) depth = std::max(depth, w->QueueDepth());
+  return depth;
+}
+
+void ShardedDetectionService::ResetQueueHighWater() {
+  for (auto& w : workers_) w->ResetHighWater();
+}
+
+Status ShardedDetectionService::InspectPartition(
+    std::size_t pid, const std::function<void(const Spade&)>& fn) const {
+  if (pid >= map_.num_partitions()) {
+    return Status::InvalidArgument("InspectPartition: partition " +
+                                   std::to_string(pid) + " out of range");
+  }
+  // The rebalance lock freezes placement, so the owner read here is the
+  // owner when the inspection runs (no move can slip between the two).
+  std::lock_guard<std::mutex> lock(rebalance_mutex_);
+  return workers_[map_.ShardOf(pid)]->InspectPartition(pid, fn);
+}
+
+Status ShardedDetectionService::MovePartition(std::size_t pid,
+                                              std::size_t to_shard,
+                                              bool stolen) {
+  if (!options_.rebalance.enabled) {
+    return Status::FailedPrecondition(
+        "MovePartition: rebalance is off (RebalanceOptions::enabled)");
+  }
+  if (pid >= map_.num_partitions()) {
+    return Status::InvalidArgument("MovePartition: partition " +
+                                   std::to_string(pid) + " out of range");
+  }
+  if (to_shard >= workers_.size()) {
+    return Status::InvalidArgument("MovePartition: shard " +
+                                   std::to_string(to_shard) +
+                                   " out of range");
+  }
+  std::lock_guard<std::mutex> lock(rebalance_mutex_);
+  const std::size_t from = map_.ShardOf(pid);
+  if (from == to_shard) return Status::OK();
+  // Quiesce (best effort, bounded): shrink the set of in-flight edges the
+  // thief will have to bounce back. Correctness does not depend on this —
+  // any edge still queued at the victim after the detach is forwarded by
+  // its apply loop under the new routing epoch.
+  workers_[from]->DrainFor(
+      std::chrono::milliseconds(options_.rebalance.quiesce_timeout_ms));
+  std::unique_ptr<ShardWorker::Partition> part =
+      workers_[from]->DetachPartition(pid);
+  if (part == nullptr) {
+    return Status::Internal("MovePartition: partition " +
+                            std::to_string(pid) +
+                            " not owned by its mapped shard " +
+                            std::to_string(from));
+  }
+  // Order matters: attach BEFORE publish. Between detach and publish,
+  // edges for pid still route to `from`, whose apply loop backlogs and
+  // forwards them; the forward targets map_.ShardOf(pid), which must
+  // already own the partition by the time it reads the new entry.
+  workers_[to_shard]->AttachPartition(std::move(part));
+  map_.Publish(pid, to_shard);
+  partitions_moved_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedDetectionService::RebalanceNow(std::size_t pid,
+                                             std::size_t to_shard) {
+  return MovePartition(pid, to_shard, /*stolen=*/false);
+}
+
+std::size_t ShardedDetectionService::RouteForward(
+    std::size_t from, std::span<const Edge> edges) {
+  // Called from worker `from`'s apply loop with its misrouted backlog.
+  // Non-blocking by contract: OfferBatch never parks, so two mutually
+  // forwarding workers cannot deadlock. Returns the accepted PREFIX
+  // length; the caller keeps the rest and retries next round.
+  std::size_t done = 0;
+  while (done < edges.size()) {
+    const std::size_t pid = PartitionOf(edges[done]);
+    const std::size_t target = map_.ShardOf(pid);
+    // Came home: the partition moved back while the edge sat in the
+    // backlog. Stop here — the caller re-checks ownership and applies
+    // locally (forwarding to ourselves through the ring would reorder it
+    // behind edges that arrived later).
+    if (target == from) break;
+    std::size_t run = done + 1;
+    while (run < edges.size() &&
+           map_.ShardOf(PartitionOf(edges[run])) == target) {
+      ++run;
+    }
+    const std::size_t len = run - done;
+    const std::size_t accepted =
+        workers_[target]->OfferBatch(edges.subspan(done, len));
+    done += accepted;
+    if (accepted < len) break;  // target full: stop early, keep the rest
+  }
+  if (done > 0) forwarded_edges_.fetch_add(done, std::memory_order_relaxed);
+  return done;
+}
+
+void ShardedDetectionService::RebalancerLoop() {
+  const RebalanceOptions& opt = options_.rebalance;
+  std::unique_lock<std::mutex> lock(rebalancer_mutex_);
+  while (!rebalancer_stop_) {
+    rebalancer_cv_.wait_for(lock, std::chrono::milliseconds(opt.interval_ms),
+                            [this] { return rebalancer_stop_; });
+    if (rebalancer_stop_) break;
+    lock.unlock();
+
+    // Victim/thief selection on RECENT queue high-water marks (reset each
+    // scan, so one historic burst cannot keep triggering steals forever).
+    std::size_t victim = 0, thief = 0;
+    std::size_t victim_hwm = 0;
+    std::size_t thief_hwm = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const std::size_t hwm = workers_[i]->TakeRecentHighWater();
+      if (hwm > victim_hwm) {
+        victim_hwm = hwm;
+        victim = i;
+      }
+      if (hwm < thief_hwm) {
+        thief_hwm = hwm;
+        thief = i;
+      }
+    }
+    bool moved = false;
+    const bool skewed =
+        victim != thief && victim_hwm >= opt.min_queue_depth &&
+        static_cast<double>(victim_hwm) >=
+            opt.skew_ratio *
+                static_cast<double>(std::max<std::size_t>(1, thief_hwm));
+    if (skewed) {
+      // Pick the partition whose departure best levels the pair, by
+      // recent applied-edge load. Never empty the victim completely —
+      // a single-partition worker's hot partition is not stealable
+      // (moving it just relocates the hotspot).
+      const auto victim_loads = workers_[victim]->PartitionLoads();
+      std::uint64_t thief_total = 0;
+      for (const auto& [pid, load] : workers_[thief]->PartitionLoads()) {
+        thief_total += load;
+      }
+      if (victim_loads.size() >= 2) {
+        std::uint64_t victim_total = 0;
+        for (const auto& [pid, load] : victim_loads) victim_total += load;
+        std::size_t best_pid = map_.num_partitions();
+        std::uint64_t best_peak = std::numeric_limits<std::uint64_t>::max();
+        for (const auto& [pid, load] : victim_loads) {
+          if (load == 0) continue;
+          const std::uint64_t peak =
+              std::max(victim_total - load, thief_total + load);
+          if (peak < best_peak) {
+            best_peak = peak;
+            best_pid = pid;
+          }
+        }
+        // Hysteresis: only move when the pair's projected peak load drops
+        // by at least min_improvement — otherwise thrash costs more than
+        // the imbalance.
+        if (best_pid < map_.num_partitions() && victim_total > 0 &&
+            static_cast<double>(victim_total) - static_cast<double>(best_peak) >=
+                opt.min_improvement * static_cast<double>(victim_total)) {
+          const Status s = MovePartition(best_pid, thief, /*stolen=*/true);
+          if (!s.ok()) {
+            SPADE_LOG_WARNING()
+                << "rebalancer: steal of partition " << best_pid
+                << " for shard " << thief << " failed: " << s.ToString();
+          }
+          moved = s.ok();
+        }
+      }
+    }
+    lock.lock();
+    if (moved && opt.cooldown_ms > 0) {
+      // Post-move cooldown: let the new placement's queue stats settle
+      // before judging skew again.
+      rebalancer_cv_.wait_for(lock, std::chrono::milliseconds(opt.cooldown_ms),
+                              [this] { return rebalancer_stop_; });
+    }
+  }
 }
 
 std::pair<std::size_t, std::shared_ptr<const Community>>
@@ -467,7 +781,8 @@ GlobalCommunity ShardedDetectionService::StitchPass(bool unbounded_seam) {
     // spurious wakeup — the safe side of the race. Zeroing after the fold
     // would lose that weight and could leave a crossed threshold unseen.
     if (pair_weight_) {
-      const std::size_t pairs = workers_.size() * workers_.size();
+      const std::size_t pairs =
+          map_.num_partitions() * map_.num_partitions();
       for (std::size_t i = 0; i < pairs; ++i) {
         pair_weight_[i].exchange(0.0, std::memory_order_relaxed);
       }
@@ -501,7 +816,7 @@ GlobalCommunity ShardedDetectionService::StitchPass(bool unbounded_seam) {
     // to expire.
     const Timestamp evict_to =
         pending_evict_horizon_.load(std::memory_order_relaxed);
-    if (evict_to > 0 && workers_.size() > 1) {
+    if (evict_to > 0 && map_.num_partitions() > 1) {
       boundary_.EvictOlderThan(evict_to, stitch_cursor_, &boundary_weight_);
     }
 
@@ -526,7 +841,7 @@ GlobalCommunity ShardedDetectionService::StitchPass(bool unbounded_seam) {
       if (!snap) continue;
       seam_set.insert(snap->members.begin(), snap->members.end());
     }
-    if (workers_.size() > 1) {
+    if (map_.num_partitions() > 1) {
       boundary_.FoldNewEdges(&stitch_cursor_, &boundary_weight_);
       // Freshness bookmark: everything recorded up to here is now inside
       // the seam aggregate; the live counter minus this snapshot is how
@@ -592,9 +907,17 @@ GlobalCommunity ShardedDetectionService::StitchPass(bool unbounded_seam) {
     const auto contains = [&local_id](VertexId v) {
       return local_id.count(v) != 0;
     };
-    for (const auto& worker : workers_) {
-      worker->CollectInduced(seam, contains, &seam_edges,
-                             &seam_vertex_weight);
+    {
+      // Freeze placement for the gather: each partition's edges must be
+      // scanned exactly once, and a concurrent move could otherwise hand a
+      // partition from an already-visited worker to a not-yet-visited one
+      // (double count) or the reverse (miss). Lock order stitch_mutex_ >
+      // rebalance_mutex_ matches MovePartition, which never stitches.
+      std::lock_guard<std::mutex> rebalance_lock(rebalance_mutex_);
+      for (const auto& worker : workers_) {
+        worker->CollectInduced(seam, contains, &seam_edges,
+                               &seam_vertex_weight);
+      }
     }
     result.seam_vertices = seam.size();
     result.seam_edges = seam_edges.size();
@@ -743,7 +1066,13 @@ ShardedServiceStats ShardedDetectionService::GetStats() const {
     stats.shard_detections.push_back(w->DetectionsRun());
     stats.shard_queue_depth.push_back(w->QueueDepth());
     stats.shard_queue_hwm.push_back(w->QueueDepthHighWater());
+    stats.shard_busy_fraction.push_back(w->BusyFraction());
+    stats.shard_partitions.push_back(w->OwnedPartitions().size());
   }
+  stats.num_partitions = map_.num_partitions();
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.partitions_moved = partitions_moved_.load(std::memory_order_relaxed);
+  stats.forwarded_edges = forwarded_edges_.load(std::memory_order_relaxed);
   stats.boundary_edges = boundary_.TotalEdges();
   stats.stitch_passes = stitch_passes_.load(std::memory_order_relaxed);
   stats.stitched_alerts = stitched_alerts_.load(std::memory_order_relaxed);
@@ -878,27 +1207,47 @@ Status ShardedDetectionService::SaveFull(const std::string& dir,
   // chain whose on-disk tail may not exist.
   chain_dir_.clear();
 
+  // Placement freeze: no partition may change owner between "which worker
+  // saves pid" below and the placement rows recorded in the manifest, or
+  // the manifest would describe a fleet that never existed.
+  std::lock_guard<std::mutex> rebalance_lock(rebalance_mutex_);
+
+  const std::size_t num_partitions = map_.num_partitions();
   ShardManifest manifest;
-  manifest.num_shards = static_cast<std::uint32_t>(workers_.size());
+  // Checkpoint files are per PARTITION (the stable unit); `num_shards` in
+  // the manifest is the partition count, which equals the worker count for
+  // every fleet built before rebalancing existed — old directories restore
+  // unchanged.
+  manifest.num_shards = static_cast<std::uint32_t>(num_partitions);
   manifest.semantics = semantics_;
   manifest.epoch = epoch;
   manifest.base_epoch = epoch;
-  manifest.files.reserve(workers_.size());
+  manifest.files.reserve(num_partitions);
   std::uint64_t bytes = 0;
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
+  for (std::size_t pid = 0; pid < num_partitions; ++pid) {
     // Epoch-stamped names, never reused: a crash between these renames
     // and the manifest write leaves the PREVIOUS manifest in charge, and
     // that manifest must keep referencing its own (untouched) bases — a
     // shared name would let it silently replay its delta chain onto this
     // newer base (every CRC valid, a state no checkpoint ever held).
-    const std::string name = ShardSnapshotFileName(i, epoch);
+    const std::string name = ShardSnapshotFileName(pid, epoch);
     const std::string path = JoinPath(dir, name);
-    // A full save is the checkpoint baseline: it arms per-worker delta
+    // A full save is the checkpoint baseline: it arms per-partition delta
     // tracking so the next save can be incremental.
-    SPADE_RETURN_NOT_OK(
-        workers_[i]->SaveState(path, /*start_delta_tracking=*/true));
+    SPADE_RETURN_NOT_OK(workers_[map_.ShardOf(pid)]->SavePartition(
+        pid, path, /*start_delta_tracking=*/true));
     bytes += FileSizeOrZero(path);
     manifest.files.push_back(name);
+  }
+  // Sparse placement rows: only partitions living away from their default
+  // worker (pid % num_workers) are recorded, so a never-rebalanced fleet
+  // writes a byte-identical manifest to the pre-rebalance format.
+  for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+    const std::size_t shard = map_.ShardOf(pid);
+    if (shard != pid % workers_.size()) {
+      manifest.placement.push_back({static_cast<std::uint32_t>(pid),
+                                    static_cast<std::uint32_t>(shard)});
+    }
   }
   manifest.boundary_file = BoundaryIndexFileName(epoch);
   const std::string boundary_path = JoinPath(dir, manifest.boundary_file);
@@ -934,20 +1283,35 @@ Status ShardedDetectionService::SaveFull(const std::string& dir,
 
 Status ShardedDetectionService::SaveDeltaEpoch(const std::string& dir,
                                                SaveInfo* info) {
+  std::lock_guard<std::mutex> rebalance_lock(rebalance_mutex_);
+  const std::size_t num_partitions = map_.num_partitions();
   const std::uint64_t epoch = chain_.epoch + 1;
   ShardManifest manifest = chain_;  // extend the cached chain
   std::uint64_t bytes = 0;
   std::size_t delta_edges = 0;
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    const std::string name = ShardDeltaFileName(i, epoch);
+  for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+    const std::string name = ShardDeltaFileName(pid, epoch);
     ShardWorker::DeltaSaveInfo shard_info;
-    SPADE_RETURN_NOT_OK(workers_[i]->SaveDelta(
-        JoinPath(dir, name), static_cast<std::uint32_t>(i), chain_.epoch,
-        epoch, &shard_info));
+    // The segment tag is the PARTITION id — segments follow the partition
+    // across moves, so a chain saved under three different placements
+    // still validates and replays as one per-partition history.
+    SPADE_RETURN_NOT_OK(workers_[map_.ShardOf(pid)]->SavePartitionDelta(
+        pid, JoinPath(dir, name), static_cast<std::uint32_t>(pid),
+        chain_.epoch, epoch, &shard_info));
     bytes += shard_info.bytes;
     delta_edges += shard_info.edges;
     manifest.deltas.push_back(
-        {epoch, static_cast<std::uint32_t>(i), name});
+        {epoch, static_cast<std::uint32_t>(pid), name});
+  }
+  // Refresh the placement rows: the manifest must describe the fleet at
+  // ITS epoch, and partitions may have moved since the base was written.
+  manifest.placement.clear();
+  for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+    const std::size_t shard = map_.ShardOf(pid);
+    if (shard != pid % workers_.size()) {
+      manifest.placement.push_back({static_cast<std::uint32_t>(pid),
+                                    static_cast<std::uint32_t>(shard)});
+    }
   }
   const std::string tail_name = BoundaryTailFileName(epoch);
   std::uint64_t tail_bytes = 0;
@@ -1051,12 +1415,41 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
                                              RestoreInfo* info) {
   std::lock_guard<std::mutex> save_lock(save_mutex_);
   const auto restore_start = std::chrono::steady_clock::now();
+  const std::size_t num_partitions = map_.num_partitions();
   ShardManifest manifest;
   SPADE_RETURN_NOT_OK(ReadShardManifest(dir, &manifest));
-  if (manifest.num_shards != workers_.size()) {
+  if (manifest.num_shards != num_partitions) {
     return Status::FailedPrecondition(
         "sharded snapshot has " + std::to_string(manifest.num_shards) +
-        " shards but the service has " + std::to_string(workers_.size()));
+        " partitions but the service has " +
+        std::to_string(num_partitions));
+  }
+  // Resolve the checkpoint's placement: default home unless a sparse
+  // placement row overrides it. A placement that the fixed fleet cannot
+  // hold is rejected up front (Phase 1 has no side effects yet).
+  std::vector<std::size_t> target_shard(num_partitions);
+  for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+    target_shard[pid] = pid % workers_.size();
+  }
+  for (const auto& [pid, shard] : manifest.placement) {
+    if (pid >= num_partitions || shard >= workers_.size()) {
+      return Status::FailedPrecondition(
+          "sharded snapshot places partition " + std::to_string(pid) +
+          " on shard " + std::to_string(shard) +
+          ", outside this service's fleet");
+    }
+    target_shard[pid] = shard;
+  }
+  if (!options_.rebalance.enabled) {
+    for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+      if (target_shard[pid] != pid % workers_.size()) {
+        return Status::FailedPrecondition(
+            "snapshot was taken mid-rebalance (partition " +
+            std::to_string(pid) + " on shard " +
+            std::to_string(target_shard[pid]) +
+            ") but this service has rebalancing off");
+      }
+    }
   }
 
   const std::uint64_t manifest_epoch = manifest.epoch;
@@ -1064,18 +1457,18 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
   // ---- Phase 1: parse + CRC-check every file, no side effects. ----------
   // Bases first: a torn base is unrecoverable (fail cleanly, leaving the
   // running fleet untouched).
-  std::vector<ShardWorker::RestorePlan> plans(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    SPADE_RETURN_NOT_OK(LoadSnapshot(JoinPath(dir, manifest.files[i]),
-                                     &plans[i].graph, &plans[i].state,
-                                     &plans[i].state_present));
+  std::vector<ShardWorker::RestorePlan> plans(num_partitions);
+  for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+    SPADE_RETURN_NOT_OK(LoadSnapshot(JoinPath(dir, manifest.files[pid]),
+                                     &plans[pid].graph, &plans[pid].state,
+                                     &plans[pid].state_present));
   }
   BoundaryEdgeIndex::FileData boundary_base;
   const bool has_boundary = !manifest.boundary_file.empty();
   if (has_boundary) {
     SPADE_RETURN_NOT_OK(
         BoundaryEdgeIndex::ReadFile(JoinPath(dir, manifest.boundary_file),
-                                    workers_.size(), &boundary_base));
+                                    num_partitions, &boundary_base));
   }
   // Chain epochs, oldest first: stop at the first epoch with any torn or
   // corrupt file. Everything before it is durable by construction (those
@@ -1085,23 +1478,24 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
   std::uint64_t restored_epoch = manifest.base_epoch;
   std::size_t delta_edges = 0;
   for (std::uint64_t e = manifest.base_epoch + 1; e <= manifest.epoch; ++e) {
-    std::vector<DeltaSegment> epoch_segments(workers_.size());
+    std::vector<DeltaSegment> epoch_segments(num_partitions);
     bool epoch_ok = true;
-    for (std::size_t i = 0; i < workers_.size() && epoch_ok; ++i) {
+    for (std::size_t pid = 0; pid < num_partitions && epoch_ok; ++pid) {
       const DeltaSegmentRef& ref =
-          manifest.deltas[(e - manifest.base_epoch - 1) * workers_.size() + i];
+          manifest
+              .deltas[(e - manifest.base_epoch - 1) * num_partitions + pid];
       DeltaSegment segment;
       const Status s = ReadDeltaSegment(JoinPath(dir, ref.file), &segment);
-      epoch_ok = s.ok() && segment.shard == i && segment.epoch == e &&
+      epoch_ok = s.ok() && segment.shard == pid && segment.epoch == e &&
                  segment.prev_epoch == e - 1;
-      if (epoch_ok) epoch_segments[i] = std::move(segment);
+      if (epoch_ok) epoch_segments[pid] = std::move(segment);
     }
     BoundaryEdgeIndex::FileData tail;
     if (epoch_ok && has_boundary) {
       const BoundaryTailRef& ref =
           manifest.boundary_tails[e - manifest.base_epoch - 1];
       epoch_ok = BoundaryEdgeIndex::ReadTailFile(JoinPath(dir, ref.file),
-                                                 workers_.size(), e, &tail)
+                                                 num_partitions, e, &tail)
                      .ok();
     }
     if (!epoch_ok) {
@@ -1109,9 +1503,9 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
                           << "; recovering to durable epoch " << (e - 1);
       break;
     }
-    for (std::size_t i = 0; i < workers_.size(); ++i) {
-      delta_edges += epoch_segments[i].NumEdges();
-      plans[i].segments.push_back(std::move(epoch_segments[i]));
+    for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+      delta_edges += epoch_segments[pid].NumEdges();
+      plans[pid].segments.push_back(std::move(epoch_segments[pid]));
     }
     if (has_boundary) tails.push_back(std::move(tail));
     restored_epoch = e;
@@ -1132,31 +1526,53 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
     stitched_alerts_.store(0, std::memory_order_relaxed);
   }
   // Chain replay is the dominant restore cost (it re-applies every delta
-  // edge through the full reorder path), and each shard's plan touches
-  // only that shard's detector — so replay shard chains in parallel, one
-  // thread per shard by default. The result is bit-identical to a serial
-  // replay (restore_threads = 1): nothing is shared between the replays.
+  // edge through the full reorder path), and each partition's plan touches
+  // only its owner's detector — so replay partition chains in parallel.
+  // Two partitions on the same worker serialize on its detector mutex; the
+  // result is bit-identical to a serial replay (restore_threads = 1)
+  // because nothing else is shared between the replays.
   {
+    // Placement install + replay run under one rebalance hold: a steal
+    // landing between "move pid to its checkpoint shard" and "replay pid
+    // there" would replay into the wrong worker (kNotFound).
+    std::lock_guard<std::mutex> rebalance_lock(rebalance_mutex_);
+    for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+      const std::size_t from = map_.ShardOf(pid);
+      if (from == target_shard[pid]) continue;
+      std::unique_ptr<ShardWorker::Partition> part =
+          workers_[from]->DetachPartition(pid);
+      if (part == nullptr) {
+        return Status::Internal(
+            "RestoreState: partition " + std::to_string(pid) +
+            " not owned by its mapped shard " + std::to_string(from));
+      }
+      workers_[target_shard[pid]]->AttachPartition(std::move(part));
+      map_.Publish(pid, target_shard[pid]);
+    }
     const std::size_t pool =
         options_.restore_threads == 0
-            ? workers_.size()
-            : std::min(options_.restore_threads, workers_.size());
-    std::vector<Status> statuses(workers_.size(), Status::OK());
+            ? std::min(workers_.size(), num_partitions)
+            : std::min(options_.restore_threads, num_partitions);
+    std::vector<Status> statuses(num_partitions, Status::OK());
     if (pool <= 1) {
-      for (std::size_t i = 0; i < workers_.size(); ++i) {
-        statuses[i] = workers_[i]->RestoreChain(std::move(plans[i]));
+      for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+        statuses[pid] = workers_[map_.ShardOf(pid)]->RestorePartitionChain(
+            pid, std::move(plans[pid]));
       }
     } else {
       std::atomic<std::size_t> next{0};
       std::vector<std::thread> threads;
       threads.reserve(pool);
       for (std::size_t t = 0; t < pool; ++t) {
-        threads.emplace_back([this, &next, &plans, &statuses] {
+        threads.emplace_back([this, num_partitions, &next, &plans,
+                              &statuses] {
           for (;;) {
-            const std::size_t i =
+            const std::size_t pid =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= workers_.size()) break;
-            statuses[i] = workers_[i]->RestoreChain(std::move(plans[i]));
+            if (pid >= num_partitions) break;
+            statuses[pid] =
+                workers_[map_.ShardOf(pid)]->RestorePartitionChain(
+                    pid, std::move(plans[pid]));
           }
         });
       }
@@ -1192,7 +1608,7 @@ Status ShardedDetectionService::RestoreState(const std::string& dir,
       // epochs' files are dead and will be overwritten or GC'd.
       chain_.epoch = restored_epoch;
       chain_.deltas.resize((restored_epoch - chain_.base_epoch) *
-                           workers_.size());
+                           num_partitions);
       if (has_boundary) {
         chain_.boundary_tails.resize(restored_epoch - chain_.base_epoch);
       }
@@ -1234,13 +1650,15 @@ Status ShardedDetectionService::ApplyChainEpoch(
     std::chrono::milliseconds drain_timeout,
     std::uint64_t* edges_replayed) {
   std::lock_guard<std::mutex> save_lock(save_mutex_);
+  const std::size_t num_partitions = map_.num_partitions();
   ShardManifest manifest;
   SPADE_RETURN_NOT_OK(ReadShardManifest(dir, &manifest));
-  if (manifest.num_shards != workers_.size()) {
+  if (manifest.num_shards != num_partitions) {
     return Status::FailedPrecondition(
         "ApplyChainEpoch: snapshot has " +
-        std::to_string(manifest.num_shards) + " shards but the service has " +
-        std::to_string(workers_.size()));
+        std::to_string(manifest.num_shards) +
+        " partitions but the service has " +
+        std::to_string(num_partitions));
   }
   if (target_epoch <= manifest.base_epoch || target_epoch > manifest.epoch) {
     return Status::OutOfRange(
@@ -1253,35 +1671,41 @@ Status ShardedDetectionService::ApplyChainEpoch(
   // ---- Phase 1: parse + CRC-check the epoch's files, no side effects. ----
   const std::size_t epoch_row =
       static_cast<std::size_t>(target_epoch - manifest.base_epoch - 1);
-  std::vector<DeltaSegment> segments(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
+  std::vector<DeltaSegment> segments(num_partitions);
+  for (std::size_t pid = 0; pid < num_partitions; ++pid) {
     const DeltaSegmentRef& ref =
-        manifest.deltas[epoch_row * workers_.size() + i];
+        manifest.deltas[epoch_row * num_partitions + pid];
     DeltaSegment segment;
     SPADE_RETURN_NOT_OK(ReadDeltaSegment(JoinPath(dir, ref.file), &segment));
-    if (segment.shard != i || segment.epoch != target_epoch ||
+    if (segment.shard != pid || segment.epoch != target_epoch ||
         segment.prev_epoch != target_epoch - 1) {
-      return Status::IOError("ApplyChainEpoch: segment " + ref.file +
-                             " does not advance shard " + std::to_string(i) +
-                             " from epoch " +
-                             std::to_string(target_epoch - 1));
+      return Status::IOError(
+          "ApplyChainEpoch: segment " + ref.file +
+          " does not advance partition " + std::to_string(pid) +
+          " from epoch " + std::to_string(target_epoch - 1));
     }
-    segments[i] = std::move(segment);
+    segments[pid] = std::move(segment);
   }
   const bool has_boundary = !manifest.boundary_file.empty();
   BoundaryEdgeIndex::FileData tail;
   if (has_boundary) {
     const BoundaryTailRef& ref = manifest.boundary_tails[epoch_row];
     SPADE_RETURN_NOT_OK(BoundaryEdgeIndex::ReadTailFile(
-        JoinPath(dir, ref.file), workers_.size(), target_epoch, &tail));
+        JoinPath(dir, ref.file), num_partitions, target_epoch, &tail));
   }
 
   // ---- Phase 2: replay. Everything below passed validation. -------------
   std::uint64_t replayed = 0;
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    replayed += segments[i].NumEdges();
-    SPADE_RETURN_NOT_OK(workers_[i]->ReplaySegment(segments[i],
-                                                   drain_timeout));
+  {
+    // Placement freeze: the owner looked up for each segment must still
+    // own the partition when the replay runs on it.
+    std::lock_guard<std::mutex> rebalance_lock(rebalance_mutex_);
+    for (std::size_t pid = 0; pid < num_partitions; ++pid) {
+      replayed += segments[pid].NumEdges();
+      SPADE_RETURN_NOT_OK(
+          workers_[map_.ShardOf(pid)]->ReplayPartitionSegment(
+              pid, segments[pid], drain_timeout));
+    }
   }
   {
     std::lock_guard<std::mutex> stitch_lock(stitch_mutex_);

@@ -52,10 +52,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/slab_pool.h"
 #include "common/status.h"
 #include "core/spade.h"
 #include "graph/types.h"
 #include "service/boundary_index.h"
+#include "service/partition_map.h"
 #include "service/shard_worker.h"
 #include "storage/sharded_snapshot.h"
 
@@ -163,8 +165,57 @@ struct StitchOptions {
   /// keeping resident boundary memory O(boundary vertices). On by
   /// default; the bench A/Bs it off to measure the saving.
   bool compact_boundary = true;
+  /// Per-pair trigger threshold override: the unordered partition pair
+  /// {a, b} wakes the stitcher at `weight` instead of the fleet-wide
+  /// trigger_weight. A hot pair (e.g. one the rebalancer keeps moving)
+  /// can stitch more eagerly than the fleet default without lowering the
+  /// threshold everywhere. `weight` <= 0 disables triggering for the pair.
+  struct PairTriggerOverride {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    double weight = 0.0;
+  };
+  /// Overrides applied on top of trigger_weight (later entries win on
+  /// duplicate pairs). Any override > 0 arms the event-driven stitcher
+  /// even when trigger_weight == 0.
+  std::vector<PairTriggerOverride> pair_trigger_overrides;
   /// Stitched-detection alerts (see StitchAlertFn).
   StitchAlertFn on_stitch_alert;
+};
+
+/// Work-stealing rebalance policy (DESIGN.md §10). Off by default: with
+/// `enabled` false and `partitions_per_shard` 1 the service behaves (and
+/// persists) exactly as a fixed-placement fleet.
+struct RebalanceOptions {
+  /// Detector partitions per worker. The constructor's `shards` vector has
+  /// one detector per PARTITION; the worker count is
+  /// shards.size() / partitions_per_shard (must divide evenly). More
+  /// partitions per shard = finer-grained steals, at the cost of one
+  /// routing-table entry and one detector per partition.
+  std::size_t partitions_per_shard = 1;
+  /// Master switch for partition moves (the rebalancer thread AND manual
+  /// RebalanceNow). When false partitions never move, so no edge is ever
+  /// forwarded.
+  bool enabled = false;
+  /// Rebalancer scan period; 0 = no background rebalancer (manual
+  /// RebalanceNow only).
+  std::uint32_t interval_ms = 0;
+  /// Steal when the loaded worker's recent queue high-water exceeds
+  /// skew_ratio x the idlest worker's.
+  double skew_ratio = 4.0;
+  /// ... and that high-water is at least this deep (don't shuffle
+  /// partitions over noise).
+  std::size_t min_queue_depth = 512;
+  /// ... and moving the chosen partition shrinks the victim-vs-thief load
+  /// gap by at least this fraction (hysteresis against ping-ponging a
+  /// partition between two workers).
+  double min_improvement = 0.15;
+  /// Minimum wait between moves.
+  std::uint32_t cooldown_ms = 200;
+  /// Best-effort drain of the victim before detaching (bounds how many
+  /// in-flight edges the move turns into forwards; the protocol is correct
+  /// at 0, just chattier).
+  std::uint32_t quiesce_timeout_ms = 5;
 };
 
 /// Sliding-window expiry policy. With `span > 0` every shard keeps a
@@ -222,6 +273,8 @@ struct ShardedDetectionServiceOptions {
   /// the replays are independent and bit-identical to a serial restore),
   /// 1 = serial, n = capped worker pool.
   std::size_t restore_threads = 0;
+  /// Work-stealing rebalance (partition granularity, steal policy).
+  RebalanceOptions rebalance;
 };
 
 /// Merged + per-shard service counters. All reads are lock-free (queue
@@ -250,15 +303,30 @@ struct ShardedServiceStats {
   std::size_t boundary_resident_bytes = 0;
   /// Edges removed by window expiry across all shards (0 when window off).
   std::uint64_t retired_edges = 0;
+  /// Detector partitions in the fleet (== num_shards unless
+  /// partitions_per_shard > 1).
+  std::size_t num_partitions = 0;
+  /// Partition moves initiated by the background rebalancer's steal policy.
+  std::uint64_t steals = 0;
+  /// All partition moves (steals + manual RebalanceNow calls).
+  std::uint64_t partitions_moved = 0;
+  /// Edges that arrived at a stale owner after a move and were re-submitted
+  /// to the current owner (each counted once per successful forward hop).
+  std::uint64_t forwarded_edges = 0;
   std::vector<std::uint64_t> shard_edges;
   std::vector<std::uint64_t> shard_alerts;
   std::vector<std::uint64_t> shard_retired;
   std::vector<std::uint64_t> shard_detections;
   std::vector<std::size_t> shard_queue_depth;
-  /// Highest queue depth each shard ever reached (never resets): the
-  /// handoff-pressure gauge — a high-water mark near max_queue means
-  /// producers outran that shard.
+  /// Highest queue depth each shard reached since the last
+  /// ResetQueueHighWater() (or ever): the handoff-pressure gauge — a
+  /// high-water mark near max_queue means producers outran that shard.
   std::vector<std::size_t> shard_queue_hwm;
+  /// Fraction of wall time each worker spent applying edges (vs parked):
+  /// the skew gauge the steal policy acts on.
+  std::vector<double> shard_busy_fraction;
+  /// Partitions each worker currently owns.
+  std::vector<std::size_t> shard_partitions;
 };
 
 /// Partition-parallel streaming front-end over N Spade detectors.
@@ -272,9 +340,12 @@ class ShardedDetectionService {
     kStitched,
   };
 
-  /// Takes ownership of one fully built detector per shard (all built with
-  /// the same semantics; each should hold its partition's initial graph).
-  /// Workers start immediately.
+  /// Takes ownership of one fully built detector per PARTITION (all built
+  /// with the same semantics; each should hold its partition's initial
+  /// graph). With the default RebalanceOptions a partition is a shard and
+  /// this is one detector per shard; with partitions_per_shard = k the
+  /// fleet runs shards.size() / k workers and partition pid starts on
+  /// worker pid % num_shards. Workers start immediately.
   ShardedDetectionService(std::vector<Spade> shards, ShardAlertFn on_alert,
                           ShardedDetectionServiceOptions options = {});
 
@@ -285,6 +356,16 @@ class ShardedDetectionService {
   ShardedDetectionService& operator=(const ShardedDetectionService&) = delete;
 
   std::size_t num_shards() const { return workers_.size(); }
+
+  /// Detector partitions in the fleet (>= num_shards; the routing
+  /// granularity and the unit of rebalance).
+  std::size_t num_partitions() const { return map_.num_partitions(); }
+
+  /// Worker currently owning partition `pid` (lock-free; advisory under a
+  /// concurrent move).
+  std::size_t PartitionShard(std::size_t pid) const {
+    return map_.ShardOf(pid);
+  }
 
   /// Routes the edge to its shard and enqueues it; callable from any
   /// thread. Per-shard FIFO order is preserved per producer thread. An
@@ -372,9 +453,25 @@ class ShardedDetectionService {
 
   /// Runs `fn` on one shard's detector under its detector mutex (tests and
   /// diagnostics: peel-state differentials, graph audits). Blocks that
-  /// shard's apply path for the duration.
+  /// shard's apply path for the duration. With partitions_per_shard > 1 the
+  /// shard's FIRST owned partition is inspected; use InspectPartition for a
+  /// specific one.
   void InspectShard(std::size_t shard,
                     const std::function<void(const Spade&)>& fn) const;
+
+  /// Runs `fn` on one partition's detector, wherever it currently lives
+  /// (takes the rebalance lock so the partition cannot move mid-inspect).
+  Status InspectPartition(std::size_t pid,
+                          const std::function<void(const Spade&)>& fn) const;
+
+  /// Moves partition `pid` to worker `to_shard` at a drain boundary: the
+  /// current owner is (best-effort) quiesced, the partition detaches,
+  /// attaches to the target, and the routing entry republishes with a
+  /// bumped epoch. Edges routed under the old entry are forwarded by the
+  /// old owner — none lost, none double-applied. Fails with
+  /// kFailedPrecondition unless RebalanceOptions::enabled; concurrent moves
+  /// serialize. A no-op (OK) when `pid` already lives on `to_shard`.
+  Status RebalanceNow(std::size_t pid, std::size_t to_shard);
 
   /// The workers' cross-shard edge record (tests and diagnostics).
   const BoundaryEdgeIndex& boundary_index() const { return boundary_; }
@@ -405,6 +502,15 @@ class ShardedDetectionService {
   ShardedServiceStats GetStats() const;
   std::uint64_t EdgesProcessed() const;
   std::uint64_t AlertsDelivered() const;
+
+  /// Deepest current queue across the shards (relaxed reads). Adaptive
+  /// producers use it to size their next chunk.
+  std::size_t MaxQueueDepth() const;
+
+  /// Zeroes every shard's queue high-water mark. Phase-structured
+  /// measurements (admission vs drain) reset between phases so the second
+  /// phase's peak is not masked by the first's.
+  void ResetQueueHighWater();
 
   /// Checkpoint flavor for SaveState.
   enum class SaveMode {
@@ -509,11 +615,37 @@ class ShardedDetectionService {
 
   /// Worker-side boundary hook body (BoundaryUpdateFn): records applied
   /// cross-home edges into the index at their applied weight and feeds the
-  /// trigger accumulators. `num_shards` is captured, not read from
-  /// workers_ — workers start (and may call this) while the constructor is
-  /// still building later shards.
-  void OnBoundaryUpdate(std::size_t num_shards, const Edge& edge,
+  /// trigger accumulators. Keyed by partition home (pid), NOT by current
+  /// owner shard, so boundary records survive partition moves.
+  /// `num_partitions` is captured, not read from members — workers start
+  /// (and may call this) while the constructor is still building later
+  /// shards.
+  void OnBoundaryUpdate(std::size_t num_partitions, const Edge& edge,
                         double applied, bool retired);
+
+  /// The stable partition id of an edge (edge_key or source home, modulo
+  /// num_partitions).
+  std::size_t PartitionOf(const Edge& raw_edge) const;
+
+  /// ForwardFn body for worker `from`: re-submits edges whose partitions
+  /// moved away to their current owners via the never-blocking OfferBatch.
+  /// Returns the accepted prefix length; stops early at the first edge
+  /// whose partition came back home (`from` re-applies it locally).
+  std::size_t RouteForward(std::size_t from, std::span<const Edge> edges);
+
+  /// Shared body of RebalanceNow and the rebalancer's steals (takes
+  /// rebalance_mutex_). `stolen` tags the steals counter.
+  Status MovePartition(std::size_t pid, std::size_t to_shard, bool stolen);
+
+  /// Background steal loop (started when rebalance.enabled and
+  /// rebalance.interval_ms > 0).
+  void RebalancerLoop();
+
+  /// Sum of every worker's accepted-edge counter; stable across two reads
+  /// with no concurrent producers, which is what Drain's fixpoint loop
+  /// needs (a forwarded edge re-enters a queue AFTER the victim's Drain
+  /// returned, so one pass over the workers is not enough).
+  std::uint64_t TotalSubmitted() const;
 
   /// Window-mode submit hook: CAS-max the watermark over `ts` and, when it
   /// has advanced a full stride past the last automatic horizon, enqueue a
@@ -540,8 +672,27 @@ class ShardedDetectionService {
   ShardedDetectionServiceOptions options_;
   ShardAlertFn on_alert_;  // outlives the workers (declared first)
   std::string semantics_;
+  /// Partition -> current owner shard (lock-free reads on every Submit;
+  /// declared before workers_ so forward closures can capture it safely).
+  PartitionMap map_;
+  /// Recycles consumed batch slabs back to the batched router.
+  std::shared_ptr<SlabPool> slab_pool_;
   std::vector<std::unique_ptr<ShardWorker>> workers_;
   BoundaryEdgeIndex boundary_;
+
+  // --- rebalance state ---------------------------------------------------
+  /// Serializes partition moves (and excludes them from checkpoints and
+  /// stitch gathers: Save*/StitchPass hold it so placement is frozen while
+  /// they read multiple workers). Ordered AFTER save_mutex_ and
+  /// stitch_mutex_: those paths acquire it, never the reverse.
+  mutable std::mutex rebalance_mutex_;
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> partitions_moved_{0};
+  std::atomic<std::uint64_t> forwarded_edges_{0};
+  std::mutex rebalancer_mutex_;
+  std::condition_variable rebalancer_cv_;
+  bool rebalancer_stop_ = false;
+  std::thread rebalancer_;
 
   // --- checkpoint chain state (guarded by save_mutex_; Save/Restore
   // serialize against each other, never against producers or readers) ----
@@ -594,9 +745,15 @@ class ShardedDetectionService {
   std::atomic<std::uint64_t> folded_recorded_{0};
 
   // --- trigger accumulators (written from worker apply paths; one atomic
-  // double per ordered shard pair, CAS-add — allocated only when
-  // stitch.trigger_weight > 0 and the fleet has > 1 shard) ----------------
+  // double per ordered PARTITION pair, CAS-add — allocated only when the
+  // trigger is armed: fleet-wide trigger_weight > 0 or any per-pair
+  // override > 0, and the fleet has > 1 partition) ------------------------
   std::unique_ptr<std::atomic<double>[]> pair_weight_;
+  /// Per-ordered-pair wake threshold: trigger_weight with
+  /// pair_trigger_overrides applied symmetrically (<= 0 = pair never
+  /// triggers). Immutable after construction; same allocation condition as
+  /// pair_weight_.
+  std::unique_ptr<double[]> pair_threshold_;
 
   // --- background stitcher (started when stitch.interval_ms > 0 or the
   // trigger is armed) -----------------------------------------------------

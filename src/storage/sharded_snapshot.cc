@@ -114,6 +114,15 @@ Status WriteShardManifest(const std::string& dir,
       return Status::InvalidArgument("ShardManifest: " + chain.message());
     }
   }
+  for (std::size_t i = 0; i < manifest.placement.size(); ++i) {
+    const auto& [pid, shard] = manifest.placement[i];
+    if (pid >= manifest.num_shards || shard >= manifest.num_shards ||
+        (i > 0 && pid <= manifest.placement[i - 1].first)) {
+      return Status::InvalidArgument(
+          "ShardManifest: placement rows must be ascending pids within the "
+          "fleet");
+    }
+  }
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -144,6 +153,11 @@ Status WriteShardManifest(const std::string& dir,
     if (manifest.boundary_format != 1) {
       out << "boundary-format " << manifest.boundary_format << '\n';
     }
+  }
+  // Sparse placement rows (rebalanced fleets only): a default placement
+  // emits nothing, keeping the manifest byte-identical to older writers.
+  for (const auto& [pid, shard] : manifest.placement) {
+    out << "placement " << pid << ' ' << shard << '\n';
   }
   std::string content = out.str();
   char crc_line[32];
@@ -254,6 +268,20 @@ Status ReadShardManifest(const std::string& dir, ShardManifest* manifest) {
       if (m.boundary_format != 2) {
         return Malformed(path, "has an unsupported boundary-format");
       }
+      if (!(in >> key)) return Malformed(path, "missing crc line");
+    }
+    // Sparse placement rows (zero or more), strictly ascending pid. The
+    // pid bound doubles as the row-count bound, so no allocation gate is
+    // needed beyond num_shards' own.
+    while (key == "placement") {
+      std::uint32_t pid = 0;
+      std::uint32_t shard = 0;
+      if (!(in >> pid >> shard) || pid >= m.num_shards ||
+          shard >= m.num_shards ||
+          (!m.placement.empty() && pid <= m.placement.back().first)) {
+        return Malformed(path, "placement entry malformed");
+      }
+      m.placement.push_back({pid, shard});
       if (!(in >> key)) return Malformed(path, "missing crc line");
     }
     // The crc line covers every byte above it — locate it in the raw

@@ -22,6 +22,8 @@
 //   boundary <relative-file-name>               (base boundary index)
 //   boundary-delta <epoch> <relative-file-name> (one line per epoch B+1..E)
 //   boundary-format <F>                         (optional; omitted when F=1)
+//   placement <pid> <shard>                     (sparse, ascending pid;
+//                                                only non-default owners)
 //   crc <16 hex digits>                         (CRC-64 of all bytes above)
 //
 // `boundary-format` announces the base boundary-index file format (2 =
@@ -29,6 +31,15 @@
 // base up front instead of failing mid-parse. Its absence means format 1
 // (raw edges only) — which keeps every manifest written before compaction
 // existed byte-identical, still version 3.
+//
+// `placement` rows record where each partition lived when the checkpoint
+// was taken, for fleets whose work-stealing rebalancer moved partitions
+// off their default worker (pid % num_workers). They are sparse — a
+// partition on its default worker writes no row — so a never-rebalanced
+// fleet's manifest stays byte-identical to the pre-rebalance format.
+// Restore uses them to re-create the exact live placement; a reader that
+// predates them would fail the CRC, which is the right outcome (it cannot
+// honor the placement).
 //
 // The trailing `crc` line closes the one hole binary trailers cannot
 // cover: a single flipped byte anywhere in the manifest — including in an
@@ -90,6 +101,10 @@ struct ShardManifest {
   /// Boundary-index tails, ascending epoch — one per epoch in
   /// (base_epoch, epoch] whenever `boundary_file` is set.
   std::vector<BoundaryTailRef> boundary_tails;
+  /// Sparse partition placement at checkpoint time: (pid, owner shard)
+  /// pairs, ascending pid, only for partitions NOT on their default owner.
+  /// Empty for never-rebalanced fleets (and every pre-rebalance manifest).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> placement;
 
   std::size_t ChainLength() const {
     return static_cast<std::size_t>(epoch - base_epoch);

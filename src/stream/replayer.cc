@@ -264,14 +264,30 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
   // each shard) an artificially coherent sub-stream.
   const std::size_t producer_batch =
       std::max<std::size_t>(1, options.producer_batch);
+  const bool adaptive =
+      options.adaptive_chunk && !options.per_edge_submit;
+  const std::size_t max_queue =
+      std::max<std::size_t>(1, options.service.shard.max_queue);
   std::atomic<std::size_t> cursor{0};
   for (std::size_t p = 0; p < num_producers; ++p) {
     producers.emplace_back([&] {
+      // Per-producer chunk size (no sharing, no atomics): each producer
+      // tracks queue pressure independently, which is exactly the signal
+      // it acts on — how long ITS blocking handoffs are about to be.
+      std::size_t chunk_size = producer_batch;
       while (true) {
         const std::size_t start =
-            cursor.fetch_add(producer_batch, std::memory_order_relaxed);
+            cursor.fetch_add(chunk_size, std::memory_order_relaxed);
         if (start >= n) break;
-        const std::size_t end = std::min(start + producer_batch, n);
+        const std::size_t end = std::min(start + chunk_size, n);
+        if (adaptive) {
+          const std::size_t depth = service.MaxQueueDepth();
+          if (depth > max_queue / 2) {
+            chunk_size = std::max<std::size_t>(16, chunk_size / 2);
+          } else if (depth < max_queue / 8) {
+            chunk_size = std::min<std::size_t>(8192, chunk_size * 2);
+          }
+        }
         for (std::size_t i = start; i < end; ++i) {
           const std::int32_t gid = stream.group[i];
           if (gid != kNormalEdge &&
@@ -300,6 +316,17 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
   }
   for (auto& t : producers) t.join();
   report.submit_seconds = now_micros() * 1e-6;
+  // Phase boundary for the queue stats: capture the admission-phase peak,
+  // then reset the marks so the drain below measures only its own
+  // pressure — without the reset the admission peak bleeds into every
+  // later reading and the drain number is meaningless.
+  {
+    const ShardedServiceStats stats = service.GetStats();
+    for (const std::size_t hwm : stats.shard_queue_hwm) {
+      report.queue_hwm = std::max(report.queue_hwm, hwm);
+    }
+  }
+  service.ResetQueueHighWater();
   // Bounded drain first so a wedged shard queue surfaces as a warning
   // instead of a silent hang; the unbounded drain then finishes the job.
   if (!service.DrainFor(std::chrono::minutes(2))) {
@@ -347,7 +374,7 @@ ServiceReplayReport ReplayThroughService(std::vector<Spade> shards,
     }
     report.boundary_edges = stats.boundary_edges;
     for (const std::size_t hwm : stats.shard_queue_hwm) {
-      report.queue_hwm = std::max(report.queue_hwm, hwm);
+      report.queue_hwm_drain = std::max(report.queue_hwm_drain, hwm);
     }
   }
   for (std::size_t gid = 0; gid < groups; ++gid) {

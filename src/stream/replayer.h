@@ -96,6 +96,14 @@ struct ServiceReplayOptions {
   /// slices off the shared cursor so the interleaving matches the batched
   /// run; only the handoff differs.
   bool per_edge_submit = false;
+  /// Adapt each producer's chunk size to queue pressure: after every chunk
+  /// the producer reads the fleet's current max queue depth and halves its
+  /// chunk (floor 16) when depth exceeds half the configured queue budget,
+  /// or doubles it (cap 8192) when depth is below an eighth of it. Large
+  /// chunks amortize routing when workers keep up; small chunks keep the
+  /// blocking handoff slices short when they do not — fewer edges parked
+  /// per wakeup, steadier admission. Ignored with per_edge_submit.
+  bool adaptive_chunk = false;
   /// Run one cross-shard stitch pass after the drain and report its result
   /// (final_stitched / final_argmax / stitch_millis). Groups only reachable
   /// through stitching are credited as detected from the stitched snapshot.
@@ -160,10 +168,15 @@ struct ServiceReplayReport {
   double stitch_millis = 0.0;
   std::uint64_t boundary_edges = 0;
 
-  /// Highest queue depth any shard reached during the replay (handoff
-  /// pressure: near the configured max_queue means producers outran a
-  /// shard worker).
+  /// Highest queue depth any shard reached during the ADMISSION phase
+  /// (submit start → producers done). Handoff pressure: near the
+  /// configured max_queue means producers outran a shard worker.
   std::size_t queue_hwm = 0;
+  /// Highest queue depth any shard reached during the DRAIN phase. The
+  /// marks are reset between phases (ResetQueueHighWater), so each number
+  /// describes its own phase — previously the admission peak bled into
+  /// every later reading.
+  std::size_t queue_hwm_drain = 0;
 
   /// Filled when ServiceReplayOptions::checkpoint_every_edges > 0.
   std::size_t checkpoints = 0;        // saves taken (incl. the final one)

@@ -312,6 +312,46 @@ TEST(ShardedDetectionServiceTest, EnqueuedExactUnderPartialShardAccept) {
   }
 }
 
+// ResetQueueHighWater gives the high-water gauge phase semantics: after a
+// reset the mark reflects only post-reset traffic, so a measurement
+// harness (ReplayThroughService reports admission and drain phases
+// separately) never reads one phase's burst as the next phase's pressure.
+TEST(ShardedDetectionServiceTest, ResetQueueHighWaterStartsANewPhase) {
+  ShardStall stall(/*shard=*/1);
+  ShardedDetectionServiceOptions options = TenantOptions();
+  options.shard.max_queue = 8;
+  options.shard.block_when_full = false;
+  ShardedDetectionService service(BuildShards(2, 2, {}), stall.Callback(),
+                                  options);
+
+  // Phase 1: park shard 1 and pile six edges behind it.
+  const auto base1 = static_cast<VertexId>(1 * kVerticesPerTenant);
+  ASSERT_TRUE(
+      service.Submit({base1, static_cast<VertexId>(base1 + 1), 1e6, 0}).ok());
+  stall.AwaitStalled();
+  Rng rng(48);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service.Submit(TenantEdge(&rng, 1)).ok());
+  }
+  stall.Release();
+  service.Drain();
+  EXPECT_GE(service.GetStats().shard_queue_hwm[1], 6u);
+
+  // Reset: the burst must vanish from the gauge entirely.
+  service.ResetQueueHighWater();
+  EXPECT_EQ(service.GetStats().shard_queue_hwm[1], 0u);
+
+  // Phase 2: three edges against a running worker. The new mark reflects
+  // only them — bounded by this phase's enqueue depth, not phase 1's six.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.Submit(TenantEdge(&rng, 1)).ok());
+  }
+  service.Drain();
+  const std::size_t hwm = service.GetStats().shard_queue_hwm[1];
+  EXPECT_GE(hwm, 1u);
+  EXPECT_LE(hwm, 3u);
+}
+
 // CPU pinning smoke: a valid CPU pins (or warns and runs unpinned on
 // non-Linux), an out-of-range CPU must degrade to a logged warning — never
 // an error, never a lost edge.

@@ -724,5 +724,114 @@ TEST(MessageDrivenStitchingTest, CompactedBoundarySaveRestoreExact) {
   std::filesystem::remove_all(dir);
 }
 
+// Per-pair trigger overrides: with the fleet-wide trigger_weight unset, an
+// override on pair {0, 1} arms the stitcher for that seam alone. The same
+// ring traffic on the non-overridden pair {0, 2} must accumulate weight
+// silently and never wake anything.
+TEST(MessageDrivenStitchingTest, PairOverrideArmsOnlyItsPair) {
+  constexpr std::size_t kShards = 3;
+  const std::size_t n = kShards * kVerticesPerTenant;
+
+  auto build = [&] {
+    ShardedDetectionServiceOptions options;
+    options.partitioner = TenantPartitioner(kVerticesPerTenant);
+    options.stitch.interval_ms = 0;     // no timer
+    options.stitch.trigger_weight = 0;  // fleet-wide trigger unset...
+    options.stitch.pair_trigger_overrides.push_back({0, 1, 50.0});  // ...
+    return options;                     // but {0, 1} armed on its own
+  };
+  auto ring_across = [&](std::size_t other_tenant) {
+    Rng rng(611);
+    std::vector<Edge> stream;
+    const std::vector<VertexId> ring = {
+        5, static_cast<VertexId>(other_tenant * kVerticesPerTenant + 5),
+        6, static_cast<VertexId>(other_tenant * kVerticesPerTenant + 6)};
+    InjectRing(&stream, 0, ring, 80, 30.0, &rng);
+    return stream;
+  };
+
+  {
+    // Ring across the overridden pair: the trigger fires with no timer.
+    ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                    build());
+    const std::vector<Edge> stream = ring_across(1);
+    SubmitAll(&service, stream);
+    service.Drain();
+    GlobalCommunity g;
+    for (int i = 0; i < 500; ++i) {
+      g = service.CurrentGlobalCommunity();
+      if (g.stitched) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_TRUE(g.stitched);
+    EXPECT_GE(service.GetStats().stitch_triggers, 1u);
+    DetectionService merged(BuildMergedDetector(n), nullptr);
+    for (const Edge& e : stream) ASSERT_TRUE(merged.Submit(e).ok());
+    merged.Drain();
+    EXPECT_NEAR(g.density, merged.CurrentCommunity().density, 1e-9);
+    service.Stop();
+  }
+  {
+    // Same ring weight across {0, 2}: no override, fleet trigger unset —
+    // the boundary index records the seam but the stitcher never wakes.
+    ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                    build());
+    SubmitAll(&service, ring_across(2));
+    service.Drain();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const ShardedServiceStats stats = service.GetStats();
+    EXPECT_EQ(stats.stitch_triggers, 0u);
+    EXPECT_EQ(stats.stitch_passes, 0u);
+    EXPECT_GT(stats.boundary_edges, 0u);  // the seam IS recorded
+    service.Stop();
+  }
+}
+
+// A weight <= 0 override DISARMS one pair under a fleet-wide trigger: the
+// muted seam accumulates weight without waking the stitcher, while any
+// other pair still fires at the fleet threshold.
+TEST(MessageDrivenStitchingTest, PairOverrideCanMuteOnePair) {
+  constexpr std::size_t kShards = 3;
+  const std::size_t n = kShards * kVerticesPerTenant;
+  Rng rng(613);
+
+  ShardedDetectionServiceOptions options;
+  options.partitioner = TenantPartitioner(kVerticesPerTenant);
+  options.stitch.interval_ms = 0;
+  options.stitch.trigger_weight = 50.0;
+  options.stitch.pair_trigger_overrides.push_back({0, 1, 0.0});  // muted
+  ShardedDetectionService service(BuildEmptyShards(kShards, n), nullptr,
+                                  options);
+
+  // Heavy traffic on the muted pair first: must not trigger.
+  std::vector<Edge> muted;
+  const std::vector<VertexId> muted_ring = {
+      5, static_cast<VertexId>(kVerticesPerTenant + 5),
+      6, static_cast<VertexId>(kVerticesPerTenant + 6)};
+  InjectRing(&muted, 0, muted_ring, 80, 30.0, &rng);
+  SubmitAll(&service, muted);
+  service.Drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(service.GetStats().stitch_triggers, 0u);
+
+  // The non-overridden pair {0, 2} still fires at the fleet threshold.
+  std::vector<Edge> live;
+  const std::vector<VertexId> live_ring = {
+      7, static_cast<VertexId>(2 * kVerticesPerTenant + 7),
+      8, static_cast<VertexId>(2 * kVerticesPerTenant + 8)};
+  InjectRing(&live, 0, live_ring, 80, 30.0, &rng);
+  SubmitAll(&service, live);
+  service.Drain();
+  GlobalCommunity g;
+  for (int i = 0; i < 500; ++i) {
+    g = service.CurrentGlobalCommunity();
+    if (g.stitched) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(g.stitched);
+  EXPECT_GE(service.GetStats().stitch_triggers, 1u);
+  service.Stop();
+}
+
 }  // namespace
 }  // namespace spade
